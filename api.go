@@ -1,0 +1,80 @@
+package oneport
+
+// Facade: the library's day-to-day surface re-exported at the module root,
+// so downstream code can depend on package oneport alone. The
+// implementations live in internal/ packages (one per subsystem, see
+// DESIGN.md); the aliases below are their stable public names.
+
+import (
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/sim"
+)
+
+// Graph is a vertex- and edge-weighted task DAG (see internal/graph).
+type Graph = graph.Graph
+
+// NewGraph returns an empty task graph with a capacity hint of n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Platform describes processors and interconnect (see internal/platform).
+type Platform = platform.Platform
+
+// NewPlatform builds a platform from cycle-times and a full link matrix.
+func NewPlatform(cycleTimes []float64, link [][]float64) (*Platform, error) {
+	return platform.New(cycleTimes, link)
+}
+
+// UniformPlatform builds a fully-connected platform with one link cost.
+func UniformPlatform(cycleTimes []float64, linkCost float64) (*Platform, error) {
+	return platform.Uniform(cycleTimes, linkCost)
+}
+
+// PaperPlatform returns the 10-processor platform of the paper's evaluation.
+func PaperPlatform() *Platform { return platform.Paper() }
+
+// Model selects the communication rules; Schedule records a result.
+type (
+	Model    = sched.Model
+	Schedule = sched.Schedule
+)
+
+// The two communication models of the paper.
+const (
+	MacroDataflow = sched.MacroDataflow
+	OnePort       = sched.OnePort
+)
+
+// ILHAOptions tunes the ILHA heuristic (chunk size B, scan depth, ...).
+type ILHAOptions = heuristics.ILHAOptions
+
+// HEFT schedules g on pl with the one-port (or macro-dataflow) adaptation
+// of the Heterogeneous Earliest Finish Time heuristic.
+func HEFT(g *Graph, pl *Platform, model Model) (*Schedule, error) {
+	return heuristics.HEFT(g, pl, model)
+}
+
+// ILHA schedules g on pl with the Iso-Level Heterogeneous Allocation
+// heuristic.
+func ILHA(g *Graph, pl *Platform, model Model, opts ILHAOptions) (*Schedule, error) {
+	return heuristics.ILHA(g, pl, model, opts)
+}
+
+// Validate checks a schedule against the model's rules (precedence,
+// processor exclusivity, communication timing, port constraints).
+func Validate(g *Graph, pl *Platform, s *Schedule, model Model) error {
+	return sched.Validate(g, pl, s, model)
+}
+
+// Gantt renders an ASCII Gantt chart of a schedule.
+func Gantt(g *Graph, pl *Platform, s *Schedule, width int) string {
+	return sim.Gantt(g, pl, s, width)
+}
+
+// Replay re-derives a schedule's times from its decisions (allocation and
+// resource orders) as early as possible; see internal/sim.
+func Replay(g *Graph, pl *Platform, s *Schedule, model Model) (*Schedule, error) {
+	return sim.Replay(g, pl, s, model)
+}

@@ -1,0 +1,63 @@
+package oneport_test
+
+import (
+	"strings"
+	"testing"
+
+	"oneport"
+)
+
+// TestFacadeEndToEnd drives the whole public surface: build a graph and a
+// platform, schedule with both heuristics under both models, validate,
+// replay and render.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := oneport.NewGraph(4)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(2, "b")
+	c := g.AddNode(2, "c")
+	d := g.AddNode(1, "d")
+	g.MustEdge(a, b, 3)
+	g.MustEdge(a, c, 3)
+	g.MustEdge(b, d, 3)
+	g.MustEdge(c, d, 3)
+
+	pl, err := oneport.UniformPlatform([]float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []oneport.Model{oneport.MacroDataflow, oneport.OnePort} {
+		h, err := oneport.HEFT(g, pl, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, err := oneport.ILHA(g, pl, model, oneport.ILHAOptions{B: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []*oneport.Schedule{h, i} {
+			if err := oneport.Validate(g, pl, s, model); err != nil {
+				t.Fatalf("%v: %v", model, err)
+			}
+			r, err := oneport.Replay(g, pl, s, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Makespan() > s.Makespan()+1e-9 {
+				t.Fatalf("%v: replay %g later than schedule %g", model, r.Makespan(), s.Makespan())
+			}
+		}
+		if out := oneport.Gantt(g, pl, h, 40); !strings.Contains(out, "P0") {
+			t.Fatalf("Gantt output malformed:\n%s", out)
+		}
+	}
+}
+
+func TestFacadePaperPlatform(t *testing.T) {
+	pl := oneport.PaperPlatform()
+	if pl.NumProcs() != 10 {
+		t.Fatalf("paper platform has %d procs", pl.NumProcs())
+	}
+	if _, err := oneport.NewPlatform([]float64{1}, [][]float64{{0}}); err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+}

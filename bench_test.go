@@ -1,0 +1,262 @@
+package oneport_test
+
+// Benchmarks regenerating every figure of the paper's evaluation section
+// plus the ablations called out in DESIGN.md. Each figure benchmark
+// schedules one representative problem size with both HEFT and ILHA under
+// the one-port model, validates the schedules, and reports the measured
+// speedups as custom metrics, so `go test -bench .` both times the
+// schedulers and reprints the paper's headline numbers.
+//
+// Default sizes are scaled down from the paper's 100..500 sweep to keep the
+// suite fast; `go run ./cmd/experiments -sizes paper` runs the full sweep.
+
+import (
+	"testing"
+
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// benchFigure regenerates one figure point and reports both speedups.
+func benchFigure(b *testing.B, figID string, size int) {
+	b.Helper()
+	fig, err := exp.FigureByID(figID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := platform.Paper()
+	g, err := testbeds.ByName(fig.Testbed, size, exp.CommRatio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p exp.Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err = exp.RunPoint(g, pl, sched.OnePort, fig.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.HEFTSpeedup, "heft-speedup")
+	b.ReportMetric(p.ILHASpeedup, "ilha-speedup")
+	b.ReportMetric(float64(p.Tasks), "tasks")
+}
+
+func BenchmarkFig07ForkJoin(b *testing.B)  { benchFigure(b, "fig7", 300) }
+func BenchmarkFig08LU(b *testing.B)        { benchFigure(b, "fig8", 60) }
+func BenchmarkFig09Laplace(b *testing.B)   { benchFigure(b, "fig9", 40) }
+func BenchmarkFig10LDMt(b *testing.B)      { benchFigure(b, "fig10", 40) }
+func BenchmarkFig11Doolittle(b *testing.B) { benchFigure(b, "fig11", 60) }
+func BenchmarkFig12Stencil(b *testing.B)   { benchFigure(b, "fig12", 40) }
+
+// BenchmarkAblationBSweep shows the §5.3 chunk-size sensitivity on LU: the
+// critical path favours small B.
+func BenchmarkAblationBSweep(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(60, exp.CommRatio)
+	seq := pl.SequentialTime(g.TotalWeight())
+	for _, chunk := range []int{2, 4, 10, 38} {
+		b.Run(benchName("B", chunk), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				s, err := heuristics.ILHA(g, pl, sched.OnePort, heuristics.ILHAOptions{B: chunk})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = seq / s.Makespan()
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationILHAVariants compares the §4.4 design variants: the
+// paper's Step 1 (scan depth 0), the single-communication scan (depth 1),
+// capacity-capped Step 2, and the communication-rescheduling third step.
+func BenchmarkAblationILHAVariants(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.Stencil(40, exp.CommRatio)
+	seq := pl.SequentialTime(g.TotalWeight())
+	variants := []struct {
+		name string
+		opts heuristics.ILHAOptions
+	}{
+		{"paper", heuristics.ILHAOptions{B: 38}},
+		{"scan1", heuristics.ILHAOptions{B: 38, ScanDepth: 1}},
+		{"cap2", heuristics.ILHAOptions{B: 38, CapStep2: true}},
+		{"resched", heuristics.ILHAOptions{B: 38, RescheduleComms: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var sp float64
+			var comms int
+			for i := 0; i < b.N; i++ {
+				s, err := heuristics.ILHA(g, pl, sched.OnePort, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = seq / s.Makespan()
+				comms = s.CommCount()
+			}
+			b.ReportMetric(sp, "speedup")
+			b.ReportMetric(float64(comms), "comms")
+		})
+	}
+}
+
+// BenchmarkAblationPortModels quantifies the cost of realism: the same
+// heuristic under macro-dataflow (unlimited ports) versus one-port.
+func BenchmarkAblationPortModels(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.Laplace(40, exp.CommRatio)
+	seq := pl.SequentialTime(g.TotalWeight())
+	for _, m := range []sched.Model{sched.MacroDataflow, sched.OnePort} {
+		b.Run(m.String(), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				s, err := heuristics.HEFT(g, pl, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = seq / s.Makespan()
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkHEFTThroughput measures raw scheduling throughput (tasks/second)
+// of the one-port HEFT implementation on a mid-size LU graph.
+func BenchmarkHEFTThroughput(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(60, exp.CommRatio)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.HEFT(g, pl, sched.OnePort); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumNodes())*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationInsertion quantifies what HEFT's insertion (gap) policy
+// buys over append-only placement — the timeline-policy ablation from
+// DESIGN.md.
+func BenchmarkAblationInsertion(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(40, exp.CommRatio)
+	seq := pl.SequentialTime(g.TotalWeight())
+	for _, v := range []struct {
+		name string
+		f    heuristics.Func
+	}{{"insertion", heuristics.HEFT}, {"append", heuristics.HEFTAppend}} {
+		b.Run(v.name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				s, err := v.f(g, pl, sched.OnePort)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = seq / s.Makespan()
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationImprove measures the §4.4 post-allocation rescheduling
+// pass: HEFT's schedule reworked by N stochastic fixed-allocation rounds.
+func BenchmarkAblationImprove(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.Stencil(24, exp.CommRatio)
+	seq := pl.SequentialTime(g.TotalWeight())
+	base, err := heuristics.HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rounds := range []int{0, 8, 32} {
+		b.Run(benchName("rounds", rounds), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				s, err := heuristics.Improve(g, pl, sched.OnePort, base, rounds, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = seq / s.Makespan()
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkOptimalityGap runs the exhaustive active-schedule search on a
+// tiny instance and reports how far HEFT and ILHA sit from the optimum.
+func BenchmarkOptimalityGap(b *testing.B) {
+	pl, err := platform.Uniform([]float64{1, 2}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := testbeds.LU(4, exp.CommRatio)
+	var gapH, gapI float64
+	for i := 0; i < b.N; i++ {
+		opt, complete, err := heuristics.Exhaustive(g, pl, sched.OnePort, 0)
+		if err != nil || !complete {
+			b.Fatalf("exhaustive: %v (complete=%v)", err, complete)
+		}
+		h, err := heuristics.HEFT(g, pl, sched.OnePort)
+		if err != nil {
+			b.Fatal(err)
+		}
+		il, err := heuristics.ILHA(g, pl, sched.OnePort, heuristics.ILHAOptions{B: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gapH = h.Makespan() / opt.Makespan()
+		gapI = il.Makespan() / opt.Makespan()
+	}
+	b.ReportMetric(gapH, "heft-gap")
+	b.ReportMetric(gapI, "ilha-gap")
+}
+
+// BenchmarkCompareHeuristics runs the whole registry on the mixed workload
+// suite and reports the two headline means.
+func BenchmarkCompareHeuristics(b *testing.B) {
+	wls, err := exp.StandardWorkloads(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := platform.Paper()
+	var cmp *exp.Comparison
+	for i := 0; i < b.N; i++ {
+		cmp, err = exp.Compare(wls, pl, sched.OnePort, heuristics.ILHAOptions{B: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range cmp.Results {
+		if r.Heuristic == "heft" || r.Heuristic == "ilha" {
+			b.ReportMetric(r.MeanSpeedup, r.Heuristic+"-mean-speedup")
+		}
+	}
+}

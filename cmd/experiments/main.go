@@ -1,0 +1,140 @@
+// Command experiments regenerates the paper's evaluation (Figures 7–12):
+// HEFT versus ILHA under the bi-directional one-port model on the six
+// testbeds, with the paper's platform (5× cycle 6, 3× cycle 10, 2× cycle
+// 15), c = 10 and the per-figure best B.
+//
+//	experiments                 # quick sizes, all figures
+//	experiments -sizes paper    # the paper's 100..500 sweep (minutes)
+//	experiments -fig fig9       # a single figure
+//	experiments -model macro    # same experiments under macro-dataflow
+//	experiments -spectrum lu    # all five communication models side by side
+//	experiments -compare 10     # every heuristic on a mixed workload suite
+//	experiments -csv            # figure output as CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oneport/internal/cli"
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+)
+
+func main() {
+	var (
+		figID     = flag.String("fig", "all", "figure to regenerate (fig7..fig12 or all)")
+		sizesSpec = flag.String("sizes", "quick", `problem sizes: "quick", "paper", or a comma list like "50,100"`)
+		modelName = flag.String("model", "oneport", "communication model (oneport, macro, uniport, nooverlap, linkcontention)")
+		spectrum  = flag.String("spectrum", "", "run the 5-model spectrum on this testbed instead of figures")
+		size      = flag.Int("size", 30, "problem size for -spectrum")
+		b         = flag.Int("B", 38, "ILHA chunk size for -spectrum and -compare")
+		compare   = flag.Int("compare", 0, "compare every heuristic on a mixed suite of this size")
+		csv       = flag.Bool("csv", false, "emit figure series as CSV instead of tables")
+		csweep    = flag.String("csweep", "", "sweep the communication ratio on this testbed")
+		hetsweep  = flag.String("het", "", "sweep platform heterogeneity on this testbed")
+	)
+	flag.Parse()
+
+	if *csweep != "" {
+		pts, err := exp.CSweep(*csweep, *size, *b, platform.Paper(), []float64{1, 2, 5, 10, 20})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exp.CSweepTable(*csweep, *size, pts))
+		return
+	}
+	if *hetsweep != "" {
+		pts, err := exp.HeterogeneitySweep(*hetsweep, *size, *b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exp.HetTable(*hetsweep, *size, pts))
+		return
+	}
+
+	if *compare > 0 {
+		model, err := cli.ParseModel(*modelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		wls, err := exp.StandardWorkloads(*compare)
+		if err == nil {
+			var cmp *exp.Comparison
+			cmp, err = exp.Compare(wls, platform.Paper(), model, heuristics.ILHAOptions{B: *b})
+			if err == nil {
+				fmt.Print(cmp.Table())
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *spectrum != "" {
+		sp, err := exp.RunSpectrum(*spectrum, *size, *b, platform.Paper())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(sp.Table())
+		return
+	}
+
+	if err := run(*figID, *sizesSpec, *modelName, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figID, sizesSpec, modelName string, csv bool) error {
+	model, err := cli.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	var sizes []int
+	switch sizesSpec {
+	case "quick":
+		sizes = exp.QuickSizes()
+	case "paper":
+		sizes = exp.PaperSizes()
+	default:
+		sizes, err = cli.ParseInts(sizesSpec)
+		if err != nil {
+			return err
+		}
+	}
+	figs := exp.Figures
+	if figID != "all" {
+		f, err := exp.FigureByID(figID)
+		if err != nil {
+			return err
+		}
+		figs = []exp.Figure{f}
+	}
+	pl := platform.Paper()
+	if !csv {
+		fmt.Printf("platform: 10 processors (5x t=6, 3x t=10, 2x t=15), speedup bound %.4g\n",
+			exp.SpeedupBound(pl))
+		fmt.Printf("FORK-JOIN analytic speedup cap: %.4g\n\n", exp.ForkJoinSpeedupCap(1, 6, exp.CommRatio))
+	}
+	for _, fig := range figs {
+		s, err := exp.Run(fig, pl, model, sizes)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Printf("# %s\n%s\n", fig.ID, s.CSV())
+		} else {
+			fmt.Println(s.Table())
+		}
+	}
+	return nil
+}

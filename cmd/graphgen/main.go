@@ -1,0 +1,49 @@
+// Command graphgen emits a testbed task graph in Graphviz dot or JSON form,
+// for inspection or for feeding external tools.
+//
+//	graphgen -testbed laplace -size 4 -format dot | dot -Tpng > laplace.png
+//	graphgen -testbed lu -size 6 -format json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"oneport/internal/exp"
+	"oneport/internal/testbeds"
+)
+
+func main() {
+	var (
+		testbed   = flag.String("testbed", "lu", "task graph family")
+		size      = flag.Int("size", 6, "problem size")
+		commRatio = flag.Float64("c", exp.CommRatio, "communication-to-computation ratio")
+		format    = flag.String("format", "dot", "output format: dot or json")
+	)
+	flag.Parse()
+
+	if err := run(*testbed, *size, *commRatio, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(testbed string, size int, commRatio float64, format string) error {
+	g, err := testbeds.ByName(testbed, size, commRatio)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "dot":
+		fmt.Print(g.DOT(fmt.Sprintf("%s_%d", testbed, size)))
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(g)
+	default:
+		return fmt.Errorf("unknown format %q (want dot or json)", format)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Command onesched schedules one task graph with one heuristic and prints
+// the result: makespan, speedup, communication statistics, and optionally an
+// ASCII Gantt chart or a full event trace. Every schedule is validated
+// against the selected communication model before being reported.
+//
+// Examples:
+//
+//	onesched -testbed lu -size 100 -heuristic ilha -B 4
+//	onesched -testbed laplace -size 60 -heuristic heft -model macro -gantt
+//	onesched -testbed forkjoin -size 300 -heuristic ilha -procs 6x5,10x3,15x2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"oneport/internal/bound"
+	"oneport/internal/cli"
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/sched"
+	"oneport/internal/sim"
+	"oneport/internal/testbeds"
+)
+
+func main() {
+	var (
+		testbed   = flag.String("testbed", "lu", "task graph family: lu, laplace, stencil, forkjoin, doolittle, ldmt")
+		size      = flag.Int("size", 50, "problem size (matrix dimension / grid side / fork width)")
+		commRatio = flag.Float64("c", exp.CommRatio, "communication-to-computation ratio")
+		heuristic = flag.String("heuristic", "ilha", "scheduling heuristic (heft, ilha, cpop, dls, bil, pct, roundrobin, random)")
+		b         = flag.Int("B", 0, "ILHA chunk size (0 = platform perfect-balance count)")
+		scanDepth = flag.Int("scan", 0, "ILHA Step-1 scan depth (communications tolerated when grouping)")
+		cap2      = flag.Bool("cap2", false, "ILHA: enforce load-balancing caps in Step 2")
+		resched   = flag.Bool("resched", false, "ILHA: reschedule each chunk's communications after allocation")
+		modelName = flag.String("model", "oneport", "communication model: oneport, macro, uniport, nooverlap, linkcontention")
+		procSpec  = flag.String("procs", "6x5,10x3,15x2", "processors as cycle[xCount] list")
+		link      = flag.Float64("link", 1, "uniform link cost per data item")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		width     = flag.Int("width", 100, "Gantt chart width in columns")
+		trace     = flag.Bool("trace", false, "print the full event trace")
+		asJSON    = flag.Bool("json", false, "emit the schedule as JSON instead of the report")
+		chromeOut = flag.String("chrome", "", "write a Chrome/Perfetto trace of the schedule to this file")
+		improve   = flag.Int("improve", 0, "post-pass: N random rescheduling rounds with the allocation fixed (§4.4)")
+		chainOut  = flag.Bool("chain", false, "print the critical chain (what determines the makespan)")
+		svgOut    = flag.String("svg", "", "write an SVG Gantt chart to this file")
+	)
+	flag.Parse()
+
+	if err := run(*testbed, *size, *commRatio, *heuristic, *modelName, *procSpec, *link,
+		heuristics.ILHAOptions{B: *b, ScanDepth: *scanDepth, CapStep2: *cap2, RescheduleComms: *resched},
+		*gantt, *width, *trace, *asJSON, *chromeOut, *improve, *chainOut, *svgOut); err != nil {
+		fmt.Fprintln(os.Stderr, "onesched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(testbed string, size int, commRatio float64, heuristic, modelName, procSpec string,
+	link float64, opts heuristics.ILHAOptions, gantt bool, width int, trace, asJSON bool,
+	chromeOut string, improve int, chainOut bool, svgOut string) error {
+	g, err := testbeds.ByName(testbed, size, commRatio)
+	if err != nil {
+		return err
+	}
+	pl, err := cli.ParsePlatform(procSpec, link)
+	if err != nil {
+		return err
+	}
+	model, err := cli.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	f, err := heuristics.ByName(heuristic, opts)
+	if err != nil {
+		return err
+	}
+	s, err := f(g, pl, model)
+	if err != nil {
+		return err
+	}
+	if err := sched.Validate(g, pl, s, model); err != nil {
+		return fmt.Errorf("schedule failed validation: %w", err)
+	}
+	if improve > 0 {
+		before := s.Makespan()
+		s, err = heuristics.Improve(g, pl, model, s, improve, 1)
+		if err != nil {
+			return err
+		}
+		if err := sched.Validate(g, pl, s, model); err != nil {
+			return fmt.Errorf("improved schedule failed validation: %w", err)
+		}
+		if !asJSON {
+			defer fmt.Printf("improve    %d rounds: makespan %.6g -> %.6g\n", improve, before, s.Makespan())
+		}
+	}
+	if chromeOut != "" {
+		data, err := sim.ChromeTrace(g, s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chromeOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if svgOut != "" {
+		if err := os.WriteFile(svgOut, []byte(sim.SVG(g, pl, s, 1000)), 0o644); err != nil {
+			return err
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+	st := s.ComputeStats()
+	seq := pl.SequentialTime(g.TotalWeight())
+	fmt.Printf("testbed    %s (size %d, %d tasks, %d edges)\n", testbed, size, g.NumNodes(), g.NumEdges())
+	fmt.Printf("platform   %d processors, model %s, link %g, c %g\n", pl.NumProcs(), model, link, commRatio)
+	fmt.Printf("heuristic  %s\n", heuristic)
+	fmt.Printf("makespan   %.6g\n", st.Makespan)
+	fmt.Printf("sequential %.6g (fastest processor)\n", seq)
+	fmt.Printf("speedup    %.4f (bound %.4g)\n", seq/st.Makespan, pl.MaxSpeedup())
+	if lb, err := bound.Best(g, pl, model); err == nil && lb > 0 {
+		fmt.Printf("gap        %.3fx over the %.6g lower bound\n", st.Makespan/lb, lb)
+	}
+	fmt.Printf("comms      %d messages, %.6g total time\n", st.CommCount, st.TotalCommTime)
+	fmt.Printf("utilization %.1f%%\n", 100*st.Utilization)
+	if gantt {
+		fmt.Println()
+		fmt.Print(sim.Gantt(g, pl, s, width))
+	}
+	if trace {
+		fmt.Println()
+		fmt.Print(sim.Trace(g, s))
+	}
+	if chainOut {
+		chain, err := sim.CriticalChain(g, s, model)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(sim.ChainReport(chain))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command schedcheck validates an externally produced schedule (JSON, as
+// emitted by `onesched -json`) against a task graph and a platform, under
+// any communication model. It prints the verdict, summary statistics and,
+// on request, the critical chain — so schedules produced by other tools (or
+// by hand) can be checked against the exact model rules.
+//
+//	onesched -testbed lu -size 10 -json > sched.json
+//	graphgen -testbed lu -size 10 -format json > graph.json
+//	schedcheck -graph graph.json -schedule sched.json -model oneport
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"oneport/internal/cli"
+	"oneport/internal/graph"
+	"oneport/internal/sched"
+	"oneport/internal/sim"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "task graph JSON (required)")
+		schedPath = flag.String("schedule", "", "schedule JSON (required)")
+		modelName = flag.String("model", "oneport", "communication model to validate against")
+		procSpec  = flag.String("procs", "6x5,10x3,15x2", "processors as cycle[xCount] list")
+		link      = flag.Float64("link", 1, "uniform link cost per data item")
+		chain     = flag.Bool("chain", false, "print the critical chain on success")
+	)
+	flag.Parse()
+
+	if err := run(*graphPath, *schedPath, *modelName, *procSpec, *link, *chain); err != nil {
+		fmt.Fprintln(os.Stderr, "schedcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, schedPath, modelName, procSpec string, link float64, chain bool) error {
+	if graphPath == "" || schedPath == "" {
+		return fmt.Errorf("both -graph and -schedule are required")
+	}
+	gdata, err := os.ReadFile(graphPath)
+	if err != nil {
+		return err
+	}
+	var g graph.Graph
+	if err := json.Unmarshal(gdata, &g); err != nil {
+		return fmt.Errorf("parsing %s: %w", graphPath, err)
+	}
+	sdata, err := os.ReadFile(schedPath)
+	if err != nil {
+		return err
+	}
+	var s sched.Schedule
+	if err := json.Unmarshal(sdata, &s); err != nil {
+		return fmt.Errorf("parsing %s: %w", schedPath, err)
+	}
+	pl, err := cli.ParsePlatform(procSpec, link)
+	if err != nil {
+		return err
+	}
+	model, err := cli.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	if err := sched.Validate(&g, pl, &s, model); err != nil {
+		return fmt.Errorf("INVALID under %s: %w", model, err)
+	}
+	st := s.ComputeStats()
+	fmt.Printf("VALID under %s\n", model)
+	fmt.Printf("tasks      %d on %d processors\n", g.NumNodes(), pl.NumProcs())
+	fmt.Printf("makespan   %.6g\n", st.Makespan)
+	fmt.Printf("comms      %d messages, %.6g total time\n", st.CommCount, st.TotalCommTime)
+	fmt.Printf("utilization %.1f%%\n", 100*st.Utilization)
+	if chain {
+		c, err := sim.CriticalChain(&g, &s, model)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(sim.ChainReport(c))
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package oneport is a Go reproduction of "A Realistic Model and an
+// Efficient Heuristic for Scheduling with Heterogeneous Processors"
+// (Beaumont, Boudet, Robert — IPDPS 2002).
+//
+// The library implements task-graph scheduling on heterogeneous processors
+// under the paper's bi-directional one-port communication model — at any
+// instant each processor sends to at most one processor and receives from
+// at most one — next to the classical macro-dataflow model, together with:
+//
+//   - the one-port adaptations of the HEFT and ILHA heuristics (§4) and the
+//     literature baselines CPOP, DLS/GDL, BIL and PCT;
+//   - the six evaluation testbeds (LU, LAPLACE, STENCIL, FORK-JOIN,
+//     DOOLITTLE, LDMt) and the full experiment harness regenerating
+//     Figures 7–12 (§5);
+//   - the NP-completeness constructions FORK-SCHED and COMM-SCHED (§3 and
+//     the appendix) with exact solvers cross-checking both reduction
+//     directions;
+//   - schedule validators for both models, a decision-replay simulator, and
+//     ASCII Gantt rendering.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results. Entry points live under
+// cmd/ (onesched, experiments, bsweep, graphgen) and examples/.
+package oneport

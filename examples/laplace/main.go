@@ -1,0 +1,68 @@
+// Laplace schedules the LAPLACE testbed — the wavefront task graph of a
+// Laplace equation solver — on the paper's 10-processor heterogeneous
+// platform and compares every heuristic in the library under the one-port
+// model. It is the workload where ILHA's load balancing pays off most
+// (Figure 9 of the paper).
+//
+//	go run ./examples/laplace [-size 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func main() {
+	size := flag.Int("size", 40, "grid side (size x size tasks)")
+	flag.Parse()
+
+	g := testbeds.Laplace(*size, exp.CommRatio)
+	pl := platform.Paper()
+	seq := pl.SequentialTime(g.TotalWeight())
+
+	fmt.Printf("LAPLACE %dx%d: %d tasks, %d edges, sequential time %g\n",
+		*size, *size, g.NumNodes(), g.NumEdges(), seq)
+	fmt.Printf("speedup bound: %.4g\n\n", pl.MaxSpeedup())
+	fmt.Printf("%-12s %12s %10s %10s %10s\n", "heuristic", "makespan", "speedup", "comms", "time")
+
+	for _, name := range []string{"heft", "ilha", "cpop", "bil", "dls", "roundrobin"} {
+		if name == "dls" && *size > 50 {
+			// DLS probes every (task, processor) pair per step: quadratic
+			// and slow on big grids.
+			fmt.Printf("%-12s %12s\n", name, "(skipped at this size)")
+			continue
+		}
+		f, err := heuristics.ByName(name, heuristics.ILHAOptions{B: 38})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		s, err := f(g, pl, sched.OnePort)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if err := sched.Validate(g, pl, s, sched.OnePort); err != nil {
+			log.Fatalf("%s produced an invalid schedule: %v", name, err)
+		}
+		fmt.Printf("%-12s %12.0f %10.3f %10d %10s\n",
+			name, s.Makespan(), seq/s.Makespan(), s.CommCount(), elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nILHA chunk-size sensitivity (B sweep):")
+	res, err := exp.BSweep("laplace", *size, pl, sched.OnePort, []int{10, 20, 38})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range []int{10, 20, 38} {
+		fmt.Printf("  B=%-3d speedup %.3f\n", b, res[b])
+	}
+}

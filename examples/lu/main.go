@@ -1,0 +1,76 @@
+// LU schedules the LU-decomposition task graph and shows the two phenomena
+// §5.3 discusses for Figure 8: the critical path makes small ILHA chunks
+// (small B) attractive, and the one-port model costs real performance over
+// the (unrealistically optimistic) macro-dataflow model.
+//
+//	go run ./examples/lu [-size 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/sim"
+	"oneport/internal/testbeds"
+)
+
+func main() {
+	size := flag.Int("size", 60, "matrix dimension")
+	flag.Parse()
+
+	g := testbeds.LU(*size, exp.CommRatio)
+	pl := platform.Paper()
+	seq := pl.SequentialTime(g.TotalWeight())
+	fmt.Printf("LU %d: %d tasks, %d edges\n\n", *size, g.NumNodes(), g.NumEdges())
+
+	// one-port vs macro-dataflow, both heuristics
+	fmt.Printf("%-16s %14s %14s\n", "", "macro-dataflow", "one-port")
+	for _, h := range []string{"heft", "ilha"} {
+		f, err := heuristics.ByName(h, heuristics.ILHAOptions{B: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sp [2]float64
+		for i, model := range []sched.Model{sched.MacroDataflow, sched.OnePort} {
+			s, err := f(g, pl, model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sched.Validate(g, pl, s, model); err != nil {
+				log.Fatalf("%s/%v: %v", h, model, err)
+			}
+			sp[i] = seq / s.Makespan()
+		}
+		fmt.Printf("%-16s %14.3f %14.3f   (speedup)\n", h+" (B=4)", sp[0], sp[1])
+	}
+
+	// B sweep under one-port: the critical path favours small chunks
+	fmt.Println("\nILHA B sweep (one-port):")
+	bs := []int{2, 4, 6, 10, 20, 38}
+	res, err := exp.BSweep("lu", *size, pl, sched.OnePort, bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestB, bestSp := 0, 0.0
+	for _, b := range bs {
+		fmt.Printf("  B=%-3d speedup %.3f\n", b, res[b])
+		if res[b] > bestSp {
+			bestB, bestSp = b, res[b]
+		}
+	}
+	fmt.Printf("best B on this instance: %d\n\n", bestB)
+
+	// a small instance rendered as a Gantt chart
+	small := testbeds.LU(8, exp.CommRatio)
+	s, err := heuristics.ILHA(small, pl, sched.OnePort, heuristics.ILHAOptions{B: bestB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LU(8) ILHA one-port schedule:")
+	fmt.Print(sim.Gantt(small, pl, s, 90))
+}

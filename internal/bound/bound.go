@@ -1,0 +1,114 @@
+// Package bound computes lower bounds on the makespan of any valid schedule
+// of a task graph on a platform. The experiment harness and the tests use
+// them as ground anchors: no heuristic result may undercut them, and their
+// ratio to a heuristic's makespan bounds its distance from the optimum.
+package bound
+
+import (
+	"math"
+	"sort"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// CriticalPath returns the pure-computation critical-path bound: the
+// heaviest weight path executed entirely on a fastest processor, ignoring
+// all communication. Valid under every model.
+func CriticalPath(g *graph.Graph, pl *platform.Platform) (float64, error) {
+	cp, err := g.CriticalPathWeight()
+	if err != nil {
+		return 0, err
+	}
+	return cp * pl.CycleTime(pl.FastestProc()), nil
+}
+
+// TotalWork returns the aggregate-capacity bound: all the work spread over
+// every processor at full speed, W / Σ(1/t_i). Valid under every model.
+func TotalWork(g *graph.Graph, pl *platform.Platform) float64 {
+	return g.TotalWeight() / pl.InvSpeedSum()
+}
+
+// FanOut returns the one-port send-serialization bound. For every node v
+// with at least two successors: however tasks are mapped, if k of v's
+// children run away from v's processor, their messages serialize through
+// v's single send port while the local children occupy its compute unit, so
+// any makespan is at least
+//
+//	w(v)·t_min + max( (sum of the n−k smallest child weights)·t_min,
+//	                  (sum of the k smallest child data)·l_min )
+//
+// for the schedule's actual k — hence at least the minimum over k. Each
+// term is minimized independently over subset choices, which only loosens
+// the bound, so it is valid for OnePort, UniPort and OnePortNoOverlap
+// (where one send port is the law); it does NOT hold under MacroDataflow or
+// LinkContention. This is exactly the §2.3 argument ("communications from
+// the parent node to the children has become the bottleneck") turned into a
+// number.
+func FanOut(g *graph.Graph, pl *platform.Platform) float64 {
+	t := pl.CycleTime(pl.FastestProc())
+	lmin := math.Inf(1)
+	for q := 0; q < pl.NumProcs(); q++ {
+		for r := 0; r < pl.NumProcs(); r++ {
+			if q != r && pl.Link(q, r) < lmin {
+				lmin = pl.Link(q, r)
+			}
+		}
+	}
+	if math.IsInf(lmin, 1) {
+		lmin = 0 // single processor: no communication ever happens
+	}
+	best := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		succ := g.Succ(v)
+		if len(succ) < 2 {
+			continue
+		}
+		n := len(succ)
+		data := make([]float64, n)
+		weights := make([]float64, n)
+		for i, a := range succ {
+			data[i] = a.Data
+			weights[i] = g.Weight(a.Node)
+		}
+		sort.Float64s(data)
+		sort.Float64s(weights)
+		// prefix sums of the smallest elements
+		wPrefix := make([]float64, n+1)
+		dPrefix := make([]float64, n+1)
+		for i := 0; i < n; i++ {
+			wPrefix[i+1] = wPrefix[i] + weights[i]
+			dPrefix[i+1] = dPrefix[i] + data[i]
+		}
+		wv := g.Weight(v) * t
+		lower := math.Inf(1)
+		for k := 0; k <= n; k++ {
+			local := wPrefix[n-k] * t   // n-k smallest weights stay local
+			remote := dPrefix[k] * lmin // k smallest data volumes serialize
+			if c := wv + math.Max(local, remote); c < lower {
+				lower = c
+			}
+		}
+		if lower > best {
+			best = lower
+		}
+	}
+	return best
+}
+
+// Best returns the tightest lower bound available for the model.
+func Best(g *graph.Graph, pl *platform.Platform, model sched.Model) (float64, error) {
+	cp, err := CriticalPath(g, pl)
+	if err != nil {
+		return 0, err
+	}
+	lb := math.Max(cp, TotalWork(g, pl))
+	switch model {
+	case sched.OnePort, sched.UniPort, sched.OnePortNoOverlap:
+		if fo := FanOut(g, pl); fo > lb {
+			lb = fo
+		}
+	}
+	return lb, nil
+}

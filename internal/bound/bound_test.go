@@ -1,0 +1,169 @@
+package bound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/npc"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func TestCriticalPathChain(t *testing.T) {
+	g := graph.New(3)
+	a := g.AddNode(1, "")
+	b := g.AddNode(2, "")
+	c := g.AddNode(3, "")
+	g.MustEdge(a, b, 1)
+	g.MustEdge(b, c, 1)
+	pl, err := platform.Uniform([]float64{2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CriticalPath(g, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 12 { // (1+2+3) * 2
+		t.Errorf("CriticalPath = %g, want 12", cp)
+	}
+}
+
+func TestTotalWorkPaperPlatform(t *testing.T) {
+	g := testbeds.ForkJoin(36, 1) // 38 unit tasks in total
+	pl := platform.Paper()
+	// 38 / (38/30) = 30
+	if got := TotalWork(g, pl); math.Abs(got-30) > 1e-9 {
+		t.Errorf("TotalWork = %g, want 30", got)
+	}
+}
+
+func TestFanOutFigure1(t *testing.T) {
+	// Figure 1 fork: w0=1, six children w=1, d=1, homogeneous unit platform.
+	// k remote children: max(6-k local, k serial) + 1; best k=3 -> 1+3 = 4.
+	// (The true optimum is 5; the bound is allowed to be loose, never
+	// above.)
+	g, err := testbeds.Fork(1, []float64{1, 1, 1, 1, 1, 1}, []float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := platform.Homogeneous(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FanOut(g, pl); got != 4 {
+		t.Errorf("FanOut = %g, want 4", got)
+	}
+	opt, err := npc.SolveFork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FanOut(g, pl); got > opt {
+		t.Errorf("FanOut bound %g exceeds the true optimum %g", got, opt)
+	}
+}
+
+func TestFanOutNoMultiChildNodes(t *testing.T) {
+	g := graph.New(2)
+	a := g.AddNode(1, "")
+	b := g.AddNode(1, "")
+	g.MustEdge(a, b, 5)
+	pl, _ := platform.Homogeneous(2)
+	if got := FanOut(g, pl); got != 0 {
+		t.Errorf("FanOut = %g, want 0 for a chain", got)
+	}
+}
+
+func TestBestDominatesComponents(t *testing.T) {
+	g := testbeds.LU(10, 10)
+	pl := platform.Paper()
+	for _, m := range sched.Models() {
+		b, err := Best(g, pl, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, _ := CriticalPath(g, pl)
+		if b < cp || b < TotalWork(g, pl) {
+			t.Errorf("%v: Best = %g below a component bound", m, b)
+		}
+	}
+}
+
+// TestPropertyBoundsNeverExceedTrueOptimumOnForks cross-checks FanOut
+// against the exact fork solver on random fork instances.
+func TestPropertyBoundsNeverExceedTrueOptimumOnForks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		weights := make([]float64, n)
+		data := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + r.Intn(9))
+			data[i] = float64(r.Intn(9))
+		}
+		g, err := testbeds.Fork(float64(r.Intn(4)), weights, data)
+		if err != nil {
+			return false
+		}
+		pl, err := platform.Homogeneous(n + 1)
+		if err != nil {
+			return false
+		}
+		opt, err := npc.SolveFork(g)
+		if err != nil {
+			return false
+		}
+		lb, err := Best(g, pl, sched.OnePort)
+		if err != nil {
+			return false
+		}
+		if lb > opt+1e-9 {
+			t.Logf("seed %d: bound %g exceeds optimum %g (w=%v d=%v)", seed, lb, opt, weights, data)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySchedulesRespectBounds: every heuristic schedule under every
+// model sits above the model's Best bound.
+func TestPropertySchedulesRespectBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testbeds.RandomLayered(seed, 2+r.Intn(4), 2+r.Intn(5), 5, float64(r.Intn(6)))
+		cycles := make([]float64, 1+r.Intn(4))
+		for i := range cycles {
+			cycles[i] = float64(1 + r.Intn(5))
+		}
+		pl, err := platform.Uniform(cycles, float64(1+r.Intn(3)))
+		if err != nil {
+			return false
+		}
+		for _, m := range sched.Models() {
+			s, err := heuristics.HEFT(g, pl, m)
+			if err != nil {
+				return false
+			}
+			lb, err := Best(g, pl, m)
+			if err != nil {
+				return false
+			}
+			if s.Makespan() < lb-1e-9 {
+				t.Logf("seed %d model %v: makespan %g under bound %g", seed, m, s.Makespan(), lb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cli holds the small helpers shared by the command-line tools in
+// cmd/: parsing processor specifications and model names.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// ParseProcs parses a processor specification of the form
+// "cycle[xCount][,cycle[xCount]...]", e.g. "6x5,10x3,15x2" (the paper's
+// platform) or "1,2,4". It returns the cycle-times in order.
+func ParseProcs(spec string) ([]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cli: empty processor spec")
+	}
+	var cycles []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		count := 1
+		cycleStr := part
+		if i := strings.IndexAny(part, "xX*"); i >= 0 {
+			cycleStr = part[:i]
+			n, err := strconv.Atoi(strings.TrimSpace(part[i+1:]))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("cli: bad count in %q", part)
+			}
+			count = n
+		}
+		cycle, err := strconv.ParseFloat(strings.TrimSpace(cycleStr), 64)
+		if err != nil || cycle <= 0 {
+			return nil, fmt.Errorf("cli: bad cycle-time in %q", part)
+		}
+		for i := 0; i < count; i++ {
+			cycles = append(cycles, cycle)
+		}
+	}
+	return cycles, nil
+}
+
+// ParsePlatform builds a uniform platform from a processor spec and a link
+// cost.
+func ParsePlatform(procSpec string, link float64) (*platform.Platform, error) {
+	cycles, err := ParseProcs(procSpec)
+	if err != nil {
+		return nil, err
+	}
+	return platform.Uniform(cycles, link)
+}
+
+// ParseModel maps "oneport"/"macro" (and a few aliases) to a sched.Model.
+func ParseModel(name string) (sched.Model, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "oneport", "one-port", "1port":
+		return sched.OnePort, nil
+	case "macro", "macrodataflow", "macro-dataflow":
+		return sched.MacroDataflow, nil
+	case "uniport", "uni-port":
+		return sched.UniPort, nil
+	case "nooverlap", "no-overlap", "oneport-nooverlap", "one-port-no-overlap":
+		return sched.OnePortNoOverlap, nil
+	case "linkcontention", "link-contention", "links":
+		return sched.LinkContention, nil
+	default:
+		return 0, fmt.Errorf("cli: unknown model %q (want oneport, macro, uniport, nooverlap or linkcontention)", name)
+	}
+}
+
+// ParseInts parses a comma-separated integer list like "100,200,300".
+func ParseInts(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: empty integer list %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"testing"
+
+	"oneport/internal/sched"
+)
+
+func TestParseProcs(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    []float64
+		wantErr bool
+	}{
+		{"6x5,10x3,15x2", []float64{6, 6, 6, 6, 6, 10, 10, 10, 15, 15}, false},
+		{"1,2,4", []float64{1, 2, 4}, false},
+		{"2.5x2", []float64{2.5, 2.5}, false},
+		{"3X2", []float64{3, 3}, false},
+		{"4*3", []float64{4, 4, 4}, false},
+		{" 1 , 2 ", []float64{1, 2}, false},
+		{"", nil, true},
+		{"0x3", nil, true},
+		{"-1", nil, true},
+		{"axb", nil, true},
+		{"1x0", nil, true},
+		{"1x-2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseProcs(c.spec)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseProcs(%q) err = %v, wantErr %v", c.spec, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseProcs(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseProcs(%q) = %v, want %v", c.spec, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParsePlatform(t *testing.T) {
+	pl, err := ParsePlatform("6x5,10x3,15x2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumProcs() != 10 || pl.MaxSpeedup() != 7.6 {
+		t.Fatalf("paper platform not reconstructed: p=%d bound=%g", pl.NumProcs(), pl.MaxSpeedup())
+	}
+	if _, err := ParsePlatform("bad", 1); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ParsePlatform("1,2", 0); err == nil {
+		t.Fatal("expected error for zero link cost")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for spec, want := range map[string]sched.Model{
+		"oneport": sched.OnePort, "one-port": sched.OnePort, "1port": sched.OnePort,
+		"macro": sched.MacroDataflow, "MACRO-DATAFLOW": sched.MacroDataflow,
+	} {
+		got, err := ParseModel(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v,%v want %v", spec, got, err, want)
+		}
+	}
+	if _, err := ParseModel("quantum"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("100, 200,300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 100 || got[2] != 300 {
+		t.Fatalf("ParseInts = %v", got)
+	}
+	if _, err := ParseInts("a,b"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ParseInts(" , "); err == nil {
+		t.Fatal("expected error for empty list")
+	}
+}

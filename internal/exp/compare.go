@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// CompareResult aggregates one heuristic's performance over a workload set.
+type CompareResult struct {
+	Heuristic    string
+	MeanSpeedup  float64
+	WorstSpeedup float64
+	MeanComms    float64
+	Wins         int // workloads where this heuristic had the (joint) best makespan
+}
+
+// Comparison is the result of running every registered heuristic on a
+// workload suite, the experimental methodology of the paper's prior work
+// (ILHA versus PCT/BIL/CPOP/GDL/HEFT) extended with this library's extra
+// schedulers and controls.
+type Comparison struct {
+	Model     sched.Model
+	Workloads []string
+	Results   []CompareResult // sorted by decreasing mean speedup
+}
+
+// Workload is a named graph to compare on.
+type Workload struct {
+	Name string
+	G    *graph.Graph
+}
+
+// StandardWorkloads returns a mixed suite: one small instance of each paper
+// testbed plus a few random layered DAGs.
+func StandardWorkloads(size int) ([]Workload, error) {
+	var out []Workload
+	for _, name := range testbeds.Names() {
+		g, err := testbeds.ByName(name, size, CommRatio)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{Name: name, G: g})
+	}
+	ch := testbeds.Cholesky(size/2+2, CommRatio)
+	out = append(out, Workload{Name: "cholesky", G: ch})
+	for seed := int64(1); seed <= 3; seed++ {
+		g := testbeds.RandomLayered(seed, size/2+2, 6, 5, CommRatio)
+		out = append(out, Workload{Name: fmt.Sprintf("random%d", seed), G: g})
+	}
+	return out, nil
+}
+
+// Compare runs every registered heuristic on every workload under the model
+// and aggregates speedups, message counts and win counts. Every schedule is
+// validated; an invalid schedule is an error, not a data point.
+func Compare(workloads []Workload, pl *platform.Platform, model sched.Model, opts heuristics.ILHAOptions) (*Comparison, error) {
+	names := heuristics.Names()
+	type acc struct {
+		speedups []float64
+		comms    int
+		wins     int
+	}
+	accs := make(map[string]*acc, len(names))
+	for _, n := range names {
+		accs[n] = &acc{}
+	}
+	cmp := &Comparison{Model: model}
+	for _, w := range workloads {
+		cmp.Workloads = append(cmp.Workloads, w.Name)
+		seq := pl.SequentialTime(w.G.TotalWeight())
+		best := -1.0
+		makespans := make(map[string]float64, len(names))
+		for _, n := range names {
+			f, err := heuristics.ByName(n, opts)
+			if err != nil {
+				return nil, err
+			}
+			s, err := f(w.G, pl, model)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s on %s: %w", n, w.Name, err)
+			}
+			if err := sched.Validate(w.G, pl, s, model); err != nil {
+				return nil, fmt.Errorf("exp: %s on %s: %w", n, w.Name, err)
+			}
+			m := s.Makespan()
+			makespans[n] = m
+			accs[n].speedups = append(accs[n].speedups, seq/m)
+			accs[n].comms += s.CommCount()
+			if best < 0 || m < best {
+				best = m
+			}
+		}
+		for _, n := range names {
+			if makespans[n] <= best*(1+1e-9) {
+				accs[n].wins++
+			}
+		}
+	}
+	for _, n := range names {
+		a := accs[n]
+		r := CompareResult{Heuristic: n, Wins: a.wins}
+		worst := -1.0
+		var sum float64
+		for _, sp := range a.speedups {
+			sum += sp
+			if worst < 0 || sp < worst {
+				worst = sp
+			}
+		}
+		if len(a.speedups) > 0 {
+			r.MeanSpeedup = sum / float64(len(a.speedups))
+			r.MeanComms = float64(a.comms) / float64(len(a.speedups))
+		}
+		r.WorstSpeedup = worst
+		cmp.Results = append(cmp.Results, r)
+	}
+	sort.SliceStable(cmp.Results, func(i, j int) bool {
+		return cmp.Results[i].MeanSpeedup > cmp.Results[j].MeanSpeedup
+	})
+	return cmp, nil
+}
+
+// Table renders the comparison as fixed-width text.
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "heuristic comparison — %s model, %d workloads (%s)\n",
+		c.Model, len(c.Workloads), strings.Join(c.Workloads, ", "))
+	fmt.Fprintf(&b, "%-12s %13s %14s %11s %6s\n", "heuristic", "mean speedup", "worst speedup", "mean comms", "wins")
+	for _, r := range c.Results {
+		fmt.Fprintf(&b, "%-12s %13.3f %14.3f %11.1f %6d\n",
+			r.Heuristic, r.MeanSpeedup, r.WorstSpeedup, r.MeanComms, r.Wins)
+	}
+	return b.String()
+}
+
+// CSV renders a figure series as comma-separated values for external
+// plotting: size,heft_speedup,ilha_speedup,heft_comms,ilha_comms.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString("size,tasks,heft_speedup,ilha_speedup,heft_makespan,ilha_makespan,heft_comms,ilha_comms\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%d,%d,%.6g,%.6g,%.6g,%.6g,%d,%d\n",
+			p.Size, p.Tasks, p.HEFTSpeedup, p.ILHASpeedup,
+			p.HEFTMakespan, p.ILHAMakespan, p.HEFTComms, p.ILHAComms)
+	}
+	return b.String()
+}

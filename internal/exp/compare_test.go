@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+func TestCompareStandardWorkloads(t *testing.T) {
+	wls, err := StandardWorkloads(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 10 { // 6 testbeds + cholesky + 3 random
+		t.Fatalf("workloads = %d, want 10", len(wls))
+	}
+	cmp, err := Compare(wls, platform.Paper(), sched.OnePort, heuristics.ILHAOptions{B: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != len(heuristics.Names()) {
+		t.Fatalf("results = %d, want %d", len(cmp.Results), len(heuristics.Names()))
+	}
+	// sorted by decreasing mean speedup
+	for i := 1; i < len(cmp.Results); i++ {
+		if cmp.Results[i-1].MeanSpeedup < cmp.Results[i].MeanSpeedup {
+			t.Fatalf("results not sorted: %+v", cmp.Results)
+		}
+	}
+	// sanity: the random control should not rank first
+	if cmp.Results[0].Heuristic == "random" || cmp.Results[0].Heuristic == "roundrobin" {
+		t.Errorf("a control heuristic ranked first: %+v", cmp.Results[0])
+	}
+	// every workload has at least one winner
+	total := 0
+	for _, r := range cmp.Results {
+		total += r.Wins
+	}
+	if total < len(wls) {
+		t.Errorf("win counts %d below workload count %d", total, len(wls))
+	}
+	tbl := cmp.Table()
+	for _, frag := range []string{"heft", "ilha", "mean speedup", "wins"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("table missing %q:\n%s", frag, tbl)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	fig, _ := FigureByID("fig7")
+	s, err := Run(fig, platform.Paper(), sched.OnePort, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "size,tasks,heft_speedup") {
+		t.Errorf("csv header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,") {
+		t.Errorf("csv row wrong: %s", lines[1])
+	}
+}

@@ -1,0 +1,185 @@
+// Package exp is the experiment harness: it regenerates every figure of the
+// paper's evaluation (§5, Figures 7–12) — HEFT versus ILHA under the
+// bi-directional one-port model on the six testbeds — and the §5.2 speedup
+// bounds. Each figure is a series of (problem size, speedup) points where
+// speedup is the sequential time on a fastest processor divided by the
+// schedule makespan, exactly the paper's "ratio (execution time)/(sequential
+// time)" axis.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// CommRatio is the communication-to-computation ratio of all the paper's
+// experiments (§5.2, "workstations linked with a slow (Ethernet) network").
+const CommRatio = 10.0
+
+// Figure identifies one experiment of the evaluation section.
+type Figure struct {
+	ID      string // e.g. "fig7"
+	Testbed string // testbeds.ByName key
+	B       int    // experimentally best chunk size reported by the paper
+	Title   string
+}
+
+// Figures lists the paper's six evaluation figures with the B values §5.3
+// reports as best.
+var Figures = []Figure{
+	{ID: "fig7", Testbed: "forkjoin", B: 38, Title: "FORK-JOIN (Figure 7)"},
+	{ID: "fig8", Testbed: "lu", B: 4, Title: "LU (Figure 8)"},
+	{ID: "fig9", Testbed: "laplace", B: 38, Title: "LAPLACE (Figure 9)"},
+	{ID: "fig10", Testbed: "ldmt", B: 20, Title: "LDMt (Figure 10)"},
+	{ID: "fig11", Testbed: "doolittle", B: 20, Title: "DOOLITTLE (Figure 11)"},
+	{ID: "fig12", Testbed: "stencil", B: 38, Title: "STENCIL (Figure 12)"},
+}
+
+// FigureByID returns the figure with the given id.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("exp: unknown figure %q", id)
+}
+
+// PaperSizes returns the problem sizes of the x-axis in Figures 7-12.
+func PaperSizes() []int { return []int{100, 150, 200, 250, 300, 350, 400, 450, 500} }
+
+// QuickSizes returns a reduced size sweep for tests and default benchmarks;
+// the curves' shapes (who wins, trends) are already stable at these sizes.
+func QuickSizes() []int { return []int{20, 40, 60, 80} }
+
+// Point is one x-position of a figure: both heuristics at one problem size.
+type Point struct {
+	Size         int
+	Tasks        int
+	HEFTSpeedup  float64
+	ILHASpeedup  float64
+	HEFTMakespan float64
+	ILHAMakespan float64
+	HEFTComms    int
+	ILHAComms    int
+}
+
+// GainPercent returns how much ILHA improves over HEFT in makespan, in
+// percent (positive = ILHA better).
+func (p Point) GainPercent() float64 {
+	if p.HEFTMakespan == 0 {
+		return 0
+	}
+	return 100 * (p.HEFTMakespan - p.ILHAMakespan) / p.HEFTMakespan
+}
+
+// Series is a complete figure: one point per problem size.
+type Series struct {
+	Figure Figure
+	Model  sched.Model
+	Points []Point
+}
+
+// Run regenerates one figure on the given platform and model for the given
+// problem sizes, using the figure's B for ILHA.
+func Run(fig Figure, pl *platform.Platform, model sched.Model, sizes []int) (*Series, error) {
+	out := &Series{Figure: fig, Model: model}
+	for _, n := range sizes {
+		g, err := testbeds.ByName(fig.Testbed, n, CommRatio)
+		if err != nil {
+			return nil, err
+		}
+		p, err := RunPoint(g, pl, model, fig.B)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s size %d: %w", fig.ID, n, err)
+		}
+		p.Size = n
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// RunPoint schedules one graph with both heuristics and returns the
+// comparison.
+func RunPoint(g *graph.Graph, pl *platform.Platform, model sched.Model, b int) (Point, error) {
+	seq := pl.SequentialTime(g.TotalWeight())
+	heft, err := heuristics.HEFT(g, pl, model)
+	if err != nil {
+		return Point{}, err
+	}
+	ilha, err := heuristics.ILHA(g, pl, model, heuristics.ILHAOptions{B: b})
+	if err != nil {
+		return Point{}, err
+	}
+	if err := sched.Validate(g, pl, heft, model); err != nil {
+		return Point{}, fmt.Errorf("HEFT schedule invalid: %w", err)
+	}
+	if err := sched.Validate(g, pl, ilha, model); err != nil {
+		return Point{}, fmt.Errorf("ILHA schedule invalid: %w", err)
+	}
+	return Point{
+		Tasks:        g.NumNodes(),
+		HEFTSpeedup:  seq / heft.Makespan(),
+		ILHASpeedup:  seq / ilha.Makespan(),
+		HEFTMakespan: heft.Makespan(),
+		ILHAMakespan: ilha.Makespan(),
+		HEFTComms:    heft.CommCount(),
+		ILHAComms:    ilha.CommCount(),
+	}, nil
+}
+
+// Table renders the series as a fixed-width text table matching the figure's
+// series: one row per size with both speedups, ILHA's gain and the message
+// counts.
+func (s *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s model, c = %g, B = %d\n", s.Figure.Title, s.Model, CommRatio, s.Figure.B)
+	fmt.Fprintf(&b, "%6s %8s %14s %14s %8s %12s %12s\n",
+		"size", "tasks", "HEFT speedup", "ILHA speedup", "gain%", "HEFT comms", "ILHA comms")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%6d %8d %14.3f %14.3f %8.2f %12d %12d\n",
+			p.Size, p.Tasks, p.HEFTSpeedup, p.ILHASpeedup, p.GainPercent(), p.HEFTComms, p.ILHAComms)
+	}
+	return b.String()
+}
+
+// BSweep runs ILHA for every B in bs on one testbed instance and returns the
+// speedups, reproducing the §5.3 observation that the best B depends on the
+// testbed (4 for LU, 38 for LAPLACE/STENCIL/FORK-JOIN, 20 for
+// DOOLITTLE/LDMt).
+func BSweep(testbed string, n int, pl *platform.Platform, model sched.Model, bs []int) (map[int]float64, error) {
+	g, err := testbeds.ByName(testbed, n, CommRatio)
+	if err != nil {
+		return nil, err
+	}
+	seq := pl.SequentialTime(g.TotalWeight())
+	out := make(map[int]float64, len(bs))
+	for _, b := range bs {
+		s, err := heuristics.ILHA(g, pl, model, heuristics.ILHAOptions{B: b})
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.Validate(g, pl, s, model); err != nil {
+			return nil, fmt.Errorf("B=%d: %w", b, err)
+		}
+		out[b] = seq / s.Makespan()
+	}
+	return out, nil
+}
+
+// SpeedupBound returns the §5.2 upper bound on any speedup for the platform
+// (7.6 on the paper platform): communications ignored, perfect balance.
+func SpeedupBound(pl *platform.Platform) float64 { return pl.MaxSpeedup() }
+
+// ForkJoinSpeedupCap returns the §5.3 analytic speedup cap for the
+// FORK-JOIN testbed: s <= w·t/c + 1, where w is the task weight, t the
+// fastest cycle-time and c the communication cost; 1.6 with the paper's
+// parameters. Communications to and from remote children serialize through
+// the fork and join nodes' processor, which caps the useful parallelism.
+func ForkJoinSpeedupCap(w, t, c float64) float64 { return w*t/c + 1 }

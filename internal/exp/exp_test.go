@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func TestSpeedupBound76(t *testing.T) {
+	if got := SpeedupBound(platform.Paper()); math.Abs(got-7.6) > 1e-12 {
+		t.Fatalf("SpeedupBound = %g, want 7.6 (§5.2)", got)
+	}
+}
+
+func TestForkJoinSpeedupCap(t *testing.T) {
+	// §5.3: with t = 6, c = 10, w = 1 the cap is 1.6
+	if got := ForkJoinSpeedupCap(1, 6, 10); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("cap = %g, want 1.6", got)
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	f, err := FigureByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Testbed != "lu" || f.B != 4 {
+		t.Fatalf("fig8 = %+v", f)
+	}
+	if _, err := FigureByID("fig99"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunForkJoinShape(t *testing.T) {
+	// Figure 7's shape: HEFT and ILHA coincide on FORK-JOIN, and the
+	// speedup respects the 1.6 analytic cap while clearly beating 1 at
+	// moderate sizes.
+	fig, _ := FigureByID("fig7")
+	s, err := Run(fig, platform.Paper(), sched.OnePort, []int{60, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap16 := ForkJoinSpeedupCap(1, 6, CommRatio)
+	for _, p := range s.Points {
+		if p.HEFTSpeedup > cap16+1e-9 {
+			t.Errorf("size %d: HEFT speedup %g exceeds the analytic cap %g", p.Size, p.HEFTSpeedup, cap16)
+		}
+		if p.ILHASpeedup > cap16+1e-9 {
+			t.Errorf("size %d: ILHA speedup %g exceeds the analytic cap %g", p.Size, p.ILHASpeedup, cap16)
+		}
+		if p.HEFTSpeedup < 1.2 {
+			t.Errorf("size %d: HEFT speedup %g too low for FORK-JOIN", p.Size, p.HEFTSpeedup)
+		}
+		// "HEFT and ILHA lead to the same scheduling" — allow tiny slack
+		if math.Abs(p.HEFTMakespan-p.ILHAMakespan) > 0.05*p.HEFTMakespan {
+			t.Errorf("size %d: HEFT %g and ILHA %g diverge on FORK-JOIN",
+				p.Size, p.HEFTMakespan, p.ILHAMakespan)
+		}
+	}
+}
+
+func TestRunLUShapeILHAWins(t *testing.T) {
+	// Figure 8's shape: at the paper's smallest size (100) HEFT and ILHA
+	// with B=4 "achieve similar performances"; the speedups sit well above 1
+	// and below the 7.6 bound.
+	fig, _ := FigureByID("fig8")
+	s, err := Run(fig, platform.Paper(), sched.OnePort, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Points[0]
+	if p.ILHAMakespan > p.HEFTMakespan*1.05 {
+		t.Errorf("size %d: ILHA makespan %g diverges from HEFT %g", p.Size, p.ILHAMakespan, p.HEFTMakespan)
+	}
+	if p.HEFTSpeedup < 2 || p.HEFTSpeedup > 7.6 {
+		t.Errorf("size %d: HEFT speedup %g out of the plausible band", p.Size, p.HEFTSpeedup)
+	}
+}
+
+func TestLUILHAGainsAtLargerSizes(t *testing.T) {
+	// "ILHA gains more and more as the problem size increases" (§5.3): at
+	// n = 150 the swept chunk size (B = 10 on this graph shape) beats HEFT
+	// strictly.
+	if testing.Short() {
+		t.Skip("larger LU instance")
+	}
+	pl := platform.Paper()
+	g, err := testbeds.ByName("lu", 150, CommRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunPoint(g, pl, sched.OnePort, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ILHAMakespan >= p.HEFTMakespan {
+		t.Errorf("ILHA (B=10) makespan %g does not beat HEFT %g at n=150",
+			p.ILHAMakespan, p.HEFTMakespan)
+	}
+}
+
+func TestRunAllFiguresSmall(t *testing.T) {
+	// every figure runs end to end at a small size and produces validated
+	// schedules with positive speedups
+	pl := platform.Paper()
+	for _, fig := range Figures {
+		s, err := Run(fig, pl, sched.OnePort, []int{20})
+		if err != nil {
+			t.Fatalf("%s: %v", fig.ID, err)
+		}
+		p := s.Points[0]
+		if p.HEFTSpeedup <= 0 || p.ILHASpeedup <= 0 {
+			t.Errorf("%s: non-positive speedups %+v", fig.ID, p)
+		}
+		if p.HEFTSpeedup > SpeedupBound(pl)+1e-9 || p.ILHASpeedup > SpeedupBound(pl)+1e-9 {
+			t.Errorf("%s: speedup beats the 7.6 bound: %+v", fig.ID, p)
+		}
+		tbl := s.Table()
+		if !strings.Contains(tbl, "HEFT speedup") || !strings.Contains(tbl, "20") {
+			t.Errorf("%s: table malformed:\n%s", fig.ID, tbl)
+		}
+	}
+}
+
+func TestBSweepRuns(t *testing.T) {
+	pl := platform.Paper()
+	res, err := BSweep("lu", 20, pl, sched.OnePort, []int{10, 20, 38})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	for b, sp := range res {
+		if sp <= 0 || sp > 7.6 {
+			t.Errorf("B=%d: speedup %g implausible", b, sp)
+		}
+	}
+	if _, err := BSweep("nope", 10, pl, sched.OnePort, []int{10}); err == nil {
+		t.Fatal("expected error for unknown testbed")
+	}
+}
+
+func TestGainPercent(t *testing.T) {
+	p := Point{HEFTMakespan: 100, ILHAMakespan: 90}
+	if g := p.GainPercent(); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("GainPercent = %g, want 10", g)
+	}
+	if g := (Point{}).GainPercent(); g != 0 {
+		t.Fatalf("zero-makespan GainPercent = %g, want 0", g)
+	}
+}

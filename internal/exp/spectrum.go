@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"oneport/internal/bound"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// SpectrumPoint is one (model, heuristic) cell of the model-spectrum table.
+type SpectrumPoint struct {
+	Model    sched.Model
+	Makespan float64
+	Speedup  float64
+	Comms    int
+	Gap      float64 // makespan / lower bound (1.0 = provably optimal)
+}
+
+// SpectrumRow is one model's results for both heuristics.
+type SpectrumRow struct {
+	HEFT SpectrumPoint
+	ILHA SpectrumPoint
+}
+
+// Spectrum compares the five communication models (§2's discussion made
+// quantitative): the same testbed scheduled by HEFT and ILHA under
+// macro-dataflow, link-contention, one-port, uni-port and
+// one-port-without-overlap. The result shows how much each layer of realism
+// costs.
+type Spectrum struct {
+	Testbed string
+	Size    int
+	B       int
+	Rows    map[sched.Model]SpectrumRow
+}
+
+// RunSpectrum builds the spectrum table for one testbed instance.
+func RunSpectrum(testbed string, n, b int, pl *platform.Platform) (*Spectrum, error) {
+	g, err := testbeds.ByName(testbed, n, CommRatio)
+	if err != nil {
+		return nil, err
+	}
+	seq := pl.SequentialTime(g.TotalWeight())
+	out := &Spectrum{Testbed: testbed, Size: n, B: b, Rows: map[sched.Model]SpectrumRow{}}
+	for _, m := range sched.Models() {
+		lb, err := bound.Best(g, pl, m)
+		if err != nil {
+			return nil, err
+		}
+		mk := func(s *sched.Schedule) SpectrumPoint {
+			p := SpectrumPoint{Model: m, Makespan: s.Makespan(), Comms: s.CommCount()}
+			p.Speedup = seq / p.Makespan
+			if lb > 0 {
+				p.Gap = p.Makespan / lb
+			}
+			return p
+		}
+		hs, err := heuristics.HEFT(g, pl, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.Validate(g, pl, hs, m); err != nil {
+			return nil, fmt.Errorf("exp: HEFT under %v: %w", m, err)
+		}
+		is, err := heuristics.ILHA(g, pl, m, heuristics.ILHAOptions{B: b})
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.Validate(g, pl, is, m); err != nil {
+			return nil, fmt.Errorf("exp: ILHA under %v: %w", m, err)
+		}
+		out.Rows[m] = SpectrumRow{HEFT: mk(hs), ILHA: mk(is)}
+	}
+	return out, nil
+}
+
+// Table renders the spectrum as fixed-width text, one row per model from
+// the least to the most restrictive.
+func (sp *Spectrum) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model spectrum — %s size %d, c = %g, B = %d\n", sp.Testbed, sp.Size, CommRatio, sp.B)
+	fmt.Fprintf(&b, "%-22s %13s %9s %13s %9s %9s\n",
+		"model", "HEFT speedup", "gap", "ILHA speedup", "gap", "comms")
+	for _, m := range sched.Models() {
+		r := sp.Rows[m]
+		fmt.Fprintf(&b, "%-22s %13.3f %9.2f %13.3f %9.2f %9d\n",
+			m.String(), r.HEFT.Speedup, r.HEFT.Gap, r.ILHA.Speedup, r.ILHA.Gap, r.ILHA.Comms)
+	}
+	return b.String()
+}

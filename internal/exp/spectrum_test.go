@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+func TestRunSpectrumLaplace(t *testing.T) {
+	sp, err := RunSpectrum("laplace", 16, 38, platform.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(sp.Rows))
+	}
+	macro := sp.Rows[sched.MacroDataflow]
+	oneport := sp.Rows[sched.OnePort]
+	noOverlap := sp.Rows[sched.OnePortNoOverlap]
+	// realism costs performance: macro >= one-port >= no-overlap in speedup
+	// (heuristics, so allow tiny slack)
+	if macro.HEFT.Speedup < oneport.HEFT.Speedup*0.99 {
+		t.Errorf("macro speedup %g below one-port %g", macro.HEFT.Speedup, oneport.HEFT.Speedup)
+	}
+	if oneport.HEFT.Speedup < noOverlap.HEFT.Speedup*0.9 {
+		t.Errorf("one-port speedup %g below no-overlap %g",
+			oneport.HEFT.Speedup, noOverlap.HEFT.Speedup)
+	}
+	// gaps are ratios to a lower bound: always >= 1
+	for m, r := range sp.Rows {
+		if r.HEFT.Gap < 1-1e-9 || r.ILHA.Gap < 1-1e-9 {
+			t.Errorf("%v: optimality gap below 1: %+v", m, r)
+		}
+	}
+	tbl := sp.Table()
+	for _, frag := range []string{"macro-dataflow", "one-port", "uni-port", "link-contention", "gap"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("spectrum table missing %q:\n%s", frag, tbl)
+		}
+	}
+}
+
+func TestRunSpectrumUnknownTestbed(t *testing.T) {
+	if _, err := RunSpectrum("nope", 10, 4, platform.Paper()); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// Extension sweeps: the paper fixes the communication-to-computation ratio
+// at c = 10 and the platform at 5/3/2 processors of cycle-times 6/10/15.
+// These runners vary exactly those two knobs, one at a time, to show where
+// the paper's conclusions hold and where they cross over.
+
+// CSweepPoint is one communication-ratio setting.
+type CSweepPoint struct {
+	C            float64
+	MacroSpeedup float64 // HEFT under macro-dataflow
+	HEFTSpeedup  float64 // HEFT under one-port
+	ILHASpeedup  float64 // ILHA under one-port
+}
+
+// CSweep reruns one testbed instance while varying the
+// communication-to-computation ratio. As c grows, the gap between the
+// macro-dataflow estimate and the one-port reality widens — the paper's
+// core argument, swept.
+func CSweep(testbed string, n, b int, pl *platform.Platform, cs []float64) ([]CSweepPoint, error) {
+	var out []CSweepPoint
+	for _, c := range cs {
+		g, err := testbeds.ByName(testbed, n, c)
+		if err != nil {
+			return nil, err
+		}
+		seq := pl.SequentialTime(g.TotalWeight())
+		mac, err := heuristics.HEFT(g, pl, sched.MacroDataflow)
+		if err != nil {
+			return nil, err
+		}
+		hef, err := heuristics.HEFT(g, pl, sched.OnePort)
+		if err != nil {
+			return nil, err
+		}
+		ilh, err := heuristics.ILHA(g, pl, sched.OnePort, heuristics.ILHAOptions{B: b})
+		if err != nil {
+			return nil, err
+		}
+		for _, chk := range []struct {
+			s *sched.Schedule
+			m sched.Model
+		}{{mac, sched.MacroDataflow}, {hef, sched.OnePort}, {ilh, sched.OnePort}} {
+			if err := sched.Validate(g, pl, chk.s, chk.m); err != nil {
+				return nil, fmt.Errorf("exp: c=%g: %w", c, err)
+			}
+		}
+		out = append(out, CSweepPoint{
+			C:            c,
+			MacroSpeedup: seq / mac.Makespan(),
+			HEFTSpeedup:  seq / hef.Makespan(),
+			ILHASpeedup:  seq / ilh.Makespan(),
+		})
+	}
+	return out, nil
+}
+
+// CSweepTable renders a CSweep result.
+func CSweepTable(testbed string, n int, pts []CSweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "communication-ratio sweep — %s size %d\n", testbed, n)
+	fmt.Fprintf(&b, "%8s %14s %14s %14s %12s\n", "c", "macro HEFT", "1-port HEFT", "1-port ILHA", "realism tax")
+	for _, p := range pts {
+		tax := 0.0
+		if p.MacroSpeedup > 0 {
+			tax = 100 * (1 - p.HEFTSpeedup/p.MacroSpeedup)
+		}
+		fmt.Fprintf(&b, "%8g %14.3f %14.3f %14.3f %11.1f%%\n",
+			p.C, p.MacroSpeedup, p.HEFTSpeedup, p.ILHASpeedup, tax)
+	}
+	return b.String()
+}
+
+// HetPoint is one heterogeneity setting.
+type HetPoint struct {
+	Label       string
+	Cycles      []float64
+	HEFTSpeedup float64
+	ILHASpeedup float64
+	GainPercent float64
+}
+
+// HeterogeneityLadder returns 10-processor platforms of (approximately)
+// constant aggregate speed Σ1/t but increasing speed spread, from fully
+// homogeneous to a 5:1 fast-to-slow ratio.
+func HeterogeneityLadder() []struct {
+	Label  string
+	Cycles []float64
+} {
+	return []struct {
+		Label  string
+		Cycles []float64
+	}{
+		{"homogeneous", []float64{8, 8, 8, 8, 8, 8, 8, 8, 8, 8}},
+		{"mild", []float64{6, 6, 6, 6, 8, 8, 8, 12, 12, 12}},
+		{"paper", []float64{6, 6, 6, 6, 6, 10, 10, 10, 15, 15}},
+		{"extreme", []float64{4, 4, 4, 8, 8, 8, 20, 20, 20, 20}},
+	}
+}
+
+// HeterogeneitySweep reruns one testbed over the ladder, asking whether
+// ILHA's explicit load balancing pays off more as processors diverge.
+func HeterogeneitySweep(testbed string, n, b int) ([]HetPoint, error) {
+	var out []HetPoint
+	for _, rung := range HeterogeneityLadder() {
+		pl, err := platform.Uniform(rung.Cycles, 1)
+		if err != nil {
+			return nil, err
+		}
+		g, err := testbeds.ByName(testbed, n, CommRatio)
+		if err != nil {
+			return nil, err
+		}
+		p, err := RunPoint(g, pl, sched.OnePort, b)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", rung.Label, err)
+		}
+		out = append(out, HetPoint{
+			Label:       rung.Label,
+			Cycles:      rung.Cycles,
+			HEFTSpeedup: p.HEFTSpeedup,
+			ILHASpeedup: p.ILHASpeedup,
+			GainPercent: p.GainPercent(),
+		})
+	}
+	return out, nil
+}
+
+// HetTable renders a HeterogeneitySweep result.
+func HetTable(testbed string, n int, pts []HetPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "heterogeneity sweep — %s size %d, c = %g\n", testbed, n, CommRatio)
+	fmt.Fprintf(&b, "%-12s %13s %13s %8s\n", "platform", "HEFT speedup", "ILHA speedup", "gain%")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-12s %13.3f %13.3f %8.2f\n", p.Label, p.HEFTSpeedup, p.ILHASpeedup, p.GainPercent)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"oneport/internal/platform"
+)
+
+func TestCSweepRealismTaxGrows(t *testing.T) {
+	pl := platform.Paper()
+	pts, err := CSweep("laplace", 16, 38, pl, []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// with cheap communication the one-port penalty is small; at c = 10 it
+	// must be markedly larger
+	taxAt := func(p CSweepPoint) float64 { return 1 - p.HEFTSpeedup/p.MacroSpeedup }
+	if taxAt(pts[1]) <= taxAt(pts[0]) {
+		t.Errorf("realism tax did not grow with c: %.3f (c=1) vs %.3f (c=10)",
+			taxAt(pts[0]), taxAt(pts[1]))
+	}
+	// speedups never negative and macro >= one-port for the same heuristic
+	for _, p := range pts {
+		if p.MacroSpeedup < p.HEFTSpeedup*0.99 {
+			t.Errorf("c=%g: macro %g below one-port %g", p.C, p.MacroSpeedup, p.HEFTSpeedup)
+		}
+	}
+	tbl := CSweepTable("laplace", 16, pts)
+	if !strings.Contains(tbl, "realism tax") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestHeterogeneitySweep(t *testing.T) {
+	pts, err := HeterogeneitySweep("laplace", 16, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.HEFTSpeedup <= 0 || p.ILHASpeedup <= 0 {
+			t.Errorf("%s: non-positive speedups %+v", p.Label, p)
+		}
+		if len(p.Cycles) != 10 {
+			t.Errorf("%s: %d processors, want 10", p.Label, len(p.Cycles))
+		}
+	}
+	tbl := HetTable("laplace", 16, pts)
+	for _, frag := range []string{"homogeneous", "paper", "extreme", "gain%"} {
+		if !strings.Contains(tbl, frag) {
+			t.Errorf("table missing %q:\n%s", frag, tbl)
+		}
+	}
+}
+
+func TestCSweepUnknownTestbed(t *testing.T) {
+	if _, err := CSweep("nope", 8, 4, platform.Paper(), []float64{1}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := HeterogeneitySweep("nope", 8, 4); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzUnmarshalJSON ensures arbitrary input never panics the decoder and
+// that anything it accepts is a structurally valid graph that round-trips.
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"weight":1},{"weight":2}],"edges":[{"From":0,"To":1,"Data":3}]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"weight":-1}]}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected input is fine
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("accepted graph fails to marshal: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

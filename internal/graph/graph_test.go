@@ -1,0 +1,447 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the 4-node diamond a -> b,c -> d used by several tests.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(2, "b")
+	c := g.AddNode(3, "c")
+	d := g.AddNode(4, "d")
+	g.MustEdge(a, b, 10)
+	g.MustEdge(a, c, 20)
+	g.MustEdge(b, d, 30)
+	g.MustEdge(c, d, 40)
+	return g
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New(0)
+	for i := 0; i < 5; i++ {
+		if id := g.AddNode(float64(i), ""); id != i {
+			t.Fatalf("AddNode returned %d, want %d", id, i)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddNodeNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	New(0).AddNode(-1, "bad")
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	cases := []struct {
+		name    string
+		u, v    int
+		data    float64
+		wantErr bool
+	}{
+		{"valid", a, b, 1, false},
+		{"duplicate", a, b, 2, true},
+		{"self-loop", a, a, 1, true},
+		{"negative data", b, a, -1, true},
+		{"out of range u", 7, a, 1, true},
+		{"out of range v", a, 9, 1, true},
+		{"negative id", -1, a, 1, true},
+	}
+	for _, c := range cases {
+		err := g.AddEdge(c.u, c.v, c.data)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: AddEdge err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestAdjacencyAndDegrees(t *testing.T) {
+	g := diamond(t)
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(a) = %d, want 2", got)
+	}
+	if got := g.InDegree(3); got != 2 {
+		t.Errorf("InDegree(d) = %d, want 2", got)
+	}
+	if d, ok := g.EdgeData(0, 2); !ok || d != 20 {
+		t.Errorf("EdgeData(a,c) = %g,%v, want 20,true", d, ok)
+	}
+	if _, ok := g.EdgeData(1, 2); ok {
+		t.Error("EdgeData(b,c) should not exist")
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Errorf("Sinks = %v, want [3]", s)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := diamond(t)
+	if w := g.TotalWeight(); w != 10 {
+		t.Errorf("TotalWeight = %g, want 10", w)
+	}
+	if d := g.TotalData(); d != 100 {
+		t.Errorf("TotalData = %g, want 100", d)
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.NumNodes())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge (%d,%d) violates topo order %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New(3)
+	a := g.AddNode(1, "")
+	b := g.AddNode(1, "")
+	c := g.AddNode(1, "")
+	g.MustEdge(a, b, 0)
+	g.MustEdge(b, c, 0)
+	g.MustEdge(c, a, 0)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Fatalf("TopoOrder err = %v, want ErrCycle", err)
+	}
+	if err := g.Validate(); err != ErrCycle {
+		t.Fatalf("Validate err = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.AddNode(9, "extra")
+	c.MustEdge(3, 4, 5)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("mutating clone changed original: nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathWeight(t *testing.T) {
+	g := diamond(t)
+	// longest weight path: a(1) -> c(3) -> d(4) = 8
+	cp, err := g.CriticalPathWeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 8 {
+		t.Errorf("CriticalPathWeight = %g, want 8", cp)
+	}
+}
+
+func TestBottomLevelsUnitFactors(t *testing.T) {
+	g := diamond(t)
+	bl, err := g.BottomLevels(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blevel(d)=4; blevel(c)=3+40+4=47; blevel(b)=2+30+4=36;
+	// blevel(a)=1+max(10+36, 20+47)=68
+	want := []float64{68, 36, 47, 4}
+	for v, w := range want {
+		if bl[v] != w {
+			t.Errorf("blevel(%d) = %g, want %g", v, bl[v], w)
+		}
+	}
+}
+
+func TestBottomLevelsZeroCommFactor(t *testing.T) {
+	g := diamond(t)
+	bl, err := g.BottomLevels(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pure computation path doubled: d=8, c=(3+4)*2=14, b=(2+4)*2=12, a=(1+3+4)*2=16
+	want := []float64{16, 12, 14, 8}
+	for v, w := range want {
+		if bl[v] != w {
+			t.Errorf("blevel(%d) = %g, want %g", v, bl[v], w)
+		}
+	}
+}
+
+func TestTopLevels(t *testing.T) {
+	g := diamond(t)
+	tl, err := g.TopLevels(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tlevel(a)=0; tlevel(b)=1+10=11; tlevel(c)=1+20=21;
+	// tlevel(d)=max(11+2+30, 21+3+40)=64
+	want := []float64{0, 11, 21, 64}
+	for v, w := range want {
+		if tl[v] != w {
+			t.Errorf("tlevel(%d) = %g, want %g", v, tl[v], w)
+		}
+	}
+}
+
+func TestDepthLevels(t *testing.T) {
+	g := diamond(t)
+	levels, err := g.DepthLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0}, {1, 2}, {3}}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+	for i := range want {
+		if len(levels[i]) != len(want[i]) {
+			t.Fatalf("level %d = %v, want %v", i, levels[i], want[i])
+		}
+		for j := range want[i] {
+			if levels[i][j] != want[i][j] {
+				t.Fatalf("level %d = %v, want %v", i, levels[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost structure: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if back.Weight(v) != g.Weight(v) || back.Label(v) != g.Label(v) {
+			t.Errorf("node %d mismatch after round trip", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if d, ok := back.EdgeData(e.From, e.To); !ok || d != e.Data {
+			t.Errorf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadGraphs(t *testing.T) {
+	cases := []string{
+		`{"nodes":[{"weight":-1}],"edges":[]}`,
+		`{"nodes":[{"weight":1},{"weight":1}],"edges":[{"From":0,"To":0,"Data":1}]}`,
+		`{"nodes":[{"weight":1}],"edges":[{"From":0,"To":5,"Data":1}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestDOTContainsAllNodesAndEdges(t *testing.T) {
+	g := diamond(t)
+	dot := g.DOT("diamond")
+	for _, frag := range []string{"digraph", "n0", "n3", "n0 -> n1", "n2 -> n3", "w=4"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// randomDAG builds a random layered DAG for property tests.
+func randomDAG(r *rand.Rand, maxNodes int) *Graph {
+	n := 1 + r.Intn(maxNodes)
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(float64(r.Intn(10)), "")
+	}
+	// only edges from lower to higher ids: acyclic by construction
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Intn(4) == 0 {
+				g.MustEdge(u, v, float64(r.Intn(100)))
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertyTopoOrderValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != g.NumNodes() {
+			return false
+		}
+		pos := make([]int, g.NumNodes())
+		seen := make([]bool, g.NumNodes())
+		for i, v := range order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBottomLevelMonotone(t *testing.T) {
+	// A node's bottom level strictly dominates each successor's bottom level
+	// plus the edge cost.
+	f := func(seed int64) bool {
+		g := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		bl, err := g.BottomLevels(1.5, 2.5)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, a := range g.Succ(u) {
+				if bl[u] < g.Weight(u)*1.5+a.Data*2.5+bl[a.Node]-1e-9 {
+					return false
+				}
+			}
+			if bl[u] < g.Weight(u)*1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTopPlusBottomBoundsCriticalPath(t *testing.T) {
+	// With commFactor 0 and execFactor 1, tlevel(v)+blevel(v) is the longest
+	// weight path through v, which is at most the critical path weight; the
+	// maximum over v equals it.
+	f := func(seed int64) bool {
+		g := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		tl, err1 := g.TopLevels(1, 0)
+		bl, err2 := g.BottomLevels(1, 0)
+		cp, err3 := g.CriticalPathWeight()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		max := 0.0
+		for v := 0; v < g.NumNodes(); v++ {
+			through := tl[v] + bl[v]
+			if through > cp+1e-9 {
+				return false
+			}
+			if through > max {
+				max = through
+			}
+		}
+		return g.NumNodes() == 0 || abs(max-cp) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDepthLevelsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(rand.New(rand.NewSource(seed)), 40)
+		levels, err := g.DepthLevels()
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, g.NumNodes())
+		for d, level := range levels {
+			for _, v := range level {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				// all predecessors must be in strictly earlier levels
+				for _, a := range g.Pred(v) {
+					found := false
+					for dd := 0; dd < d; dd++ {
+						for _, u := range levels[dd] {
+							if u == a.Node {
+								found = true
+							}
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

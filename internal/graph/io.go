@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// jsonGraph is the on-disk representation used by MarshalJSON/UnmarshalJSON.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []Edge     `json:"edges"`
+}
+
+type jsonNode struct {
+	Weight float64 `json:"weight"`
+	Label  string  `json:"label,omitempty"`
+}
+
+// MarshalJSON encodes the graph as {"nodes":[...],"edges":[...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: make([]jsonNode, g.NumNodes()), Edges: g.Edges()}
+	for v := 0; v < g.NumNodes(); v++ {
+		jg.Nodes[v] = jsonNode{Weight: g.weights[v], Label: g.labels[v]}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	*g = Graph{}
+	for _, n := range jg.Nodes {
+		if n.Weight < 0 {
+			return fmt.Errorf("graph: negative node weight %g in JSON", n.Weight)
+		}
+		g.AddNode(n.Weight, n.Label)
+	}
+	for _, e := range jg.Edges {
+		if err := g.AddEdge(e.From, e.To, e.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DOT renders the graph in Graphviz dot syntax. Node labels include the
+// weight; edge labels carry the data volume.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		label := g.labels[v]
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\nw=%g\"];\n", v, label, g.weights[v])
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%g\"];\n", e.From, e.To, e.Data)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package graph
+
+// Level computations.
+//
+// The paper (§4.1) defines priorities through bottom levels computed on an
+// "averaged" homogeneous view of the heterogeneous platform: a task weight
+// w(v) contributes w(v)·execFactor where execFactor is the harmonic mean of
+// the processor cycle-times (p / Σ 1/t_i), and an edge contributes
+// data(u,v)·commFactor where commFactor is the harmonic mean of the
+// off-diagonal link entries. All communication costs are charged
+// (conservatively assuming no edge is internalised).
+
+// BottomLevels returns, for every node, the length of the longest path from
+// the node to any sink, where node v costs Weight(v)*execFactor and edge
+// (u,v) costs Data(u,v)*commFactor. The node's own cost is included.
+func (g *Graph) BottomLevels(execFactor, commFactor float64) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bl := make([]float64, len(g.weights))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0.0
+		for _, a := range g.succ[v] {
+			c := a.Data*commFactor + bl[a.Node]
+			if c > best {
+				best = c
+			}
+		}
+		bl[v] = g.weights[v]*execFactor + best
+	}
+	return bl, nil
+}
+
+// TopLevels returns, for every node, the length of the longest path from any
+// source to the node, excluding the node's own cost (so sources have top
+// level 0). Costs are scaled as in BottomLevels.
+func (g *Graph) TopLevels(execFactor, commFactor float64) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	tl := make([]float64, len(g.weights))
+	for _, v := range order {
+		best := 0.0
+		for _, a := range g.pred[v] {
+			c := tl[a.Node] + g.weights[a.Node]*execFactor + a.Data*commFactor
+			if c > best {
+				best = c
+			}
+		}
+		tl[v] = best
+	}
+	return tl, nil
+}
+
+// DepthLevels groups nodes into "iso-levels" by dependence depth: level 0 is
+// the set of entry tasks and level i+1 groups the tasks all of whose
+// predecessors lie in levels <= i, becoming ready when level i completes.
+// This is the level structure behind the first version of ILHA (§4.2).
+func (g *Graph) DepthLevels() ([][]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(g.weights))
+	maxDepth := 0
+	for _, v := range order {
+		d := 0
+		for _, a := range g.pred[v] {
+			if depth[a.Node]+1 > d {
+				d = depth[a.Node] + 1
+			}
+		}
+		depth[v] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for _, v := range order {
+		levels[depth[v]] = append(levels[depth[v]], v)
+	}
+	return levels, nil
+}

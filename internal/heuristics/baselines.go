@@ -1,0 +1,327 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// This file implements the heuristics the paper's prior work [3] compared
+// ILHA against: CPOP (Topcuoglu–Hariri–Wu), the generalized dynamic level
+// heuristic GDL/DLS (Sih–Lee), BIL (Oh–Ha) and PCT (Maheswaran–Siegel),
+// plus two naive controls. All were designed for the macro-dataflow model;
+// here each runs under either model by reusing the shared communication
+// placement machinery, which is exactly how the paper ports HEFT (§4.3).
+// Where the original papers leave freedom, we note the adaptation in the
+// doc comment.
+
+// CPOP implements the Critical-Path-on-a-Processor heuristic: priorities are
+// tlevel+blevel; the tasks of one critical path are all pinned to the single
+// processor minimizing the path's total execution time; every other task is
+// placed by earliest finish time.
+func CPOP(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model)
+	if err != nil {
+		return nil, err
+	}
+	ef, cf := pl.AvgExecFactor(), pl.AvgLinkFactor()
+	bl, err := g.BottomLevels(ef, cf)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := g.TopLevels(ef, cf)
+	if err != nil {
+		return nil, err
+	}
+	prio := make([]float64, g.NumNodes())
+	cpLen := 0.0
+	for v := range prio {
+		prio[v] = tl[v] + bl[v]
+		if prio[v] > cpLen {
+			cpLen = prio[v]
+		}
+	}
+	// walk one critical path: start from the entry task with maximal
+	// priority, repeatedly follow the successor with maximal priority.
+	onCP := make([]bool, g.NumNodes())
+	cur := -1
+	for _, v := range g.Sources() {
+		if almost(prio[v], cpLen) && (cur == -1 || prio[v] > prio[cur]) {
+			cur = v
+		}
+	}
+	var cpTasks []int
+	for cur >= 0 {
+		onCP[cur] = true
+		cpTasks = append(cpTasks, cur)
+		next := -1
+		for _, a := range g.Succ(cur) {
+			if almost(prio[a.Node], cpLen) && (next == -1 || prio[a.Node] > prio[next]) {
+				next = a.Node
+			}
+		}
+		cur = next
+	}
+	// the processor executing the whole critical path fastest
+	cpProc, best := 0, math.Inf(1)
+	for q := 0; q < pl.NumProcs(); q++ {
+		var sum float64
+		for _, v := range cpTasks {
+			sum += pl.ExecTime(g.Weight(v), q)
+		}
+		if sum < best {
+			cpProc, best = q, sum
+		}
+	}
+
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		var best placement
+		if onCP[v] {
+			best = s.probe(v, cpProc, s.preds(v))
+		} else {
+			best = s.bestEFT(v, nil)
+		}
+		s.commit(v, best)
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// DLS implements Sih and Lee's dynamic level scheduling (the paper cites it
+// as GDL, the generalized dynamic level heuristic): at every step, over all
+// (ready task, processor) pairs, maximize
+//
+//	DL(v,p) = SL(v) − EST(v,p) + Δ(v,p)
+//
+// where SL is the static level (bottom level with averaged costs), EST the
+// earliest start time of v on p given current timelines and the
+// communication model, and Δ(v,p) = w̄(v) − w(v)·t_p rewards processors
+// faster than average on the task. Ties go to the lower task id, then the
+// lower processor index.
+func DLS(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := priorities(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	ef := pl.AvgExecFactor()
+	rel := newReleaser(g)
+	readySet := map[int]bool{}
+	for _, v := range rel.initial() {
+		readySet[v] = true
+	}
+	for len(readySet) > 0 {
+		bestV, bestDL := -1, math.Inf(-1)
+		var bestPl placement
+		// deterministic iteration: ascending task id
+		ids := make([]int, 0, len(readySet))
+		for v := range readySet {
+			ids = append(ids, v)
+		}
+		sortInts(ids)
+		for _, v := range ids {
+			preds := s.preds(v)
+			for q := 0; q < pl.NumProcs(); q++ {
+				cand := s.probe(v, q, preds)
+				delta := g.Weight(v)*ef - pl.ExecTime(g.Weight(v), q)
+				dl := sl[v] - cand.start + delta
+				if dl > bestDL {
+					bestV, bestDL, bestPl = v, dl, cand
+				}
+			}
+		}
+		s.commit(bestV, bestPl)
+		delete(readySet, bestV)
+		for _, nv := range rel.release(bestV) {
+			readySet[nv] = true
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// BIL implements the core of Oh and Ha's Basic Imaginary Level heuristic.
+// The basic imaginary level of task v on processor p is
+//
+//	BIL(v,p) = w(v)·t_p + max_{s ∈ succ(v)} min( BIL(s,p),
+//	                        min_{q≠p} BIL(s,q) + data(v,s)·l̄ )
+//
+// computed bottom-up (l̄ is the harmonic-mean link cost). Task priority is
+// the maximum BIL over processors; the selected task goes to the processor
+// minimizing its earliest finish time, the adaptation matching how the
+// other list heuristics are ported to the one-port model.
+func BIL(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model)
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := pl.NumProcs()
+	lbar := pl.AvgLinkFactor()
+	bil := make([][]float64, g.NumNodes())
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		bil[v] = make([]float64, p)
+		for q := 0; q < p; q++ {
+			maxSucc := 0.0
+			for _, a := range g.Succ(v) {
+				// cheapest continuation: stay on q, or move anywhere paying
+				// an average communication
+				stay := bil[a.Node][q]
+				move := math.Inf(1)
+				for r := 0; r < p; r++ {
+					if r == q {
+						continue
+					}
+					if c := bil[a.Node][r] + a.Data*lbar; c < move {
+						move = c
+					}
+				}
+				best := stay
+				if move < best {
+					best = move
+				}
+				if best > maxSucc {
+					maxSucc = best
+				}
+			}
+			bil[v][q] = pl.ExecTime(g.Weight(v), q) + maxSucc
+		}
+	}
+	prio := make([]float64, g.NumNodes())
+	for v := range prio {
+		m := math.Inf(-1)
+		for q := 0; q < p; q++ {
+			if bil[v][q] > m {
+				m = bil[v][q]
+			}
+		}
+		prio[v] = m
+	}
+
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		best := s.bestEFT(v, nil)
+		s.commit(v, best)
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// PCT implements the minimum Partial Completion Time static priority
+// heuristic (Maheswaran–Siegel): static priorities are the averaged bottom
+// levels; the selected ready task goes to the processor minimizing the
+// partial completion time, i.e. its finish time given all previous
+// decisions. Structurally it is HEFT with the original paper's framing; it
+// serves as an independent implementation cross-check in tests.
+func PCT(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	return HEFT(g, pl, model)
+}
+
+// RoundRobin is a control heuristic: tasks in bottom-level order are dealt
+// to processors cyclically; communications are still scheduled correctly
+// under the model. It shows how much EFT-style mapping buys.
+func RoundRobin(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model)
+	if err != nil {
+		return nil, err
+	}
+	prio, err := priorities(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	next := 0
+	for !ready.empty() {
+		v := ready.pop()
+		pl0 := s.probe(v, next, s.preds(v))
+		s.commit(v, pl0)
+		next = (next + 1) % pl.NumProcs()
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// Random is a control heuristic mapping each task to a uniformly random
+// processor (deterministic for a given seed).
+func Random(g *graph.Graph, pl *platform.Platform, model sched.Model, seed int64) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model)
+	if err != nil {
+		return nil, err
+	}
+	prio, err := priorities(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		pl0 := s.probe(v, r.Intn(pl.NumProcs()), s.preds(v))
+		s.commit(v, pl0)
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

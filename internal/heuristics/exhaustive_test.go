@@ -1,0 +1,140 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/npc"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func TestExhaustiveFigure1Optimum(t *testing.T) {
+	// Figure 1's fork: exhaustive search must find the optimal one-port
+	// makespan 5 and the macro-dataflow optimum 3.
+	g, pl := fig1Fork(t)
+	s, complete, err := Exhaustive(g, pl, sched.OnePort, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("search did not complete within the default budget")
+	}
+	if err := sched.Validate(g, pl, s, sched.OnePort); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 5 {
+		t.Errorf("one-port optimum = %g, want 5", s.Makespan())
+	}
+	m, complete, err := Exhaustive(g, pl, sched.MacroDataflow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete || m.Makespan() != 3 {
+		t.Errorf("macro optimum = %g (complete=%v), want 3", m.Makespan(), complete)
+	}
+}
+
+func TestExhaustiveMatchesForkSolver(t *testing.T) {
+	// cross-validation of two independent exact solvers on random forks
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		weights := make([]float64, n)
+		data := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + r.Intn(5))
+			data[i] = float64(1 + r.Intn(5))
+		}
+		g, err := testbeds.Fork(float64(r.Intn(3)), weights, data)
+		if err != nil {
+			return false
+		}
+		pl, err := platform.Homogeneous(n + 1)
+		if err != nil {
+			return false
+		}
+		want, err := npc.SolveFork(g)
+		if err != nil {
+			return false
+		}
+		got, complete, err := Exhaustive(g, pl, sched.OnePort, 500000)
+		if err != nil || !complete {
+			t.Logf("seed %d: err=%v complete=%v", seed, err, complete)
+			return false
+		}
+		if got.Makespan() != want {
+			t.Logf("seed %d: exhaustive %g vs fork solver %g (w=%v d=%v)",
+				seed, got.Makespan(), want, weights, data)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveLowerBoundsHeuristics(t *testing.T) {
+	// on tiny random DAGs the exact optimum never exceeds any heuristic
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLayeredDAG(r, 6)
+		pl, err := platform.Uniform([]float64{1, 2}, float64(1+r.Intn(2)))
+		if err != nil {
+			return false
+		}
+		for _, model := range []sched.Model{sched.MacroDataflow, sched.OnePort} {
+			opt, complete, err := Exhaustive(g, pl, model, 400000)
+			if err != nil || !complete {
+				return true // budget blown: skip this seed, not a failure
+			}
+			if err := sched.Validate(g, pl, opt, model); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			h, err := HEFT(g, pl, model)
+			if err != nil {
+				return false
+			}
+			i, err := ILHA(g, pl, model, ILHAOptions{B: 4})
+			if err != nil {
+				return false
+			}
+			if opt.Makespan() > h.Makespan()+1e-9 || opt.Makespan() > i.Makespan()+1e-9 {
+				t.Logf("seed %d %v: optimum %g beats heuristics %g/%g?!",
+					seed, model, opt.Makespan(), h.Makespan(), i.Makespan())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveBudgetCutoff(t *testing.T) {
+	g := testbeds.Laplace(3, 2)
+	pl, _ := platform.Homogeneous(3)
+	s, complete, err := Exhaustive(g, pl, sched.OnePort, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		t.Error("a 50-node budget cannot complete a 9-task search over 3 procs")
+	}
+	if err := sched.Validate(g, pl, s, sched.OnePort); err != nil {
+		t.Fatalf("cut-off search returned invalid schedule: %v", err)
+	}
+}
+
+func TestExhaustiveTinyBudgetError(t *testing.T) {
+	g := chain(t, 4)
+	pl, _ := platform.Homogeneous(2)
+	if _, _, err := Exhaustive(g, pl, sched.OnePort, 2); err == nil {
+		t.Fatal("expected failure when no complete schedule fits the budget")
+	}
+}

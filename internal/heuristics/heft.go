@@ -1,0 +1,66 @@
+package heuristics
+
+import (
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// HEFT implements the Heterogeneous Earliest Finish Time heuristic of
+// Topcuoglu, Hariri and Wu, extended to the bi-directional one-port model as
+// described in §4.3 of the paper:
+//
+//   - bottom levels (computed with the harmonic-mean averaging of §4.1)
+//     give static task priorities;
+//   - at each step the highest-priority ready task is selected;
+//   - the task goes to the processor giving the earliest finish time, where
+//     the finish time accounts for scheduling every incoming communication
+//     greedily, as early as possible, under the one-port constraint: a
+//     message needs a common free window on the sender's send port and the
+//     receiver's receive port (and, on sparse platforms, on every routed
+//     hop in sequence);
+//   - compute and port timelines use insertion (gaps between existing
+//     reservations are reused).
+//
+// With model == sched.MacroDataflow the same code degenerates to classical
+// HEFT: communications are pure delays and ports are unlimited.
+func HEFT(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	return heftRun(g, pl, model, false)
+}
+
+// HEFTAppend is HEFT with the insertion policy disabled: a task always goes
+// after the last reservation of its processor, never into an earlier hole.
+// It exists to quantify what insertion buys (an ablation DESIGN.md calls
+// out); classic HEFT's insertion is usually a few percent better.
+func HEFTAppend(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	return heftRun(g, pl, model, true)
+}
+
+func heftRun(g *graph.Graph, pl *platform.Platform, model sched.Model, appendOnly bool) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model)
+	if err != nil {
+		return nil, err
+	}
+	s.appendOnly = appendOnly
+	prio, err := priorities(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		best := s.bestEFT(v, nil)
+		s.commit(v, best)
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}

@@ -1,0 +1,110 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+func TestFixedAllocRespectsAllocation(t *testing.T) {
+	g := chainForkMix(t)
+	pl, err := platform.Homogeneous(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := []int{0, 1, 2, 0, 1, 2}
+	s, err := FixedAlloc(g, pl, sched.OnePort, alloc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, pl, s, sched.OnePort); err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range alloc {
+		if s.Proc(v) != p {
+			t.Errorf("task %d on %d, want %d", v, s.Proc(v), p)
+		}
+	}
+}
+
+func TestFixedAllocValidation(t *testing.T) {
+	g := chainForkMix(t)
+	pl, _ := platform.Homogeneous(2)
+	if _, err := FixedAlloc(g, pl, sched.OnePort, []int{0}, nil); err == nil {
+		t.Error("expected error for short alloc")
+	}
+	if _, err := FixedAlloc(g, pl, sched.OnePort, []int{0, 0, 0, 0, 0, 9}, nil); err == nil {
+		t.Error("expected error for invalid processor")
+	}
+	if _, err := FixedAlloc(g, pl, sched.OnePort, []int{0, 0, 0, 0, 0, 1}, []float64{1}); err == nil {
+		t.Error("expected error for short prio")
+	}
+}
+
+func TestImproveNeverWorseAndKeepsAllocation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLayeredDAG(r, 20)
+		pl := randomPlatform(r)
+		s, err := HEFT(g, pl, sched.OnePort)
+		if err != nil {
+			return false
+		}
+		better, err := Improve(g, pl, sched.OnePort, s, 8, seed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := sched.Validate(g, pl, better, sched.OnePort); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if better.Makespan() > s.Makespan()+1e-9 {
+			t.Logf("seed %d: improved makespan %g worse than original %g",
+				seed, better.Makespan(), s.Makespan())
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if better.Proc(v) != s.Proc(v) {
+				t.Logf("seed %d: task %d moved", seed, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveRejectsIncompleteSchedule(t *testing.T) {
+	g := chainForkMix(t)
+	pl, _ := platform.Homogeneous(2)
+	s := sched.NewSchedule(g.NumNodes(), 2)
+	if _, err := Improve(g, pl, sched.OnePort, s, 2, 1); err == nil {
+		t.Fatal("expected error for incomplete schedule")
+	}
+}
+
+func TestImproveDeterministicPerSeed(t *testing.T) {
+	g := chainForkMix(t)
+	pl := platform.Paper()
+	s, err := HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Improve(g, pl, sched.OnePort, s, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Improve(g, pl, sched.OnePort, s, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan() != b.Makespan() {
+		t.Fatalf("same seed, different results: %g vs %g", a.Makespan(), b.Makespan())
+	}
+}

@@ -1,0 +1,151 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// TestPropertyAllModelsProduceValidSchedules is the central model-spectrum
+// invariant: HEFT and ILHA yield schedules that pass the model's own
+// validator under every communication model, on dense and sparse platforms.
+func TestPropertyAllModelsProduceValidSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLayeredDAG(r, 22)
+		platforms := []*platform.Platform{
+			randomPlatform(r),
+			linePlatform(2 + r.Intn(3)),
+		}
+		for _, pl := range platforms {
+			for _, model := range sched.Models() {
+				hs, err := HEFT(g, pl, model)
+				if err != nil {
+					t.Logf("seed %d HEFT %v: %v", seed, model, err)
+					return false
+				}
+				if err := sched.Validate(g, pl, hs, model); err != nil {
+					t.Logf("seed %d HEFT %v: %v", seed, model, err)
+					return false
+				}
+				is, err := ILHA(g, pl, model, ILHAOptions{B: 1 + r.Intn(8), ScanDepth: r.Intn(2)})
+				if err != nil {
+					t.Logf("seed %d ILHA %v: %v", seed, model, err)
+					return false
+				}
+				if err := sched.Validate(g, pl, is, model); err != nil {
+					t.Logf("seed %d ILHA %v: %v", seed, model, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelSpectrumOnForkGraph pins the fork example of Figure 1 across the
+// spectrum: each additional restriction can only lengthen (or keep) the
+// fork's makespan, and the known anchor points hold.
+func TestModelSpectrumOnForkGraph(t *testing.T) {
+	g, pl := fig1Fork(t)
+	makespans := map[sched.Model]float64{}
+	for _, m := range sched.Models() {
+		s, err := HEFT(g, pl, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, pl, s, m); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		makespans[m] = s.Makespan()
+	}
+	// anchors from the paper's §2.3 example
+	if makespans[sched.MacroDataflow] != 3 {
+		t.Errorf("macro makespan = %g, want 3", makespans[sched.MacroDataflow])
+	}
+	if makespans[sched.OnePort] != 5 {
+		t.Errorf("one-port makespan = %g, want 5", makespans[sched.OnePort])
+	}
+	// on a fully-connected platform link contention only separates
+	// same-pair messages: the fork sends to distinct children, so it
+	// behaves like macro-dataflow here
+	if makespans[sched.LinkContention] != makespans[sched.MacroDataflow] {
+		t.Errorf("link-contention makespan = %g, want macro's %g",
+			makespans[sched.LinkContention], makespans[sched.MacroDataflow])
+	}
+	// the fork's children never send, so uni-port adds nothing over
+	// one-port for this graph
+	if makespans[sched.UniPort] != makespans[sched.OnePort] {
+		t.Errorf("uni-port makespan = %g, want one-port's %g",
+			makespans[sched.UniPort], makespans[sched.OnePort])
+	}
+	// forbidding comm/compute overlap can only hurt
+	if makespans[sched.OnePortNoOverlap] < makespans[sched.OnePort] {
+		t.Errorf("no-overlap makespan = %g beat one-port's %g",
+			makespans[sched.OnePortNoOverlap], makespans[sched.OnePort])
+	}
+}
+
+func TestNoOverlapChainAccountsForCommInCompute(t *testing.T) {
+	// chain u -> v with data 2 on 2 unit processors: staying local costs
+	// 2 (both tasks); splitting costs 1 + 2 + 1 = 4 plus blocked windows.
+	// EFT must keep the chain local under every model, but under no-overlap
+	// the probing itself must not corrupt timelines — regression guard.
+	g := graph.New(2)
+	u := g.AddNode(1, "u")
+	v := g.AddNode(1, "v")
+	g.MustEdge(u, v, 2)
+	pl, err := platform.Homogeneous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := HEFT(g, pl, sched.OnePortNoOverlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, pl, s, sched.OnePortNoOverlap); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 2 {
+		t.Errorf("makespan = %g, want 2 (local chain)", s.Makespan())
+	}
+}
+
+func TestUniPortRelayIsSlower(t *testing.T) {
+	// two crossing transfers through a middle processor: P1 must receive
+	// a->b and send x->y. Under one-port these overlap; under uni-port they
+	// serialize, so with identical allocations the uni-port makespan is
+	// at least the one-port one. HEFT may re-allocate, so compare weakly.
+	g := graph.New(4)
+	a := g.AddNode(4, "a")
+	b := g.AddNode(4, "b")
+	x := g.AddNode(4, "x")
+	y := g.AddNode(4, "y")
+	g.MustEdge(a, b, 6)
+	g.MustEdge(x, y, 6)
+	pl, err := platform.Homogeneous(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := HEFT(g, pl, sched.UniPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, pl, up, sched.UniPort); err != nil {
+		t.Fatal(err)
+	}
+	if up.Makespan() < op.Makespan()-1e-9 {
+		t.Errorf("uni-port makespan %g beat one-port %g", up.Makespan(), op.Makespan())
+	}
+}

@@ -1,0 +1,57 @@
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// Func is the common shape of every scheduling heuristic in the package.
+type Func func(*graph.Graph, *platform.Platform, sched.Model) (*sched.Schedule, error)
+
+// ByName returns the heuristic registered under name. ILHA options are bound
+// from opts (other heuristics ignore them). Known names: heft, heft-append,
+// ilha, ilha-levels, dsc, cpop, dls, gdl (alias of dls), bil, pct,
+// roundrobin, random.
+func ByName(name string, opts ILHAOptions) (Func, error) {
+	switch name {
+	case "heft":
+		return HEFT, nil
+	case "heft-append":
+		return HEFTAppend, nil
+	case "dsc":
+		return DSC, nil
+	case "ilha-levels":
+		return ILHALevels, nil
+	case "ilha":
+		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (*sched.Schedule, error) {
+			return ILHA(g, pl, m, opts)
+		}, nil
+	case "cpop":
+		return CPOP, nil
+	case "dls", "gdl":
+		return DLS, nil
+	case "bil":
+		return BIL, nil
+	case "pct":
+		return PCT, nil
+	case "roundrobin":
+		return RoundRobin, nil
+	case "random":
+		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (*sched.Schedule, error) {
+			return Random(g, pl, m, 1)
+		}, nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown heuristic %q (known: %v)", name, Names())
+	}
+}
+
+// Names lists the registered heuristic names.
+func Names() []string {
+	names := []string{"heft", "heft-append", "ilha", "ilha-levels", "dsc", "cpop", "dls", "bil", "pct", "roundrobin", "random"}
+	sort.Strings(names)
+	return names
+}

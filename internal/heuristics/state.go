@@ -1,0 +1,430 @@
+// Package heuristics implements the scheduling heuristics of the paper —
+// the one-port adaptations of HEFT and ILHA (with every §4.4 design
+// variant) — together with their classical macro-dataflow counterparts,
+// the literature baselines the authors compared against (CPOP, DLS/GDL,
+// BIL, PCT), a DSC-style clusterer, naive controls, a fixed-allocation
+// rescheduler with a stochastic improvement pass, and an exhaustive
+// branch-and-bound search used as ground truth on small instances.
+//
+// Every heuristic runs under any communication model in sched.Models();
+// the model only changes how communications are placed, which is factored
+// into the shared scheduler state below.
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// state carries the incremental resource timelines during list scheduling.
+type state struct {
+	g      *graph.Graph
+	pl     *platform.Platform
+	model  sched.Model
+	routes *platform.Routes // non-nil only for sparse platforms
+
+	// appendOnly disables insertion: tasks are placed after the last busy
+	// interval of the processor instead of in the earliest adequate gap.
+	// Communications always use gap search (ports are shared resources).
+	appendOnly bool
+
+	compute []*sched.Intervals          // per-processor execution timeline
+	send    []*sched.Intervals          // send-port timeline (the combined port under UniPort)
+	recv    []*sched.Intervals          // receive-port timeline
+	wires   map[[2]int]*sched.Intervals // per-wire timeline (LinkContention)
+
+	sch *sched.Schedule
+}
+
+// wire returns the timeline of the undirected wire {a,b}, creating it on
+// first use.
+func (s *state) wire(a, b int) *sched.Intervals {
+	if a > b {
+		a, b = b, a
+	}
+	k := [2]int{a, b}
+	w := s.wires[k]
+	if w == nil {
+		w = &sched.Intervals{}
+		s.wires[k] = w
+	}
+	return w
+}
+
+func newState(g *graph.Graph, pl *platform.Platform, model sched.Model) (*state, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	s := &state{
+		g:       g,
+		pl:      pl,
+		model:   model,
+		compute: make([]*sched.Intervals, pl.NumProcs()),
+		send:    make([]*sched.Intervals, pl.NumProcs()),
+		recv:    make([]*sched.Intervals, pl.NumProcs()),
+		wires:   make(map[[2]int]*sched.Intervals),
+		sch:     sched.NewSchedule(g.NumNodes(), pl.NumProcs()),
+	}
+	for i := 0; i < pl.NumProcs(); i++ {
+		s.compute[i] = &sched.Intervals{}
+		s.send[i] = &sched.Intervals{}
+		s.recv[i] = &sched.Intervals{}
+	}
+	if pl.Sparse() {
+		rt, err := pl.ComputeRoutes()
+		if err != nil {
+			return nil, err
+		}
+		s.routes = rt
+	}
+	return s, nil
+}
+
+// clone deep-copies the state (used by the ILHA communication-rescheduling
+// variant, which needs to undo a chunk's tentative placement).
+func (s *state) clone() *state {
+	c := &state{
+		g:          s.g,
+		pl:         s.pl,
+		model:      s.model,
+		routes:     s.routes,
+		appendOnly: s.appendOnly,
+		compute:    make([]*sched.Intervals, len(s.compute)),
+		send:       make([]*sched.Intervals, len(s.send)),
+		recv:       make([]*sched.Intervals, len(s.recv)),
+		wires:      make(map[[2]int]*sched.Intervals, len(s.wires)),
+		sch: &sched.Schedule{
+			Tasks: append([]sched.TaskEvent(nil), s.sch.Tasks...),
+			Comms: append([]sched.CommEvent(nil), s.sch.Comms...),
+			Procs: s.sch.Procs,
+		},
+	}
+	for i := range s.compute {
+		c.compute[i] = s.compute[i].Clone()
+		c.send[i] = s.send[i].Clone()
+		c.recv[i] = s.recv[i].Clone()
+	}
+	for k, w := range s.wires {
+		c.wires[k] = w.Clone()
+	}
+	return c
+}
+
+// placement is the result of probing one candidate processor for one task.
+type placement struct {
+	proc          int
+	start, finish float64
+	comms         []sched.CommEvent
+}
+
+// overlay holds the tentative resource reservations accumulated while
+// probing a candidate placement, keyed by processor (or wire). It never
+// touches the committed timelines.
+type overlay struct {
+	send    map[int][]sched.Interval
+	recv    map[int][]sched.Interval
+	compute map[int][]sched.Interval    // OnePortNoOverlap only
+	wire    map[[2]int][]sched.Interval // LinkContention only
+}
+
+func newOverlay() *overlay {
+	return &overlay{
+		send:    make(map[int][]sched.Interval),
+		recv:    make(map[int][]sched.Interval),
+		compute: make(map[int][]sched.Interval),
+		wire:    make(map[[2]int][]sched.Interval),
+	}
+}
+
+func (o *overlay) addSend(p int, start, end float64) {
+	o.send[p] = sched.AddExtra(o.send[p], start, end)
+}
+func (o *overlay) addRecv(p int, start, end float64) {
+	o.recv[p] = sched.AddExtra(o.recv[p], start, end)
+}
+func (o *overlay) addCompute(p int, start, end float64) {
+	o.compute[p] = sched.AddExtra(o.compute[p], start, end)
+}
+func (o *overlay) addWire(k [2]int, start, end float64) {
+	o.wire[k] = sched.AddExtra(o.wire[k], start, end)
+}
+
+// path returns the processor chain a message from q to r traverses.
+func (s *state) path(q, r int) []int {
+	if s.routes != nil {
+		return s.routes.Path(q, r)
+	}
+	return []int{q, r}
+}
+
+// placeComm finds, without committing, the hop chain for moving data items
+// from proc q (available at time ready) to proc r, honouring the model, the
+// committed timelines and the overlay. It records its reservations in the
+// overlay and returns the comm event and the arrival time.
+func (s *state) placeComm(u, v int, data float64, q, r int, ready float64, o *overlay) (sched.CommEvent, float64) {
+	ev := sched.CommEvent{FromTask: u, ToTask: v, Data: data}
+	t := ready
+	procs := s.path(q, r)
+	for i := 0; i+1 < len(procs); i++ {
+		a, b := procs[i], procs[i+1]
+		dur := s.pl.CommTime(data, a, b)
+		var start float64
+		switch s.model {
+		case sched.OnePort:
+			start = sched.EarliestGap(t, dur,
+				sched.View{Base: s.send[a], Extra: o.send[a]},
+				sched.View{Base: s.recv[b], Extra: o.recv[b]})
+			o.addSend(a, start, start+dur)
+			o.addRecv(b, start, start+dur)
+		case sched.UniPort:
+			// a single half-duplex port per processor: every hop occupies
+			// the (combined) port of both endpoints, stored in send[].
+			start = sched.EarliestGap(t, dur,
+				sched.View{Base: s.send[a], Extra: o.send[a]},
+				sched.View{Base: s.send[b], Extra: o.send[b]})
+			o.addSend(a, start, start+dur)
+			o.addSend(b, start, start+dur)
+		case sched.OnePortNoOverlap:
+			// one-port rules and the hop blocks computation on both ends
+			start = sched.EarliestGap(t, dur,
+				sched.View{Base: s.send[a], Extra: o.send[a]},
+				sched.View{Base: s.recv[b], Extra: o.recv[b]},
+				sched.View{Base: s.compute[a], Extra: o.compute[a]},
+				sched.View{Base: s.compute[b], Extra: o.compute[b]})
+			o.addSend(a, start, start+dur)
+			o.addRecv(b, start, start+dur)
+			o.addCompute(a, start, start+dur)
+			o.addCompute(b, start, start+dur)
+		case sched.LinkContention:
+			k := wireKey(a, b)
+			start = sched.EarliestGap(t, dur,
+				sched.View{Base: s.wire(a, b), Extra: o.wire[k]})
+			o.addWire(k, start, start+dur)
+		default: // MacroDataflow: ports are unlimited
+			start = t
+		}
+		ev.Hops = append(ev.Hops, sched.Hop{FromProc: a, ToProc: b, Start: start, Finish: start + dur})
+		t = start + dur
+	}
+	return ev, t
+}
+
+// wireKey canonicalizes an unordered processor pair.
+func wireKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// predInfo is one incoming dependency of the task being probed.
+type predInfo struct {
+	node   int
+	data   float64
+	proc   int
+	finish float64
+}
+
+// preds gathers the (already scheduled) predecessors of v sorted by
+// ascending finish time (ties by node id), the greedy order in which their
+// messages are serialized.
+func (s *state) preds(v int) []predInfo {
+	adj := s.g.Pred(v)
+	out := make([]predInfo, 0, len(adj))
+	for _, a := range adj {
+		ev := &s.sch.Tasks[a.Node]
+		if !ev.Done {
+			panic(fmt.Sprintf("heuristics: task %d probed before predecessor %d", v, a.Node))
+		}
+		out = append(out, predInfo{node: a.Node, data: a.Data, proc: ev.Proc, finish: ev.Finish})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].finish != out[j].finish {
+			return out[i].finish < out[j].finish
+		}
+		return out[i].node < out[j].node
+	})
+	return out
+}
+
+// probe computes the placement of task v on processor proc: it tentatively
+// schedules every incoming communication as early as possible (in pred
+// finish-time order, honouring the one-port constraint when the model asks
+// for it) and then finds the earliest compute gap. Nothing is committed.
+func (s *state) probe(v, proc int, preds []predInfo) placement {
+	o := newOverlay()
+	ready := 0.0
+	var comms []sched.CommEvent
+	for _, p := range preds {
+		if p.proc == proc {
+			if p.finish > ready {
+				ready = p.finish
+			}
+			continue
+		}
+		ev, arrival := s.placeComm(p.node, v, p.data, p.proc, proc, p.finish, o)
+		comms = append(comms, ev)
+		if arrival > ready {
+			ready = arrival
+		}
+	}
+	dur := s.pl.ExecTime(s.g.Weight(v), proc)
+	if s.appendOnly && s.compute[proc].LastEnd() > ready {
+		ready = s.compute[proc].LastEnd()
+	}
+	// under OnePortNoOverlap the task's own incoming messages also reserved
+	// the processor's compute timeline (o.compute), so include the overlay
+	start := sched.EarliestGap(ready, dur, sched.View{Base: s.compute[proc], Extra: o.compute[proc]})
+	return placement{proc: proc, start: start, finish: start + dur, comms: comms}
+}
+
+// commit applies a placement: communication hops are reserved on the port
+// timelines, the task occupies its compute window, and the schedule records
+// both.
+func (s *state) commit(v int, pl placement) {
+	for _, c := range pl.comms {
+		for _, h := range c.Hops {
+			switch s.model {
+			case sched.OnePort:
+				s.send[h.FromProc].Add(h.Start, h.Finish)
+				s.recv[h.ToProc].Add(h.Start, h.Finish)
+			case sched.UniPort:
+				s.send[h.FromProc].Add(h.Start, h.Finish)
+				s.send[h.ToProc].Add(h.Start, h.Finish)
+			case sched.OnePortNoOverlap:
+				s.send[h.FromProc].Add(h.Start, h.Finish)
+				s.recv[h.ToProc].Add(h.Start, h.Finish)
+				s.compute[h.FromProc].Add(h.Start, h.Finish)
+				s.compute[h.ToProc].Add(h.Start, h.Finish)
+			case sched.LinkContention:
+				s.wire(h.FromProc, h.ToProc).Add(h.Start, h.Finish)
+			}
+		}
+		s.sch.AddComm(c)
+	}
+	s.compute[pl.proc].Add(pl.start, pl.finish)
+	s.sch.SetTask(v, pl.proc, pl.start, pl.finish)
+}
+
+// bestEFT probes every processor in candidates (all processors when nil) and
+// returns the placement with the earliest finish time, breaking ties by the
+// lowest processor index — the paper's convention.
+func (s *state) bestEFT(v int, candidates []int) placement {
+	preds := s.preds(v)
+	best := placement{proc: -1}
+	try := func(p int) {
+		pl := s.probe(v, p, preds)
+		if best.proc == -1 || pl.finish < best.finish {
+			best = pl
+		}
+	}
+	if candidates == nil {
+		for p := 0; p < s.pl.NumProcs(); p++ {
+			try(p)
+		}
+	} else {
+		for _, p := range candidates {
+			try(p)
+		}
+	}
+	return best
+}
+
+// priorities computes the paper's bottom levels: task weights scaled by the
+// harmonic-mean cycle-time, edge volumes scaled by the harmonic-mean link
+// cost (§4.1).
+func priorities(g *graph.Graph, pl *platform.Platform) ([]float64, error) {
+	return g.BottomLevels(pl.AvgExecFactor(), pl.AvgLinkFactor())
+}
+
+// readyList maintains the set of ready tasks ordered by decreasing priority
+// (ties by increasing node id). It is a simple ordered slice: every use in
+// the package pops from the front; insertion keeps the order.
+type readyList struct {
+	prio  []float64
+	tasks []int // sorted: prio desc, id asc
+}
+
+func newReadyList(prio []float64) *readyList { return &readyList{prio: prio} }
+
+func (r *readyList) less(a, b int) bool {
+	if r.prio[a] != r.prio[b] {
+		return r.prio[a] > r.prio[b]
+	}
+	return a < b
+}
+
+// push inserts a task keeping the order.
+func (r *readyList) push(v int) {
+	pos := sort.Search(len(r.tasks), func(i int) bool { return r.less(v, r.tasks[i]) })
+	r.tasks = append(r.tasks, 0)
+	copy(r.tasks[pos+1:], r.tasks[pos:])
+	r.tasks[pos] = v
+}
+
+// pop removes and returns the highest-priority task.
+func (r *readyList) pop() int {
+	v := r.tasks[0]
+	r.tasks = r.tasks[1:]
+	return v
+}
+
+// popN removes and returns up to n highest-priority tasks.
+func (r *readyList) popN(n int) []int {
+	if n > len(r.tasks) {
+		n = len(r.tasks)
+	}
+	out := append([]int(nil), r.tasks[:n]...)
+	r.tasks = r.tasks[n:]
+	return out
+}
+
+func (r *readyList) empty() bool { return len(r.tasks) == 0 }
+func (r *readyList) len() int    { return len(r.tasks) }
+
+// releaser tracks remaining in-degrees and reports which tasks become ready
+// once a task completes.
+type releaser struct {
+	g      *graph.Graph
+	indeg  []int
+	placed int
+}
+
+func newReleaser(g *graph.Graph) *releaser {
+	ind := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		ind[v] = g.InDegree(v)
+	}
+	return &releaser{g: g, indeg: ind}
+}
+
+// initial returns the entry tasks.
+func (rl *releaser) initial() []int {
+	var out []int
+	for v, d := range rl.indeg {
+		if d == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// release marks v scheduled and returns the tasks that become ready.
+func (rl *releaser) release(v int) []int {
+	rl.placed++
+	var out []int
+	for _, a := range rl.g.Succ(v) {
+		rl.indeg[a.Node]--
+		if rl.indeg[a.Node] == 0 {
+			out = append(out, a.Node)
+		}
+	}
+	return out
+}
+
+// done reports whether every task has been scheduled.
+func (rl *releaser) done() bool { return rl.placed == rl.g.NumNodes() }

@@ -1,0 +1,89 @@
+// Package loadbalance implements the paper's optimal static distribution of
+// independent equal-size tasks over different-speed processors (§4.2), the
+// building block of the ILHA heuristic.
+//
+// Processor P_i with cycle-time t_i should receive a fraction
+// c_i = (1/t_i) / Σ_j (1/t_j) of the total work; because tasks are
+// indivisible the integer counts are computed by the incremental greedy
+// below, which is optimal (Boudet–Rastello–Robert).
+package loadbalance
+
+import (
+	"fmt"
+)
+
+// Shares returns the ideal real-valued fractions c_i = (1/t_i)/Σ(1/t_j).
+// They sum to 1.
+func Shares(cycleTimes []float64) []float64 {
+	var inv float64
+	for _, t := range cycleTimes {
+		inv += 1 / t
+	}
+	shares := make([]float64, len(cycleTimes))
+	for i, t := range cycleTimes {
+		shares[i] = (1 / t) / inv
+	}
+	return shares
+}
+
+// Distribute returns integer task counts c_i with Σc_i = n minimizing the
+// parallel completion time max_i c_i·t_i, using the paper's algorithm:
+// start from the floors of the ideal shares and hand out the remaining
+// tasks one at a time to the processor finishing earliest after receiving
+// one more task (ties to the lowest index).
+func Distribute(n int, cycleTimes []float64) ([]int, error) {
+	p := len(cycleTimes)
+	if p == 0 {
+		return nil, fmt.Errorf("loadbalance: no processors")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("loadbalance: negative task count %d", n)
+	}
+	for i, t := range cycleTimes {
+		if t <= 0 {
+			return nil, fmt.Errorf("loadbalance: cycle-time t_%d = %g must be positive", i, t)
+		}
+	}
+	shares := Shares(cycleTimes)
+	counts := make([]int, p)
+	total := 0
+	for i := range counts {
+		counts[i] = int(shares[i] * float64(n)) // floor: shares are >= 0
+		total += counts[i]
+	}
+	for m := total; m < n; m++ {
+		k := 0
+		best := cycleTimes[0] * float64(counts[0]+1)
+		for i := 1; i < p; i++ {
+			if c := cycleTimes[i] * float64(counts[i]+1); c < best {
+				k, best = i, c
+			}
+		}
+		counts[k]++
+	}
+	return counts, nil
+}
+
+// CompletionTime returns max_i counts_i * t_i, the parallel time of a
+// distribution of equal unit tasks.
+func CompletionTime(counts []int, cycleTimes []float64) float64 {
+	var m float64
+	for i, c := range counts {
+		if v := float64(c) * cycleTimes[i]; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Caps returns the per-processor work capacities c_i·W used by ILHA when the
+// chunk's tasks have heterogeneous weights: processor i may take tasks until
+// its accumulated weight reaches caps[i].
+func Caps(totalWeight float64, cycleTimes []float64) []float64 {
+	shares := Shares(cycleTimes)
+	caps := make([]float64, len(shares))
+	for i, s := range shares {
+		caps[i] = s * totalWeight
+	}
+	return caps
+}

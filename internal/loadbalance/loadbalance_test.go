@@ -1,0 +1,157 @@
+package loadbalance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSharesSumToOne(t *testing.T) {
+	shares := Shares([]float64{6, 10, 15})
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares sum to %g", sum)
+	}
+	// 1/6 : 1/10 : 1/15 = 5 : 3 : 2 over 10
+	want := []float64{0.5, 0.3, 0.2}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-12 {
+			t.Errorf("share[%d] = %g, want %g", i, shares[i], want[i])
+		}
+	}
+}
+
+func TestDistributeErrors(t *testing.T) {
+	if _, err := Distribute(5, nil); err == nil {
+		t.Error("expected error for no processors")
+	}
+	if _, err := Distribute(-1, []float64{1}); err == nil {
+		t.Error("expected error for negative n")
+	}
+	if _, err := Distribute(5, []float64{0}); err == nil {
+		t.Error("expected error for zero cycle-time")
+	}
+}
+
+func TestDistributePaperPlatform(t *testing.T) {
+	// §5.2: with B = 38, five cycle-6 processors take 5 tasks each, three
+	// cycle-10 processors take 3 each, two cycle-15 processors take 2 each,
+	// all finishing at exactly 30 time units.
+	cycles := []float64{6, 6, 6, 6, 6, 10, 10, 10, 15, 15}
+	counts, err := Distribute(38, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 5, 5, 5, 5, 3, 3, 3, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if ct := CompletionTime(counts, cycles); ct != 30 {
+		t.Errorf("CompletionTime = %g, want 30", ct)
+	}
+}
+
+func TestDistributeSmallCases(t *testing.T) {
+	cases := []struct {
+		n      int
+		cycles []float64
+		want   []int
+	}{
+		{0, []float64{1, 2}, []int{0, 0}},
+		{1, []float64{1, 2}, []int{1, 0}},
+		{3, []float64{1, 2}, []int{2, 1}},
+		{4, []float64{1, 1}, []int{2, 2}},
+		{5, []float64{2, 3}, []int{3, 2}},
+		{7, []float64{1}, []int{7}},
+	}
+	for _, c := range cases {
+		got, err := Distribute(c.n, c.cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("Distribute(%d,%v) = %v, want %v", c.n, c.cycles, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// bruteForceBest finds the optimal max completion time by exhaustive
+// enumeration (small n, small p).
+func bruteForceBest(n int, cycles []float64) float64 {
+	p := len(cycles)
+	best := math.Inf(1)
+	counts := make([]int, p)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == p-1 {
+			counts[i] = left
+			if ct := CompletionTime(counts, cycles); ct < best {
+				best = ct
+			}
+			return
+		}
+		for c := 0; c <= left; c++ {
+			counts[i] = c
+			rec(i+1, left-c)
+		}
+	}
+	rec(0, n)
+	return best
+}
+
+func TestPropertyDistributeOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(4)
+		n := r.Intn(12)
+		cycles := make([]float64, p)
+		for i := range cycles {
+			cycles[i] = float64(1 + r.Intn(9))
+		}
+		counts, err := Distribute(n, cycles)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		if total != n {
+			return false
+		}
+		got := CompletionTime(counts, cycles)
+		want := bruteForceBest(n, cycles)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaps(t *testing.T) {
+	caps := Caps(100, []float64{6, 6, 6, 6, 6, 10, 10, 10, 15, 15})
+	// fastest processors get 100 * (1/6)/(38/30) = 100*5/38
+	want0 := 100 * 5.0 / 38.0
+	if math.Abs(caps[0]-want0) > 1e-9 {
+		t.Errorf("caps[0] = %g, want %g", caps[0], want0)
+	}
+	var sum float64
+	for _, c := range caps {
+		sum += c
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("caps sum to %g, want 100", sum)
+	}
+}

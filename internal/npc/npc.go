@@ -1,0 +1,423 @@
+// Package npc implements the paper's two NP-completeness constructions and
+// the exact solvers used to cross-check them:
+//
+//   - Theorem 1 (FORK-SCHED): scheduling a fork graph on an unlimited number
+//     of same-speed processors under the one-port model, reduced from
+//     2-PARTITION;
+//   - Theorem 2 (COMM-SCHED, appendix): scheduling only the communications
+//     of a bipartite graph whose allocation is fixed, also reduced from
+//     2-PARTITION.
+//
+// The builders emit real graph/platform/schedule objects, so the reductions
+// are exercised end-to-end by the validators, and the exact solvers verify
+// both directions of each reduction on small instances.
+package npc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// TwoPartition solves 2-PARTITION exactly by subset enumeration: it returns
+// a subset A1 of indices with sum equal to half the total, and whether one
+// exists. Intended for the small instances used in tests (n <= ~20).
+func TwoPartition(a []int) ([]int, bool) {
+	total := 0
+	for _, x := range a {
+		total += x
+	}
+	if total%2 != 0 {
+		return nil, false
+	}
+	half := total / 2
+	n := len(a)
+	for mask := 0; mask < 1<<n; mask++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum += a[i]
+			}
+		}
+		if sum == half {
+			var set []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					set = append(set, i)
+				}
+			}
+			return set, true
+		}
+	}
+	return nil, false
+}
+
+// ForkInstance is an instance of the FORK-SCHED decision problem: a fork
+// graph, an unlimited pool of same-speed processors (one per task suffices)
+// and a time bound.
+type ForkInstance struct {
+	G *graph.Graph       // fork graph: node 0 is the parent
+	P *platform.Platform // N+1 unit-speed processors, unit links
+	T float64            // time bound
+}
+
+// BuildForkSched constructs the Theorem 1 instance from a 2-PARTITION input.
+// With M = max a_i and m = min a_i:
+//
+//	w_0 = 0; w_i = 10(M + a_i + 1) for 1 <= i <= n;
+//	w_{n+1} = w_{n+2} = w_{n+3} = 10(M+m)+1 = w_min; d_i = w_i;
+//	T = ½·Σ_{i<=n} w_i + 2·w_min.
+//
+// The instance has a schedule of makespan <= T iff the a_i admit a perfect
+// partition.
+func BuildForkSched(a []int) (*ForkInstance, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("npc: empty 2-PARTITION instance")
+	}
+	for _, x := range a {
+		if x <= 0 {
+			return nil, fmt.Errorf("npc: 2-PARTITION values must be positive, got %d", x)
+		}
+	}
+	M, m := a[0], a[0]
+	for _, x := range a {
+		if x > M {
+			M = x
+		}
+		if x < m {
+			m = x
+		}
+	}
+	wmin := float64(10*(M+m) + 1)
+	weights := make([]float64, n+3)
+	var sumN float64
+	for i := 0; i < n; i++ {
+		weights[i] = float64(10 * (M + a[i] + 1))
+		sumN += weights[i]
+	}
+	weights[n], weights[n+1], weights[n+2] = wmin, wmin, wmin
+	data := append([]float64(nil), weights...) // d_i = w_i
+	g, err := testbeds.Fork(0, weights, data)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := platform.Homogeneous(n + 4) // one processor per task
+	if err != nil {
+		return nil, err
+	}
+	return &ForkInstance{G: g, P: pl, T: sumN/2 + 2*wmin}, nil
+}
+
+// SolveFork computes the exact optimal one-port makespan of an arbitrary
+// fork graph on an unlimited pool of unit-speed processors with unit links
+// (the setting of Theorem 1). It enumerates the subset of children kept on
+// the parent's processor; the remote children are each given their own
+// processor and their messages are sent in Jackson order (non-increasing
+// child weight), which is optimal for minimizing the latest completion.
+// Exponential in the child count: use on small instances only.
+func SolveFork(g *graph.Graph) (float64, error) {
+	if len(g.Sources()) != 1 {
+		return 0, fmt.Errorf("npc: not a fork graph (sources = %v)", g.Sources())
+	}
+	parent := g.Sources()[0]
+	if g.InDegree(parent) != 0 || g.NumEdges() != g.NumNodes()-1 {
+		return 0, fmt.Errorf("npc: not a fork graph")
+	}
+	type child struct{ w, d float64 }
+	var children []child
+	for _, adj := range g.Succ(parent) {
+		if g.OutDegree(adj.Node) != 0 {
+			return 0, fmt.Errorf("npc: not a fork graph (child %d has successors)", adj.Node)
+		}
+		children = append(children, child{w: g.Weight(adj.Node), d: adj.Data})
+	}
+	w0 := g.Weight(parent)
+	n := len(children)
+	if n > 24 {
+		return 0, fmt.Errorf("npc: %d children exceed the exact solver's limit", n)
+	}
+	best := math.Inf(1)
+	remote := make([]child, 0, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var local float64
+		remote = remote[:0]
+		for i, ch := range children {
+			if mask&(1<<i) != 0 {
+				local += ch.w
+			} else {
+				remote = append(remote, ch)
+			}
+		}
+		// Jackson's rule: send to the child with the largest weight first.
+		sort.Slice(remote, func(i, j int) bool { return remote[i].w > remote[j].w })
+		span := w0 + local
+		t := w0
+		for _, ch := range remote {
+			t += ch.d
+			if f := t + ch.w; f > span {
+				span = f
+			}
+		}
+		if span < best {
+			best = span
+		}
+	}
+	return best, nil
+}
+
+// ForkScheduleFromPartition materializes the proof's "if" direction: given
+// A1 (indices into the original 2-PARTITION values, 0-based) it builds the
+// schedule in which P0 runs the parent, the A1 children and two of the
+// three w_min children, every other child gets its own processor, and P0
+// sends the remaining messages by increasing index with the last w_min
+// child served last. The resulting schedule meets the bound T exactly.
+func ForkScheduleFromPartition(inst *ForkInstance, a1 []int) *sched.Schedule {
+	g := inst.G
+	n := g.NumNodes() - 4 // children 1..n+3, tasks 0..n+3
+	s := sched.NewSchedule(g.NumNodes(), inst.P.NumProcs())
+	onP0 := make(map[int]bool, len(a1)+3)
+	onP0[0] = true
+	for _, i := range a1 {
+		onP0[i+1] = true // child node ids are 1-based
+	}
+	onP0[n+1] = true // two of the three w_min children stay local
+	onP0[n+2] = true
+
+	// P0: parent at time 0 (weight 0), then its local children back to back.
+	t := g.Weight(0)
+	s.SetTask(0, 0, 0, t)
+	for v := 1; v <= n+3; v++ {
+		if !onP0[v] {
+			continue
+		}
+		w := g.Weight(v)
+		s.SetTask(v, 0, t, t+w)
+		t += w
+	}
+	// remote children: message i by increasing index (v_{n+3} is last by
+	// construction), each to its own processor.
+	send := g.Weight(0)
+	proc := 1
+	for v := 1; v <= n+3; v++ {
+		if onP0[v] {
+			continue
+		}
+		d, _ := g.EdgeData(0, v)
+		s.AddComm(sched.CommEvent{FromTask: 0, ToTask: v, Data: d,
+			Hops: []sched.Hop{{FromProc: 0, ToProc: proc, Start: send, Finish: send + d}}})
+		s.SetTask(v, proc, send+d, send+d+g.Weight(v))
+		send += d
+		proc++
+	}
+	return s
+}
+
+// CommInstance is an instance of the COMM-SCHED decision problem
+// (Theorem 2): a bipartite graph with a fixed allocation; only the
+// communications remain to be scheduled.
+type CommInstance struct {
+	G     *graph.Graph
+	P     *platform.Platform
+	Alloc []int   // fixed processor of every task
+	T     float64 // time bound
+	N     int     // size of the originating 2-PARTITION instance
+	S     float64 // half sum of the 2-PARTITION values
+}
+
+// BuildCommSched constructs the Theorem 2 instance: 3n+1 zero-weight tasks —
+// a fork v_0 → v_1..v_n with data a_i, and n separate pairs
+// v_{2n+i} → v_{n+i} with data S — on 2n+1 unit processors with the fixed
+// allocation alloc(v_0) = P_0, alloc(v_i) = alloc(v_{n+i}) = P_i,
+// alloc(v_{2n+i}) = P_{n+i}.
+//
+// The time bound is Σa_i = 2S: P_0 must send for 2S time units in total, so
+// a schedule meeting the bound leaves P_0 no idle time, and each P_i must
+// fit its length-S pair message entirely before or entirely after its fork
+// message — possible iff the a_i split into two halves of sum S. (The
+// paper's text prints the bound as "T = S" with 2S = Σa_i defined earlier;
+// the consistent reading, used here, is T = Σa_i.)
+func BuildCommSched(a []int) (*CommInstance, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("npc: empty 2-PARTITION instance")
+	}
+	total := 0
+	for _, x := range a {
+		if x <= 0 {
+			return nil, fmt.Errorf("npc: 2-PARTITION values must be positive, got %d", x)
+		}
+		total += x
+	}
+	S := float64(total) / 2
+	g := graph.New(3*n + 1)
+	v0 := g.AddNode(0, "v0")
+	for i := 1; i <= n; i++ {
+		g.AddNode(0, fmt.Sprintf("v%d", i))
+	}
+	for i := 1; i <= n; i++ {
+		g.AddNode(0, fmt.Sprintf("v%d", n+i))
+	}
+	for i := 1; i <= n; i++ {
+		g.AddNode(0, fmt.Sprintf("v%d", 2*n+i))
+	}
+	for i := 1; i <= n; i++ {
+		g.MustEdge(v0, i, float64(a[i-1]))
+		g.MustEdge(2*n+i, n+i, S)
+	}
+	pl, err := platform.Homogeneous(2*n + 1)
+	if err != nil {
+		return nil, err
+	}
+	alloc := make([]int, 3*n+1)
+	alloc[0] = 0
+	for i := 1; i <= n; i++ {
+		alloc[i] = i
+		alloc[n+i] = i
+		alloc[2*n+i] = n + i
+	}
+	return &CommInstance{G: g, P: pl, Alloc: alloc, T: float64(total), N: n, S: S}, nil
+}
+
+// Feasible decides exactly whether the COMM-SCHED instance admits a valid
+// one-port schedule with makespan at most inst.T, by trying every
+// permutation of P_0's messages and greedily placing each pair message in
+// the larger free window of its receiver. Factorial in n: small instances
+// only.
+func (inst *CommInstance) Feasible() bool {
+	n := inst.N
+	if n > 9 {
+		panic("npc: Feasible limited to n <= 9")
+	}
+	durs := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		d, _ := inst.G.EdgeData(0, i)
+		durs[i-1] = d
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var try func(k int) bool
+	var feasible func() bool
+	feasible = func() bool {
+		// fork message to child perm[j] occupies P_{perm[j]+1}'s receive
+		// port during [prefix, prefix+dur); the pair message (length S)
+		// must fit before or after it within [0, T].
+		t := 0.0
+		for _, idx := range perm {
+			start, end := t, t+durs[idx]
+			if !(start >= inst.S-1e-9 || end <= inst.T-inst.S+1e-9) {
+				return false
+			}
+			t = end
+		}
+		return t <= inst.T+1e-9
+	}
+	try = func(k int) bool {
+		if k == n {
+			return feasible()
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				perm[k], perm[i] = perm[i], perm[k]
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return try(0)
+}
+
+// CommScheduleFromPartition materializes the proof's "if" direction for
+// COMM-SCHED: fork messages of A1 go out during [0,S), those of A2 during
+// [S,2S); the pair message of an A1 processor arrives during [S,2S) and
+// vice versa. The schedule meets the bound exactly.
+func CommScheduleFromPartition(inst *CommInstance, a1 []int) *sched.Schedule {
+	n, S := inst.N, inst.S
+	s := sched.NewSchedule(inst.G.NumNodes(), inst.P.NumProcs())
+	inA1 := make(map[int]bool, len(a1))
+	for _, i := range a1 {
+		inA1[i] = true // 0-based index into a; child node is i+1
+	}
+	s.SetTask(0, 0, 0, 0)
+	sendA1, sendA2 := 0.0, S
+	for i := 1; i <= n; i++ {
+		d, _ := inst.G.EdgeData(0, i)
+		var at float64
+		if inA1[i-1] {
+			at = sendA1
+			sendA1 += d
+		} else {
+			at = sendA2
+			sendA2 += d
+		}
+		s.AddComm(sched.CommEvent{FromTask: 0, ToTask: i, Data: d,
+			Hops: []sched.Hop{{FromProc: 0, ToProc: i, Start: at, Finish: at + d}}})
+		s.SetTask(i, i, at+d, at+d)
+
+		// the pair message v_{2n+i} -> v_{n+i} takes the other half-window
+		var pairAt float64
+		if inA1[i-1] {
+			pairAt = S
+		} else {
+			pairAt = 0
+		}
+		s.SetTask(2*n+i, n+i, 0, 0)
+		s.AddComm(sched.CommEvent{FromTask: 2*n + i, ToTask: n + i, Data: S,
+			Hops: []sched.Hop{{FromProc: n + i, ToProc: i, Start: pairAt, Finish: pairAt + S}}})
+		s.SetTask(n+i, i, pairAt+S, pairAt+S)
+	}
+	return s
+}
+
+// GreedyCommSched is the greedy heuristic the paper suggests for the
+// NP-complete third step of ILHA: messages sorted by non-increasing
+// duration, each placed at the earliest common free window of its sender's
+// send port and receiver's receive port. Tasks (all zero weight in
+// COMM-SCHED instances) start once their inputs arrive. It returns the
+// resulting schedule (valid, but not necessarily meeting inst.T).
+func GreedyCommSched(inst *CommInstance) *sched.Schedule {
+	g := inst.G
+	s := sched.NewSchedule(g.NumNodes(), inst.P.NumProcs())
+	sendPort := make([]*sched.Intervals, inst.P.NumProcs())
+	recvPort := make([]*sched.Intervals, inst.P.NumProcs())
+	for i := range sendPort {
+		sendPort[i] = &sched.Intervals{}
+		recvPort[i] = &sched.Intervals{}
+	}
+	type msg struct {
+		u, v int
+		d    float64
+	}
+	var msgs []msg
+	for _, e := range g.Edges() {
+		if inst.Alloc[e.From] != inst.Alloc[e.To] {
+			msgs = append(msgs, msg{u: e.From, v: e.To, d: e.Data})
+		}
+	}
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].d > msgs[j].d })
+	arrival := make([]float64, g.NumNodes())
+	for _, m := range msgs {
+		q, r := inst.Alloc[m.u], inst.Alloc[m.v]
+		at := sched.EarliestGap(0, m.d, sched.View{Base: sendPort[q]}, sched.View{Base: recvPort[r]})
+		sendPort[q].Add(at, at+m.d)
+		recvPort[r].Add(at, at+m.d)
+		s.AddComm(sched.CommEvent{FromTask: m.u, ToTask: m.v, Data: m.d,
+			Hops: []sched.Hop{{FromProc: q, ToProc: r, Start: at, Finish: at + m.d}}})
+		if at+m.d > arrival[m.v] {
+			arrival[m.v] = at + m.d
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		s.SetTask(v, inst.Alloc[v], arrival[v], arrival[v])
+	}
+	return s
+}

@@ -1,0 +1,327 @@
+package npc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func TestTwoPartition(t *testing.T) {
+	cases := []struct {
+		a    []int
+		want bool
+	}{
+		{[]int{1, 1}, true},
+		{[]int{1, 2}, false},
+		{[]int{3, 1, 2, 2}, true},
+		{[]int{1, 2, 3}, true}, // {1,2} vs {3}
+		{[]int{5}, false},
+		{[]int{2, 2, 2, 2, 3, 3, 2}, true}, // sum 16: {3,3,2},{2,2,2,2}
+		{[]int{7, 1, 1, 1, 1, 1}, false},   // sum 12, no subset hits 6... {1*5}=5, {7..}=7+
+	}
+	for _, c := range cases {
+		set, ok := TwoPartition(c.a)
+		if ok != c.want {
+			t.Errorf("TwoPartition(%v) = %v, want %v", c.a, ok, c.want)
+			continue
+		}
+		if ok {
+			sum, total := 0, 0
+			in := map[int]bool{}
+			for _, i := range set {
+				sum += c.a[i]
+				in[i] = true
+			}
+			for i, x := range c.a {
+				total += x
+				_ = i
+			}
+			if 2*sum != total {
+				t.Errorf("TwoPartition(%v) returned subset %v with sum %d, total %d", c.a, set, sum, total)
+			}
+		}
+	}
+}
+
+func TestBuildForkSchedStructure(t *testing.T) {
+	a := []int{3, 1, 2, 2}
+	inst, err := BuildForkSched(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(a)
+	if inst.G.NumNodes() != n+4 {
+		t.Fatalf("nodes = %d, want %d", inst.G.NumNodes(), n+4)
+	}
+	if inst.G.Weight(0) != 0 {
+		t.Errorf("parent weight = %g, want 0", inst.G.Weight(0))
+	}
+	M, m := 3, 1
+	wmin := float64(10*(M+m) + 1)
+	for i := 1; i <= n; i++ {
+		want := float64(10 * (M + a[i-1] + 1))
+		if inst.G.Weight(i) != want {
+			t.Errorf("w_%d = %g, want %g", i, inst.G.Weight(i), want)
+		}
+		if d, _ := inst.G.EdgeData(0, i); d != want {
+			t.Errorf("d_%d = %g, want w_%d = %g", i, d, i, want)
+		}
+	}
+	for i := n + 1; i <= n+3; i++ {
+		if inst.G.Weight(i) != wmin {
+			t.Errorf("w_%d = %g, want wmin = %g", i, inst.G.Weight(i), wmin)
+		}
+	}
+	// T = ½Σw_i + 2wmin = 5n(M+1) + 10S + 20(M+m) + 2  (paper's closed form)
+	S := 4.0
+	wantT := 5*float64(n)*float64(M+1) + 10*S + 20*float64(M+m) + 2
+	if math.Abs(inst.T-wantT) > 1e-9 {
+		t.Errorf("T = %g, want %g", inst.T, wantT)
+	}
+	// wmin <= w_i <= 2wmin for the first n children (paper's remark)
+	for i := 1; i <= n; i++ {
+		w := inst.G.Weight(i)
+		if w < wmin || w > 2*wmin {
+			t.Errorf("w_%d = %g outside [wmin, 2wmin] = [%g, %g]", i, w, wmin, 2*wmin)
+		}
+	}
+	if _, err := BuildForkSched(nil); err == nil {
+		t.Error("expected error for empty instance")
+	}
+	if _, err := BuildForkSched([]int{0}); err == nil {
+		t.Error("expected error for non-positive value")
+	}
+}
+
+func TestForkScheduleFromPartitionMeetsBound(t *testing.T) {
+	// {3,1,2,2}: balanced partition {3,1} / {2,2}
+	a := []int{3, 1, 2, 2}
+	inst, err := BuildForkSched(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ForkScheduleFromPartition(inst, []int{0, 1}) // indices of {3,1}
+	if err := sched.Validate(inst.G, inst.P, s, sched.OnePort); err != nil {
+		t.Fatalf("constructed schedule invalid: %v", err)
+	}
+	if math.Abs(s.Makespan()-inst.T) > 1e-9 {
+		t.Errorf("makespan = %g, want exactly T = %g", s.Makespan(), inst.T)
+	}
+}
+
+func TestSolveForkMatchesBoundIffPartition(t *testing.T) {
+	cases := []struct {
+		a        []int
+		feasible bool
+	}{
+		{[]int{3, 1, 2, 2}, true},  // balanced partition exists
+		{[]int{1, 1}, true},        // {1},{1}
+		{[]int{1, 2}, false},       // odd total
+		{[]int{1, 1, 1, 5}, false}, // sum 8, need {x,y} summing 4 with equal... no balanced split
+		{[]int{2, 2, 3, 3}, true},  // {2,3},{2,3}
+	}
+	for _, c := range cases {
+		inst, err := BuildForkSched(c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SolveFork(inst.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := opt <= inst.T+1e-9
+		if got != c.feasible {
+			t.Errorf("a=%v: optimal %g vs T %g -> feasible=%v, want %v",
+				c.a, opt, inst.T, got, c.feasible)
+		}
+	}
+}
+
+func TestPropertyForkSchedEquivalence(t *testing.T) {
+	// The instance admits a schedule of makespan <= T iff the transformed
+	// weights w_1..w_n (integers) admit an equal-sum split — which, by the
+	// padding 10(M+1), encodes the balanced 2-PARTITION of the a_i.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = 1 + r.Intn(6)
+		}
+		inst, err := BuildForkSched(a)
+		if err != nil {
+			return false
+		}
+		opt, err := SolveFork(inst.G)
+		if err != nil {
+			return false
+		}
+		w := make([]int, n)
+		for i := 1; i <= n; i++ {
+			w[i-1] = int(inst.G.Weight(i))
+		}
+		_, partitionable := TwoPartition(w)
+		feasible := opt <= inst.T+1e-9
+		if feasible != partitionable {
+			t.Logf("a=%v opt=%g T=%g partitionable=%v", a, opt, inst.T, partitionable)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveForkRejectsNonForks(t *testing.T) {
+	g := testbeds.ForkJoin(3, 1) // has a sink: not a fork
+	if _, err := SolveFork(g); err == nil {
+		t.Fatal("expected error for non-fork graph")
+	}
+}
+
+func TestSolveForkSimple(t *testing.T) {
+	// Figure 1's example: 6 unit children, unit data, w0 = 1: optimal 5.
+	g, err := testbeds.Fork(1,
+		[]float64{1, 1, 1, 1, 1, 1},
+		[]float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SolveFork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 5 {
+		t.Errorf("optimal = %g, want 5 (paper §2.3)", opt)
+	}
+}
+
+func TestBuildCommSchedStructure(t *testing.T) {
+	a := []int{1, 2, 3}
+	inst, err := BuildCommSched(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(a)
+	if inst.G.NumNodes() != 3*n+1 {
+		t.Fatalf("nodes = %d, want %d", inst.G.NumNodes(), 3*n+1)
+	}
+	if inst.P.NumProcs() != 2*n+1 {
+		t.Fatalf("procs = %d, want %d", inst.P.NumProcs(), 2*n+1)
+	}
+	if inst.T != 6 || inst.S != 3 {
+		t.Fatalf("T = %g S = %g, want 6 and 3", inst.T, inst.S)
+	}
+	// every task has zero weight
+	for v := 0; v < inst.G.NumNodes(); v++ {
+		if inst.G.Weight(v) != 0 {
+			t.Errorf("task %d weight %g, want 0", v, inst.G.Weight(v))
+		}
+	}
+	// allocation: v_i and v_{n+i} share P_i; v_{2n+i} on P_{n+i}
+	for i := 1; i <= n; i++ {
+		if inst.Alloc[i] != i || inst.Alloc[n+i] != i || inst.Alloc[2*n+i] != n+i {
+			t.Fatalf("allocation wrong at i=%d: %v", i, inst.Alloc)
+		}
+	}
+	if _, err := BuildCommSched(nil); err == nil {
+		t.Error("expected error for empty instance")
+	}
+	if _, err := BuildCommSched([]int{-1, 2}); err == nil {
+		t.Error("expected error for non-positive value")
+	}
+}
+
+func TestCommScheduleFromPartitionMeetsBound(t *testing.T) {
+	a := []int{1, 2, 3} // partition {1,2} / {3}
+	inst, err := BuildCommSched(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CommScheduleFromPartition(inst, []int{0, 1})
+	if err := sched.Validate(inst.G, inst.P, s, sched.OnePort); err != nil {
+		t.Fatalf("constructed schedule invalid: %v", err)
+	}
+	if s.Makespan() > inst.T+1e-9 {
+		t.Errorf("makespan = %g exceeds T = %g", s.Makespan(), inst.T)
+	}
+}
+
+func TestPropertyCommSchedEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = 1 + r.Intn(8)
+		}
+		inst, err := BuildCommSched(a)
+		if err != nil {
+			return false
+		}
+		_, partitionable := TwoPartition(a)
+		if inst.Feasible() != partitionable {
+			t.Logf("a=%v feasible=%v partitionable=%v", a, inst.Feasible(), partitionable)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCommSchedValidAndSometimesSuboptimal(t *testing.T) {
+	// the greedy heuristic always yields a valid schedule; on a solvable
+	// instance it may or may not reach T (the problem is NP-complete).
+	a := []int{1, 2, 3, 4}
+	inst, err := BuildCommSched(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GreedyCommSched(inst)
+	if err := sched.Validate(inst.G, inst.P, s, sched.OnePort); err != nil {
+		t.Fatalf("greedy schedule invalid: %v", err)
+	}
+	if s.Makespan() < inst.T-1e-9 {
+		t.Errorf("greedy makespan %g beat the proven optimum %g", s.Makespan(), inst.T)
+	}
+	// allocation must be respected
+	for v := 0; v < inst.G.NumNodes(); v++ {
+		if s.Proc(v) != inst.Alloc[v] {
+			t.Errorf("greedy moved task %d to %d, allocation says %d", v, s.Proc(v), inst.Alloc[v])
+		}
+	}
+}
+
+func TestGreedyCommSchedLowerBound(t *testing.T) {
+	// P0 sends Σa_i time units of messages: no schedule beats that.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := make([]int, n)
+		total := 0
+		for i := range a {
+			a[i] = 1 + r.Intn(8)
+			total += a[i]
+		}
+		inst, err := BuildCommSched(a)
+		if err != nil {
+			return false
+		}
+		s := GreedyCommSched(inst)
+		if err := sched.Validate(inst.G, inst.P, s, sched.OnePort); err != nil {
+			t.Logf("a=%v: %v", a, err)
+			return false
+		}
+		return s.Makespan() >= float64(total)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Static routing for sparse topologies (§4.3: "if there is no direct link
+// from P2 to P1, we redo the previous step for all intermediate messages
+// between adjacent processors"). Routes are shortest paths under the link
+// cost metric, computed once with Floyd–Warshall; every processor's routing
+// table is therefore fully static, as in the Sinnen–Sousa model the paper
+// discusses.
+
+// Routes holds the all-pairs static routing tables of a platform.
+type Routes struct {
+	next [][]int     // next[q][r]: first hop on the path q->r, -1 if unreachable
+	dist [][]float64 // path cost under the link metric
+}
+
+// ComputeRoutes runs Floyd–Warshall over the link matrix and returns the
+// routing tables. An error is returned if some processor pair is not
+// connected even transitively.
+func (pl *Platform) ComputeRoutes() (*Routes, error) {
+	p := pl.NumProcs()
+	dist := make([][]float64, p)
+	next := make([][]int, p)
+	for q := 0; q < p; q++ {
+		dist[q] = make([]float64, p)
+		next[q] = make([]int, p)
+		for r := 0; r < p; r++ {
+			dist[q][r] = pl.link[q][r]
+			switch {
+			case q == r:
+				next[q][r] = q
+			case !math.IsInf(pl.link[q][r], 1):
+				next[q][r] = r
+			default:
+				next[q][r] = -1
+			}
+		}
+	}
+	for k := 0; k < p; k++ {
+		for q := 0; q < p; q++ {
+			for r := 0; r < p; r++ {
+				if dist[q][k]+dist[k][r] < dist[q][r] {
+					dist[q][r] = dist[q][k] + dist[k][r]
+					next[q][r] = next[q][k]
+				}
+			}
+		}
+	}
+	for q := 0; q < p; q++ {
+		for r := 0; r < p; r++ {
+			if next[q][r] == -1 {
+				return nil, fmt.Errorf("platform: processors %d and %d are disconnected", q, r)
+			}
+		}
+	}
+	return &Routes{next: next, dist: dist}, nil
+}
+
+// Path returns the processor sequence from q to r, inclusive of both ends.
+// For q == r it returns [q].
+func (rt *Routes) Path(q, r int) []int {
+	path := []int{q}
+	for q != r {
+		q = rt.next[q][r]
+		path = append(path, q)
+	}
+	return path
+}
+
+// Dist returns the total per-data-item cost along the routed path q->r.
+func (rt *Routes) Dist(q, r int) float64 { return rt.dist[q][r] }
+
+// Hops returns the number of wires on the routed path q->r (0 when q == r).
+func (rt *Routes) Hops(q, r int) int { return len(rt.Path(q, r)) - 1 }

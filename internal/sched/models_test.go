@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+)
+
+func TestModelsListAndStrings(t *testing.T) {
+	models := Models()
+	if len(models) != 5 {
+		t.Fatalf("Models() = %v", models)
+	}
+	want := map[Model]string{
+		MacroDataflow:    "macro-dataflow",
+		OnePort:          "one-port",
+		UniPort:          "uni-port",
+		OnePortNoOverlap: "one-port-no-overlap",
+		LinkContention:   "link-contention",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+// relayFixture builds the discriminating scenario for UniPort: processor P1
+// receives message a->b during [1,2) while sending message x->y during
+// [1,2). Legal under OnePort (bi-directional), illegal under UniPort.
+func relayFixture(t *testing.T) (*graph.Graph, *platform.Platform, *Schedule) {
+	t.Helper()
+	g := graph.New(4)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	x := g.AddNode(1, "x")
+	y := g.AddNode(1, "y")
+	g.MustEdge(a, b, 1)
+	g.MustEdge(x, y, 1)
+	pl, err := platform.Homogeneous(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(4, 3)
+	s.SetTask(a, 0, 0, 1)
+	s.SetTask(b, 1, 2, 3)
+	s.SetTask(x, 1, 0, 1)
+	s.SetTask(y, 2, 2, 3)
+	s.AddComm(CommEvent{FromTask: a, ToTask: b, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	s.AddComm(CommEvent{FromTask: x, ToTask: y, Data: 1,
+		Hops: []Hop{{FromProc: 1, ToProc: 2, Start: 1, Finish: 2}}})
+	return g, pl, s
+}
+
+func TestUniPortForbidsSimultaneousSendRecv(t *testing.T) {
+	g, pl, s := relayFixture(t)
+	if err := Validate(g, pl, s, OnePort); err != nil {
+		t.Fatalf("one-port rejected bi-directional overlap: %v", err)
+	}
+	err := Validate(g, pl, s, UniPort)
+	if err == nil || !strings.Contains(err.Error(), "uni-port") {
+		t.Fatalf("err = %v, want uni-port violation", err)
+	}
+}
+
+func TestNoOverlapForbidsComputeDuringComm(t *testing.T) {
+	// P0 executes a second task while sending: fine under OnePort, illegal
+	// under OnePortNoOverlap.
+	g := graph.New(3)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	c := g.AddNode(1, "c") // independent local task
+	g.MustEdge(a, b, 1)
+	pl, err := platform.Homogeneous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(3, 2)
+	s.SetTask(a, 0, 0, 1)
+	s.SetTask(c, 0, 1, 2) // overlaps the send below
+	s.SetTask(b, 1, 2, 3)
+	s.AddComm(CommEvent{FromTask: a, ToTask: b, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	if err := Validate(g, pl, s, OnePort); err != nil {
+		t.Fatalf("one-port rejected comm/compute overlap: %v", err)
+	}
+	err = Validate(g, pl, s, OnePortNoOverlap)
+	if err == nil || !strings.Contains(err.Error(), "no-overlap") {
+		t.Fatalf("err = %v, want no-overlap violation", err)
+	}
+
+	// serialized variant is accepted
+	s2 := NewSchedule(3, 2)
+	s2.SetTask(a, 0, 0, 1)
+	s2.SetTask(c, 0, 2, 3) // after the send
+	s2.SetTask(b, 1, 2, 3)
+	s2.AddComm(CommEvent{FromTask: a, ToTask: b, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	if err := Validate(g, pl, s2, OnePortNoOverlap); err != nil {
+		t.Fatalf("serialized no-overlap schedule rejected: %v", err)
+	}
+}
+
+func TestNoOverlapForbidsReceiverComputeDuringComm(t *testing.T) {
+	// the receiver also cannot compute while receiving
+	g := graph.New(3)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	c := g.AddNode(1, "c")
+	g.MustEdge(a, b, 1)
+	pl, err := platform.Homogeneous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(3, 2)
+	s.SetTask(a, 0, 0, 1)
+	s.SetTask(c, 1, 1, 2) // on P1 while P1 receives
+	s.SetTask(b, 1, 2, 3)
+	s.AddComm(CommEvent{FromTask: a, ToTask: b, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	if err := Validate(g, pl, s, OnePortNoOverlap); err == nil {
+		t.Fatal("expected no-overlap violation on the receiver")
+	}
+}
+
+func TestLinkContentionSerializesSharedWire(t *testing.T) {
+	// two messages on the same wire at the same time: fine under macro,
+	// illegal under link contention; two messages on *different* wires at
+	// the same time are fine under link contention (ports are unlimited).
+	g := graph.New(4)
+	a := g.AddNode(1, "a")
+	b := g.AddNode(1, "b")
+	x := g.AddNode(1, "x")
+	y := g.AddNode(1, "y")
+	g.MustEdge(a, b, 1)
+	g.MustEdge(x, y, 1)
+	pl, err := platform.Homogeneous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// both messages cross wire {0,1} (opposite directions) during [1,2)
+	s := NewSchedule(4, 2)
+	s.SetTask(a, 0, 0, 1)
+	s.SetTask(x, 1, 0, 1)
+	s.SetTask(b, 1, 2, 3)
+	s.SetTask(y, 0, 2, 3)
+	s.AddComm(CommEvent{FromTask: a, ToTask: b, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	s.AddComm(CommEvent{FromTask: x, ToTask: y, Data: 1,
+		Hops: []Hop{{FromProc: 1, ToProc: 0, Start: 1, Finish: 2}}})
+	if err := Validate(g, pl, s, MacroDataflow); err != nil {
+		t.Fatalf("macro rejected: %v", err)
+	}
+	err = Validate(g, pl, s, LinkContention)
+	if err == nil || !strings.Contains(err.Error(), "link-contention") {
+		t.Fatalf("err = %v, want link-contention violation", err)
+	}
+	// note: this schedule is fine under OnePort (different ports involved)
+	if err := Validate(g, pl, s, OnePort); err != nil {
+		t.Fatalf("one-port rejected half-duplex crossing: %v", err)
+	}
+
+	// on 4 processors with disjoint wires, simultaneous messages are fine
+	pl4, err := platform.Homogeneous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4 := NewSchedule(4, 4)
+	s4.SetTask(a, 0, 0, 1)
+	s4.SetTask(x, 2, 0, 1)
+	s4.SetTask(b, 1, 2, 3)
+	s4.SetTask(y, 3, 2, 3)
+	s4.AddComm(CommEvent{FromTask: a, ToTask: b, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	s4.AddComm(CommEvent{FromTask: x, ToTask: y, Data: 1,
+		Hops: []Hop{{FromProc: 2, ToProc: 3, Start: 1, Finish: 2}}})
+	if err := Validate(g, pl4, s4, LinkContention); err != nil {
+		t.Fatalf("disjoint wires rejected: %v", err)
+	}
+}
+
+func TestZeroDurationTasksDoNotOccupyProcessor(t *testing.T) {
+	g := graph.New(2)
+	a := g.AddNode(2, "a")
+	z := g.AddNode(0, "z") // zero weight, sits inside a's window
+	pl, err := platform.Homogeneous(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(2, 1)
+	s.SetTask(a, 0, 0, 2)
+	s.SetTask(z, 0, 1, 1)
+	if err := Validate(g, pl, s, OnePort); err != nil {
+		t.Fatalf("zero-duration task rejected: %v", err)
+	}
+}

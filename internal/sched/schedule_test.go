@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestModelString(t *testing.T) {
+	if MacroDataflow.String() != "macro-dataflow" || OnePort.String() != "one-port" {
+		t.Fatalf("Model strings wrong: %v %v", MacroDataflow, OnePort)
+	}
+	if Model(42).String() != "Model(42)" {
+		t.Fatalf("unknown model string: %v", Model(42))
+	}
+}
+
+func TestScheduleBasics(t *testing.T) {
+	s := NewSchedule(3, 2)
+	if s.Proc(0) != -1 {
+		t.Fatal("unscheduled task should report proc -1")
+	}
+	s.SetTask(0, 0, 0, 2)
+	s.SetTask(1, 1, 1, 4)
+	s.SetTask(2, 0, 2, 6)
+	if s.Makespan() != 6 {
+		t.Errorf("Makespan = %g, want 6", s.Makespan())
+	}
+	if s.Proc(1) != 1 {
+		t.Errorf("Proc(1) = %d, want 1", s.Proc(1))
+	}
+	s.AddComm(CommEvent{FromTask: 0, ToTask: 1, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 2, Finish: 3}}})
+	if s.CommCount() != 1 {
+		t.Errorf("CommCount = %d, want 1", s.CommCount())
+	}
+	if s.TotalCommTime() != 1 {
+		t.Errorf("TotalCommTime = %g, want 1", s.TotalCommTime())
+	}
+	c := s.Comms[0]
+	if c.Start() != 2 || c.Finish() != 3 {
+		t.Errorf("comm window = [%g,%g], want [2,3]", c.Start(), c.Finish())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := NewSchedule(2, 2)
+	s.SetTask(0, 0, 0, 4)
+	s.SetTask(1, 1, 0, 2)
+	st := s.ComputeStats()
+	if st.Makespan != 4 {
+		t.Errorf("Makespan = %g", st.Makespan)
+	}
+	if st.ProcBusy[0] != 4 || st.ProcBusy[1] != 2 {
+		t.Errorf("ProcBusy = %v", st.ProcBusy)
+	}
+	// utilization = (4/4 + 2/4)/2 = 0.75
+	if math.Abs(st.Utilization-0.75) > 1e-12 {
+		t.Errorf("Utilization = %g, want 0.75", st.Utilization)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := NewSchedule(2, 2)
+	s.SetTask(0, 0, 0, 1)
+	s.SetTask(1, 1, 2, 3)
+	s.AddComm(CommEvent{FromTask: 0, ToTask: 1, Data: 5,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1, Finish: 2}}})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan() != s.Makespan() || back.CommCount() != 1 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if !back.Tasks[0].Done || back.Proc(1) != 1 {
+		t.Fatal("Done flags not restored")
+	}
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+)
+
+// Validate checks a complete schedule of g on pl against the given model.
+// It verifies, in order:
+//
+//  1. every task is scheduled exactly once on a real processor with
+//     Finish = Start + w(v)*t_proc;
+//  2. no two tasks overlap on the same processor;
+//  3. every precedence edge is satisfied: same-processor edges by simple
+//     ordering, cross-processor edges through a communication event whose
+//     hop chain starts at the producer's processor after the producer
+//     finishes, ends at the consumer's processor before the consumer
+//     starts, and whose every hop lasts exactly data*link(from,to);
+//  4. under OnePort, that every processor's sends are pairwise disjoint in
+//     time and every processor's receives are pairwise disjoint in time.
+//
+// Under MacroDataflow step 4 is skipped: ports are unlimited.
+func Validate(g *graph.Graph, pl *platform.Platform, s *Schedule, model Model) error {
+	n := g.NumNodes()
+	if len(s.Tasks) != n {
+		return fmt.Errorf("sched: schedule has %d tasks, graph has %d", len(s.Tasks), n)
+	}
+	if s.Procs != pl.NumProcs() {
+		return fmt.Errorf("sched: schedule built for %d procs, platform has %d", s.Procs, pl.NumProcs())
+	}
+
+	// 1. individual task events
+	for v := 0; v < n; v++ {
+		ev := &s.Tasks[v]
+		if !ev.Done {
+			return fmt.Errorf("sched: task %d not scheduled", v)
+		}
+		if ev.Proc < 0 || ev.Proc >= pl.NumProcs() {
+			return fmt.Errorf("sched: task %d on invalid processor %d", v, ev.Proc)
+		}
+		if ev.Start < 0 {
+			return fmt.Errorf("sched: task %d starts at negative time %g", v, ev.Start)
+		}
+		want := pl.ExecTime(g.Weight(v), ev.Proc)
+		if !almostEQ(ev.Finish-ev.Start, want) {
+			return fmt.Errorf("sched: task %d duration %g, want w*t = %g", v, ev.Finish-ev.Start, want)
+		}
+	}
+
+	// 2. compute exclusivity per processor
+	byProc := make([][]*TaskEvent, pl.NumProcs())
+	for v := 0; v < n; v++ {
+		ev := &s.Tasks[v]
+		byProc[ev.Proc] = append(byProc[ev.Proc], ev)
+	}
+	for p, evs := range byProc {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		prev := -1
+		for i := range evs {
+			if evs[i].Finish == evs[i].Start {
+				continue // zero-duration tasks never occupy the processor
+			}
+			if prev >= 0 && !almostLE(evs[prev].Finish, evs[i].Start) {
+				return fmt.Errorf("sched: tasks %d and %d overlap on processor %d ([%g,%g) vs [%g,%g))",
+					evs[prev].Task, evs[i].Task, p,
+					evs[prev].Start, evs[prev].Finish, evs[i].Start, evs[i].Finish)
+			}
+			prev = i
+		}
+	}
+
+	// index communications by edge
+	type edgeKey struct{ u, v int }
+	commFor := make(map[edgeKey]*CommEvent, len(s.Comms))
+	for i := range s.Comms {
+		c := &s.Comms[i]
+		k := edgeKey{c.FromTask, c.ToTask}
+		if _, dup := commFor[k]; dup {
+			return fmt.Errorf("sched: duplicate communication for edge (%d,%d)", c.FromTask, c.ToTask)
+		}
+		if _, ok := g.EdgeData(c.FromTask, c.ToTask); !ok {
+			return fmt.Errorf("sched: communication for non-edge (%d,%d)", c.FromTask, c.ToTask)
+		}
+		if len(c.Hops) == 0 {
+			return fmt.Errorf("sched: communication for edge (%d,%d) has no hops", c.FromTask, c.ToTask)
+		}
+		commFor[k] = c
+	}
+
+	// 3. precedence constraints
+	for _, e := range g.Edges() {
+		pu, pv := s.Tasks[e.From], s.Tasks[e.To]
+		if pu.Proc == pv.Proc {
+			if !almostLE(pu.Finish, pv.Start) {
+				return fmt.Errorf("sched: edge (%d,%d) violated on processor %d: %g > %g",
+					e.From, e.To, pu.Proc, pu.Finish, pv.Start)
+			}
+			if _, has := commFor[edgeKey{e.From, e.To}]; has {
+				return fmt.Errorf("sched: same-processor edge (%d,%d) has a communication event", e.From, e.To)
+			}
+			continue
+		}
+		c, ok := commFor[edgeKey{e.From, e.To}]
+		if !ok {
+			return fmt.Errorf("sched: cross-processor edge (%d,%d) has no communication event", e.From, e.To)
+		}
+		if !almostEQ(c.Data, e.Data) {
+			return fmt.Errorf("sched: edge (%d,%d) comm data %g, want %g", e.From, e.To, c.Data, e.Data)
+		}
+		if c.Hops[0].FromProc != pu.Proc {
+			return fmt.Errorf("sched: edge (%d,%d) first hop leaves %d, producer on %d",
+				e.From, e.To, c.Hops[0].FromProc, pu.Proc)
+		}
+		if last := c.Hops[len(c.Hops)-1]; last.ToProc != pv.Proc {
+			return fmt.Errorf("sched: edge (%d,%d) last hop reaches %d, consumer on %d",
+				e.From, e.To, last.ToProc, pv.Proc)
+		}
+		if !almostLE(pu.Finish, c.Hops[0].Start) {
+			return fmt.Errorf("sched: edge (%d,%d) comm starts %g before producer finish %g",
+				e.From, e.To, c.Hops[0].Start, pu.Finish)
+		}
+		if !almostLE(c.Finish(), pv.Start) {
+			return fmt.Errorf("sched: edge (%d,%d) comm finishes %g after consumer start %g",
+				e.From, e.To, c.Finish(), pv.Start)
+		}
+		for i, h := range c.Hops {
+			if h.FromProc == h.ToProc {
+				return fmt.Errorf("sched: edge (%d,%d) hop %d is a self-hop on %d", e.From, e.To, i, h.FromProc)
+			}
+			want := pl.CommTime(e.Data, h.FromProc, h.ToProc)
+			if !almostEQ(h.Finish-h.Start, want) {
+				return fmt.Errorf("sched: edge (%d,%d) hop %d duration %g, want data*link = %g",
+					e.From, e.To, i, h.Finish-h.Start, want)
+			}
+			if i > 0 {
+				if c.Hops[i-1].ToProc != h.FromProc {
+					return fmt.Errorf("sched: edge (%d,%d) hop chain broken at hop %d", e.From, e.To, i)
+				}
+				if !almostLE(c.Hops[i-1].Finish, h.Start) {
+					return fmt.Errorf("sched: edge (%d,%d) hop %d starts before previous hop finishes", e.From, e.To, i)
+				}
+			}
+		}
+	}
+
+	// every comm event must correspond to a cross-processor edge; verified
+	// above via the non-edge check plus:
+	for i := range s.Comms {
+		c := &s.Comms[i]
+		if s.Tasks[c.FromTask].Proc == s.Tasks[c.ToTask].Proc {
+			return fmt.Errorf("sched: communication recorded for same-processor edge (%d,%d)", c.FromTask, c.ToTask)
+		}
+	}
+
+	return validatePorts(g, s, pl.NumProcs(), model)
+}
+
+// checkDisjoint verifies that the non-empty windows are pairwise
+// non-overlapping.
+func checkDisjoint(what string, wins []Interval) error {
+	sort.Slice(wins, func(i, j int) bool { return wins[i].Start < wins[j].Start })
+	for i := 1; i < len(wins); i++ {
+		if wins[i-1].End == wins[i-1].Start || wins[i].End == wins[i].Start {
+			continue // zero-length windows never occupy a resource
+		}
+		if !almostLE(wins[i-1].End, wins[i].Start) {
+			return fmt.Errorf("sched: %s overlap ([%g,%g) and [%g,%g))",
+				what, wins[i-1].Start, wins[i-1].End, wins[i].Start, wins[i].End)
+		}
+	}
+	return nil
+}
+
+// validatePorts checks the communication-resource constraints of the model:
+//
+//	OnePort           sends disjoint per processor; receives disjoint
+//	UniPort           sends and receives together disjoint per processor
+//	OnePortNoOverlap  OnePort rules + port activity disjoint from execution
+//	LinkContention    at most one message per (half-duplex) wire at a time
+//	MacroDataflow     nothing
+func validatePorts(g *graph.Graph, s *Schedule, procs int, model Model) error {
+	if model == MacroDataflow {
+		return nil
+	}
+	if model == LinkContention {
+		wires := make(map[[2]int][]Interval)
+		for i := range s.Comms {
+			for _, h := range s.Comms[i].Hops {
+				k := wireKey(h.FromProc, h.ToProc)
+				wires[k] = append(wires[k], Interval{Start: h.Start, End: h.Finish})
+			}
+		}
+		for k, wins := range wires {
+			if err := checkDisjoint(fmt.Sprintf("link-contention violation: wire %d<->%d messages", k[0], k[1]), wins); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sends := make([][]Interval, procs)
+	recvs := make([][]Interval, procs)
+	for i := range s.Comms {
+		for _, h := range s.Comms[i].Hops {
+			w := Interval{Start: h.Start, End: h.Finish}
+			sends[h.FromProc] = append(sends[h.FromProc], w)
+			recvs[h.ToProc] = append(recvs[h.ToProc], w)
+		}
+	}
+	for p := 0; p < procs; p++ {
+		if model == UniPort {
+			both := append(append([]Interval(nil), sends[p]...), recvs[p]...)
+			if err := checkDisjoint(fmt.Sprintf("uni-port violation: processor %d port activity", p), both); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := checkDisjoint(fmt.Sprintf("one-port violation: processor %d sends", p), append([]Interval(nil), sends[p]...)); err != nil {
+			return err
+		}
+		if err := checkDisjoint(fmt.Sprintf("one-port violation: processor %d receives", p), append([]Interval(nil), recvs[p]...)); err != nil {
+			return err
+		}
+	}
+	if model == OnePortNoOverlap {
+		for p := 0; p < procs; p++ {
+			wins := append(append([]Interval(nil), sends[p]...), recvs[p]...)
+			for v := 0; v < g.NumNodes(); v++ {
+				if s.Tasks[v].Done && s.Tasks[v].Proc == p {
+					wins = append(wins, Interval{Start: s.Tasks[v].Start, End: s.Tasks[v].Finish})
+				}
+			}
+			if err := checkDisjoint(fmt.Sprintf("no-overlap violation: processor %d communication vs computation", p), wins); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// wireKey canonicalizes an unordered processor pair.
+func wireKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

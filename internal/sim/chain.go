@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oneport/internal/graph"
+	"oneport/internal/sched"
+)
+
+// Critical-chain analysis: walk backwards from the task that determines the
+// makespan, at each step moving to the constraint that is *binding* — the
+// predecessor event (dependence, message, port occupation or processor
+// occupation) whose finish is latest. The resulting chain explains the
+// makespan: its compute time, its communication time and its forced idle
+// gaps decompose where the time went.
+
+// ChainLink is one event on the critical chain, listed latest first.
+type ChainLink struct {
+	Desc       string  // human-readable event description
+	Start, End float64 // the event's window
+	IdleBefore float64 // idle gap between the binding predecessor and Start
+}
+
+// chainEvent is an internal unified view of tasks and hops.
+type chainEvent struct {
+	isTask     bool
+	task       int // task id when isTask
+	comm, hop  int // comm index and hop index otherwise
+	start, end float64
+	proc       int // task's processor (tasks only)
+}
+
+// CriticalChain extracts the binding chain of the schedule under the given
+// model. The chain starts (in time) at some entry event and ends at the
+// task whose finish equals the makespan.
+func CriticalChain(g *graph.Graph, s *sched.Schedule, model sched.Model) ([]ChainLink, error) {
+	n := g.NumNodes()
+	if len(s.Tasks) != n {
+		return nil, fmt.Errorf("sim: schedule has %d tasks, graph has %d", len(s.Tasks), n)
+	}
+	// terminal task
+	last := -1
+	for v := 0; v < n; v++ {
+		if !s.Tasks[v].Done {
+			return nil, fmt.Errorf("sim: task %d not scheduled", v)
+		}
+		if last == -1 || s.Tasks[v].Finish > s.Tasks[last].Finish {
+			last = v
+		}
+	}
+	if last == -1 {
+		return nil, fmt.Errorf("sim: empty schedule")
+	}
+
+	// indices: tasks per proc by start; hops per resource by start
+	tasksByProc := map[int][]int{}
+	for v := 0; v < n; v++ {
+		p := s.Tasks[v].Proc
+		tasksByProc[p] = append(tasksByProc[p], v)
+	}
+	for _, list := range tasksByProc {
+		sort.Slice(list, func(i, j int) bool { return s.Tasks[list[i]].Start < s.Tasks[list[j]].Start })
+	}
+	commArrival := map[[2]int]int{} // edge -> comm index
+	for ci := range s.Comms {
+		commArrival[[2]int{s.Comms[ci].FromTask, s.Comms[ci].ToTask}] = ci
+	}
+	type hopKey struct{ comm, hop int }
+	sendHops := map[int][]hopKey{} // per processor
+	recvHops := map[int][]hopKey{}
+	wireHops := map[[2]int][]hopKey{}
+	for ci := range s.Comms {
+		for hi, h := range s.Comms[ci].Hops {
+			k := hopKey{ci, hi}
+			sendHops[h.FromProc] = append(sendHops[h.FromProc], k)
+			recvHops[h.ToProc] = append(recvHops[h.ToProc], k)
+			a, b := h.FromProc, h.ToProc
+			if a > b {
+				a, b = b, a
+			}
+			wireHops[[2]int{a, b}] = append(wireHops[[2]int{a, b}], k)
+		}
+	}
+
+	hopOf := func(k hopKey) sched.Hop { return s.Comms[k.comm].Hops[k.hop] }
+	// latestBefore returns the event among candidates with the largest
+	// finish not exceeding t (plus slack); nil when none qualifies.
+	better := func(best *chainEvent, cand chainEvent, t float64) *chainEvent {
+		if cand.end > t+1e-9 {
+			return best
+		}
+		if cand.end-cand.start == 0 && !cand.isTask {
+			return best // zero-length hops never bind
+		}
+		if best == nil || cand.end > best.end {
+			c := cand
+			return &c
+		}
+		return best
+	}
+
+	taskEvent := func(v int) chainEvent {
+		return chainEvent{isTask: true, task: v, start: s.Tasks[v].Start, end: s.Tasks[v].Finish, proc: s.Tasks[v].Proc}
+	}
+	hopEvent := func(k hopKey) chainEvent {
+		h := hopOf(k)
+		return chainEvent{comm: k.comm, hop: k.hop, start: h.Start, end: h.Finish}
+	}
+
+	// bindingPred finds the predecessor event with the latest finish <= start
+	bindingPred := func(ev chainEvent) *chainEvent {
+		var best *chainEvent
+		t := ev.start
+		if ev.isTask {
+			v := ev.task
+			for _, a := range g.Pred(v) {
+				if ci, ok := commArrival[[2]int{a.Node, v}]; ok {
+					best = better(best, hopEvent(hopKey{ci, len(s.Comms[ci].Hops) - 1}), t)
+				} else {
+					best = better(best, taskEvent(a.Node), t)
+				}
+			}
+			for _, u := range tasksByProc[ev.proc] {
+				if u != v && s.Tasks[u].Finish-s.Tasks[u].Start > 0 {
+					best = better(best, taskEvent(u), t)
+				}
+			}
+			if model == sched.OnePortNoOverlap {
+				for _, k := range sendHops[ev.proc] {
+					best = better(best, hopEvent(k), t)
+				}
+				for _, k := range recvHops[ev.proc] {
+					best = better(best, hopEvent(k), t)
+				}
+			}
+			return best
+		}
+		// hop: producer or previous hop in the chain
+		c := &s.Comms[ev.comm]
+		if ev.hop == 0 {
+			best = better(best, taskEvent(c.FromTask), t)
+		} else {
+			best = better(best, hopEvent(hopKey{ev.comm, ev.hop - 1}), t)
+		}
+		h := c.Hops[ev.hop]
+		self := hopKey{ev.comm, ev.hop}
+		addPort := func(keys []hopKey) {
+			for _, k := range keys {
+				if k != self {
+					best = better(best, hopEvent(k), t)
+				}
+			}
+		}
+		switch model {
+		case sched.OnePort:
+			addPort(sendHops[h.FromProc])
+			addPort(recvHops[h.ToProc])
+		case sched.UniPort:
+			addPort(sendHops[h.FromProc])
+			addPort(recvHops[h.FromProc])
+			addPort(sendHops[h.ToProc])
+			addPort(recvHops[h.ToProc])
+		case sched.OnePortNoOverlap:
+			addPort(sendHops[h.FromProc])
+			addPort(recvHops[h.ToProc])
+			for _, u := range tasksByProc[h.FromProc] {
+				best = better(best, taskEvent(u), t)
+			}
+			for _, u := range tasksByProc[h.ToProc] {
+				best = better(best, taskEvent(u), t)
+			}
+		case sched.LinkContention:
+			a, b := h.FromProc, h.ToProc
+			if a > b {
+				a, b = b, a
+			}
+			addPort(wireHops[[2]int{a, b}])
+		}
+		return best
+	}
+
+	describe := func(ev chainEvent) string {
+		if ev.isTask {
+			label := g.Label(ev.task)
+			if label == "" {
+				label = fmt.Sprintf("v%d", ev.task)
+			}
+			return fmt.Sprintf("exec %s on P%d", label, ev.proc)
+		}
+		c := &s.Comms[ev.comm]
+		h := c.Hops[ev.hop]
+		return fmt.Sprintf("comm v%d->v%d P%d=>P%d", c.FromTask, c.ToTask, h.FromProc, h.ToProc)
+	}
+
+	var chain []ChainLink
+	cur := taskEvent(last)
+	for steps := 0; steps < 4*(n+len(s.Comms))+8; steps++ {
+		link := ChainLink{Desc: describe(cur), Start: cur.start, End: cur.end}
+		pred := bindingPred(cur)
+		if pred == nil {
+			chain = append(chain, link)
+			return chain, nil
+		}
+		link.IdleBefore = cur.start - pred.end
+		if link.IdleBefore < 0 {
+			link.IdleBefore = 0
+		}
+		chain = append(chain, link)
+		cur = *pred
+	}
+	return nil, fmt.Errorf("sim: critical chain did not terminate (cyclic schedule?)")
+}
+
+// ChainReport renders a critical chain with a summary decomposition of the
+// makespan into compute, communication and idle time along the chain.
+func ChainReport(chain []ChainLink) string {
+	var b strings.Builder
+	var compute, comm, idle float64
+	for _, l := range chain {
+		if strings.HasPrefix(l.Desc, "exec") {
+			compute += l.End - l.Start
+		} else {
+			comm += l.End - l.Start
+		}
+		idle += l.IdleBefore
+	}
+	fmt.Fprintf(&b, "critical chain: %d events, compute %.4g, communication %.4g, idle %.4g\n",
+		len(chain), compute, comm, idle)
+	for i := len(chain) - 1; i >= 0; i-- {
+		l := chain[i]
+		if l.IdleBefore > 1e-9 {
+			fmt.Fprintf(&b, "%12s  (idle %.4g)\n", "", l.IdleBefore)
+		}
+		fmt.Fprintf(&b, "%10.4g  %s until %.4g\n", l.Start, l.Desc, l.End)
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"oneport/internal/graph"
+	"oneport/internal/sched"
+)
+
+// Chrome-tracing export: schedules rendered as Trace Event Format JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Each processor is
+// a "process"; its compute unit and its two ports are "threads", so task
+// executions and message hops appear as duration events on separate rows.
+
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid,omitempty"`
+	Args  map[string]any `json:"args"`
+}
+
+const (
+	tidCompute = 0
+	tidSend    = 1
+	tidRecv    = 2
+)
+
+// ChromeTrace serializes the schedule in Chrome Trace Event Format.
+// Timestamps are in microseconds by convention; scheduling time units map
+// 1:1 onto microseconds.
+func ChromeTrace(g *graph.Graph, s *sched.Schedule) ([]byte, error) {
+	var events []any
+	for p := 0; p < s.Procs; p++ {
+		events = append(events,
+			chromeMeta{Name: "process_name", Phase: "M", PID: p,
+				Args: map[string]any{"name": procName(p)}},
+			chromeMeta{Name: "thread_name", Phase: "M", PID: p, TID: tidCompute,
+				Args: map[string]any{"name": "compute"}},
+			chromeMeta{Name: "thread_name", Phase: "M", PID: p, TID: tidSend,
+				Args: map[string]any{"name": "send port"}},
+			chromeMeta{Name: "thread_name", Phase: "M", PID: p, TID: tidRecv,
+				Args: map[string]any{"name": "recv port"}},
+		)
+	}
+	for v := range s.Tasks {
+		ev := &s.Tasks[v]
+		if !ev.Done {
+			continue
+		}
+		name := g.Label(v)
+		if name == "" {
+			name = "v" + itoa(v)
+		}
+		events = append(events, chromeEvent{
+			Name: name, Cat: "task", Phase: "X",
+			TS: ev.Start, Dur: ev.Finish - ev.Start, PID: ev.Proc, TID: tidCompute,
+			Args: map[string]string{"task": itoa(v)},
+		})
+	}
+	for ci := range s.Comms {
+		c := &s.Comms[ci]
+		label := "v" + itoa(c.FromTask) + "->v" + itoa(c.ToTask)
+		for _, h := range c.Hops {
+			events = append(events,
+				chromeEvent{Name: label, Cat: "comm", Phase: "X",
+					TS: h.Start, Dur: h.Finish - h.Start, PID: h.FromProc, TID: tidSend},
+				chromeEvent{Name: label, Cat: "comm", Phase: "X",
+					TS: h.Start, Dur: h.Finish - h.Start, PID: h.ToProc, TID: tidRecv},
+			)
+		}
+	}
+	return json.Marshal(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}
+
+func procName(p int) string { return "P" + itoa(p) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,372 @@
+// Package sim replays and renders schedules.
+//
+// Replay is an independent discrete-event executor: it keeps only the
+// *decisions* of a schedule — the task-to-processor allocation, the order of
+// tasks on every processor, and the order of messages on every send and
+// receive port — and re-derives every start time as early as possible under
+// the one-port rules. Because the original schedule is one feasible
+// realization of those decisions, the replayed times can never be later;
+// the heuristics' tests use this as a cross-check (an incorrect timeline
+// computation in a scheduler almost always shows up as a replay that
+// finishes earlier or validates differently).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// event is one node of the replay DAG: a task execution or a single hop.
+type event struct {
+	dur   float64
+	succs []int
+	npred int
+	start float64
+}
+
+// Replay re-executes the decisions of s and returns the ASAP schedule.
+// The model governs whether port orders constrain the replay (OnePort) or
+// only precedence does (MacroDataflow).
+func Replay(g *graph.Graph, pl *platform.Platform, s *sched.Schedule, model sched.Model) (*sched.Schedule, error) {
+	n := g.NumNodes()
+	if len(s.Tasks) != n {
+		return nil, fmt.Errorf("sim: schedule has %d tasks, graph has %d", len(s.Tasks), n)
+	}
+	// events 0..n-1 are tasks; hops come after
+	events := make([]event, n, n+len(s.Comms))
+	for v := 0; v < n; v++ {
+		if !s.Tasks[v].Done {
+			return nil, fmt.Errorf("sim: task %d not scheduled", v)
+		}
+		events[v] = event{dur: pl.ExecTime(g.Weight(v), s.Tasks[v].Proc)}
+	}
+
+	type hopRef struct {
+		ev       int // event index
+		from, to int // processors
+		origin   float64
+	}
+	var hops []hopRef
+	addEdge := func(from, to int) {
+		events[from].succs = append(events[from].succs, to)
+		events[to].npred++
+	}
+
+	// precedence chains through communications
+	for ci := range s.Comms {
+		c := &s.Comms[ci]
+		prev := c.FromTask // producer task event
+		for _, h := range c.Hops {
+			ev := len(events)
+			events = append(events, event{dur: h.Finish - h.Start})
+			hops = append(hops, hopRef{ev: ev, from: h.FromProc, to: h.ToProc, origin: h.Start})
+			addEdge(prev, ev)
+			prev = ev
+		}
+		addEdge(prev, c.ToTask)
+	}
+	// same-processor precedence edges (no comm event exists for them)
+	commSeen := make(map[[2]int]bool, len(s.Comms))
+	for ci := range s.Comms {
+		commSeen[[2]int{s.Comms[ci].FromTask, s.Comms[ci].ToTask}] = true
+	}
+	for _, e := range g.Edges() {
+		if !commSeen[[2]int{e.From, e.To}] {
+			addEdge(e.From, e.To)
+		}
+	}
+
+	// compute resource orders: tasks per processor by original start
+	byProc := make([][]int, pl.NumProcs())
+	for v := 0; v < n; v++ {
+		byProc[s.Tasks[v].Proc] = append(byProc[s.Tasks[v].Proc], v)
+	}
+	for _, tasks := range byProc {
+		sort.Slice(tasks, func(i, j int) bool {
+			a, b := &s.Tasks[tasks[i]], &s.Tasks[tasks[j]]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return a.Task < b.Task
+		})
+		// zero-duration tasks don't occupy the processor; chaining them by
+		// id could even contradict a same-instant precedence edge
+		prev := -1
+		for _, v := range tasks {
+			if events[v].dur == 0 {
+				continue
+			}
+			if prev >= 0 {
+				addEdge(prev, v)
+			}
+			prev = v
+		}
+	}
+
+	// communication resource orders, model dependent. Each resource is a
+	// list of hop indices that must stay serialized in their original order.
+	chain := func(order []int) {
+		sort.Slice(order, func(i, j int) bool {
+			a, b := hops[order[i]], hops[order[j]]
+			if a.origin != b.origin {
+				return a.origin < b.origin
+			}
+			return a.ev < b.ev
+		})
+		for i := 1; i < len(order); i++ {
+			// zero-length hops don't occupy the resource
+			if events[hops[order[i-1]].ev].dur == 0 || events[hops[order[i]].ev].dur == 0 {
+				continue
+			}
+			addEdge(hops[order[i-1]].ev, hops[order[i]].ev)
+		}
+	}
+	switch model {
+	case sched.OnePort, sched.OnePortNoOverlap:
+		sendOrder := make([][]int, pl.NumProcs()) // indices into hops
+		recvOrder := make([][]int, pl.NumProcs())
+		for hi := range hops {
+			sendOrder[hops[hi].from] = append(sendOrder[hops[hi].from], hi)
+			recvOrder[hops[hi].to] = append(recvOrder[hops[hi].to], hi)
+		}
+		for p := 0; p < pl.NumProcs(); p++ {
+			chain(sendOrder[p])
+			chain(recvOrder[p])
+		}
+	case sched.UniPort:
+		portOrder := make([][]int, pl.NumProcs())
+		for hi := range hops {
+			portOrder[hops[hi].from] = append(portOrder[hops[hi].from], hi)
+			portOrder[hops[hi].to] = append(portOrder[hops[hi].to], hi)
+		}
+		for p := 0; p < pl.NumProcs(); p++ {
+			chain(portOrder[p])
+		}
+	case sched.LinkContention:
+		wireOrder := make(map[[2]int][]int)
+		for hi := range hops {
+			a, b := hops[hi].from, hops[hi].to
+			if a > b {
+				a, b = b, a
+			}
+			wireOrder[[2]int{a, b}] = append(wireOrder[[2]int{a, b}], hi)
+		}
+		for _, order := range wireOrder {
+			chain(order)
+		}
+	}
+	if model == sched.OnePortNoOverlap {
+		// communication also excludes computation: serialize each
+		// processor's hops and task executions on one shared resource, in
+		// original start order.
+		type busy struct {
+			ev     int
+			origin float64
+		}
+		perProc := make([][]busy, pl.NumProcs())
+		for v := 0; v < n; v++ {
+			perProc[s.Tasks[v].Proc] = append(perProc[s.Tasks[v].Proc],
+				busy{ev: v, origin: s.Tasks[v].Start})
+		}
+		for hi := range hops {
+			h := hops[hi]
+			perProc[h.from] = append(perProc[h.from], busy{ev: h.ev, origin: h.origin})
+			perProc[h.to] = append(perProc[h.to], busy{ev: h.ev, origin: h.origin})
+		}
+		for p := range perProc {
+			list := perProc[p]
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].origin != list[j].origin {
+					return list[i].origin < list[j].origin
+				}
+				return list[i].ev < list[j].ev
+			})
+			for i := 1; i < len(list); i++ {
+				if events[list[i-1].ev].dur == 0 || events[list[i].ev].dur == 0 {
+					continue
+				}
+				addEdge(list[i-1].ev, list[i].ev)
+			}
+		}
+	}
+
+	// Kahn ASAP pass
+	queue := make([]int, 0, len(events))
+	indeg := make([]int, len(events))
+	for i := range events {
+		indeg[i] = events[i].npred
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		processed++
+		end := events[i].start + events[i].dur
+		for _, sc := range events[i].succs {
+			if end > events[sc].start {
+				events[sc].start = end
+			}
+			indeg[sc]--
+			if indeg[sc] == 0 {
+				queue = append(queue, sc)
+			}
+		}
+	}
+	if processed != len(events) {
+		return nil, fmt.Errorf("sim: replay DAG has a cycle (inconsistent schedule orders)")
+	}
+
+	// assemble the replayed schedule
+	out := sched.NewSchedule(n, pl.NumProcs())
+	for v := 0; v < n; v++ {
+		out.SetTask(v, s.Tasks[v].Proc, events[v].start, events[v].start+events[v].dur)
+	}
+	hi := 0
+	for ci := range s.Comms {
+		c := &s.Comms[ci]
+		nc := sched.CommEvent{FromTask: c.FromTask, ToTask: c.ToTask, Data: c.Data}
+		for range c.Hops {
+			h := hops[hi]
+			nc.Hops = append(nc.Hops, sched.Hop{
+				FromProc: h.from, ToProc: h.to,
+				Start: events[h.ev].start, Finish: events[h.ev].start + events[h.ev].dur,
+			})
+			hi++
+		}
+		out.AddComm(nc)
+	}
+	return out, nil
+}
+
+// Gantt renders an ASCII Gantt chart of the schedule: one row per processor
+// scaled to width columns, each task block labelled where space permits.
+// Rows for send/receive ports are added when the schedule has
+// communications.
+func Gantt(g *graph.Graph, pl *platform.Platform, s *sched.Schedule, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	span := s.Makespan()
+	if span == 0 {
+		span = 1
+	}
+	col := func(t float64) int {
+		c := int(t / span * float64(width))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4g, %d comms, time scale: 1 col = %.4g\n",
+		s.Makespan(), s.CommCount(), span/float64(width))
+	for p := 0; p < pl.NumProcs(); p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			ev := &s.Tasks[v]
+			if !ev.Done || ev.Proc != p {
+				continue
+			}
+			lo, hi := col(ev.Start), col(ev.Finish)
+			if hi == lo && hi < width {
+				hi = lo + 1
+			}
+			label := g.Label(v)
+			if label == "" {
+				label = fmt.Sprintf("v%d", v)
+			}
+			for i := lo; i < hi && i < width; i++ {
+				j := i - lo
+				if j < len(label) {
+					row[i] = label[j]
+				} else {
+					row[i] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "P%-2d |%s|\n", p, row)
+	}
+	if len(s.Comms) > 0 {
+		for p := 0; p < pl.NumProcs(); p++ {
+			srow := make([]byte, width)
+			rrow := make([]byte, width)
+			for i := range srow {
+				srow[i], rrow[i] = '.', '.'
+			}
+			mark := func(row []byte, lo, hi int, ch byte) {
+				if hi == lo && hi < width {
+					hi = lo + 1
+				}
+				for i := lo; i < hi && i < width; i++ {
+					row[i] = ch
+				}
+			}
+			any := false
+			for ci := range s.Comms {
+				for _, h := range s.Comms[ci].Hops {
+					if h.FromProc == p {
+						mark(srow, col(h.Start), col(h.Finish), '>')
+						any = true
+					}
+					if h.ToProc == p {
+						mark(rrow, col(h.Start), col(h.Finish), '<')
+						any = true
+					}
+				}
+			}
+			if any {
+				fmt.Fprintf(&b, "P%-2d snd |%s|\n", p, srow)
+				fmt.Fprintf(&b, "P%-2d rcv |%s|\n", p, rrow)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Trace returns a human-readable event log of the schedule sorted by start
+// time: task executions and communication hops.
+func Trace(g *graph.Graph, s *sched.Schedule) string {
+	type line struct {
+		at   float64
+		text string
+	}
+	var lines []line
+	for v := 0; v < len(s.Tasks); v++ {
+		ev := &s.Tasks[v]
+		if !ev.Done {
+			continue
+		}
+		label := g.Label(v)
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		lines = append(lines, line{ev.Start,
+			fmt.Sprintf("%10.4g  exec %-12s on P%d until %.4g", ev.Start, label, ev.Proc, ev.Finish)})
+	}
+	for ci := range s.Comms {
+		c := &s.Comms[ci]
+		for _, h := range c.Hops {
+			lines = append(lines, line{h.Start,
+				fmt.Sprintf("%10.4g  comm v%d->v%d P%d=>P%d until %.4g (%.4g data)",
+					h.Start, c.FromTask, c.ToTask, h.FromProc, h.ToProc, h.Finish, c.Data)})
+		}
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at < lines[j].at })
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func TestReplayReproducesHEFTTimesExactly(t *testing.T) {
+	// HEFT's greedy ASAP placement should be reproduced identically by the
+	// replayer on a graph where insertion gaps don't arise.
+	g := testbeds.ForkJoin(6, 10)
+	pl := platform.Paper()
+	s, err := heuristics.HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replay(g, pl, s, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, pl, r, sched.OnePort); err != nil {
+		t.Fatalf("replayed schedule invalid: %v", err)
+	}
+	if r.Makespan() > s.Makespan()+1e-9 {
+		t.Errorf("replay makespan %g exceeds original %g", r.Makespan(), s.Makespan())
+	}
+}
+
+func TestReplayNeverLater(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testbeds.RandomLayered(seed, 2+r.Intn(4), 2+r.Intn(5), 4, float64(1+r.Intn(10)))
+		cycles := make([]float64, 1+r.Intn(4))
+		for i := range cycles {
+			cycles[i] = float64(1 + r.Intn(5))
+		}
+		pl, err := platform.Uniform(cycles, float64(1+r.Intn(3)))
+		if err != nil {
+			return false
+		}
+		for _, model := range sched.Models() {
+			s, err := heuristics.HEFT(g, pl, model)
+			if err != nil {
+				return false
+			}
+			rp, err := Replay(g, pl, s, model)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := sched.Validate(g, pl, rp, model); err != nil {
+				t.Logf("seed %d model %v: %v", seed, model, err)
+				return false
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if rp.Tasks[v].Start > s.Tasks[v].Start+1e-9 {
+					t.Logf("seed %d: task %d replayed later (%g > %g)",
+						seed, v, rp.Tasks[v].Start, s.Tasks[v].Start)
+					return false
+				}
+				if rp.Proc(v) != s.Proc(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayILHASchedules(t *testing.T) {
+	g := testbeds.LU(8, 10)
+	pl := platform.Paper()
+	s, err := heuristics.ILHA(g, pl, sched.OnePort, heuristics.ILHAOptions{B: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replay(g, pl, s, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, pl, r, sched.OnePort); err != nil {
+		t.Fatalf("replayed ILHA schedule invalid: %v", err)
+	}
+	if r.Makespan() > s.Makespan()+1e-9 {
+		t.Errorf("replay makespan %g exceeds original %g", r.Makespan(), s.Makespan())
+	}
+}
+
+func TestReplayRejectsIncompleteSchedule(t *testing.T) {
+	g := testbeds.ForkJoin(3, 1)
+	pl, _ := platform.Homogeneous(2)
+	s := sched.NewSchedule(g.NumNodes(), 2) // nothing scheduled
+	if _, err := Replay(g, pl, s, sched.OnePort); err == nil {
+		t.Fatal("expected error for unscheduled tasks")
+	}
+	bad := sched.NewSchedule(1, 2)
+	if _, err := Replay(g, pl, bad, sched.OnePort); err == nil {
+		t.Fatal("expected error for wrong task count")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g := testbeds.ForkJoin(4, 10)
+	pl, err := platform.Uniform([]float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heuristics.HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(g, pl, s, 60)
+	if !strings.Contains(out, "P0 ") || !strings.Contains(out, "P1 ") {
+		t.Errorf("Gantt missing processor rows:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan") {
+		t.Errorf("Gantt missing header:\n%s", out)
+	}
+	if s.CommCount() > 0 && !strings.Contains(out, "snd") {
+		t.Errorf("Gantt missing port rows despite %d comms:\n%s", s.CommCount(), out)
+	}
+	// tiny width is clamped, not crashed
+	_ = Gantt(g, pl, s, 1)
+}
+
+func TestTraceContainsAllEvents(t *testing.T) {
+	g := testbeds.ForkJoin(3, 5)
+	pl, _ := platform.Homogeneous(3)
+	s, err := heuristics.HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Trace(g, s)
+	lines := strings.Count(tr, "\n")
+	want := g.NumNodes() + s.CommCount() // single-hop comms
+	if lines != want {
+		t.Errorf("trace has %d lines, want %d:\n%s", lines, want, tr)
+	}
+	if !strings.Contains(tr, "exec") {
+		t.Error("trace missing exec lines")
+	}
+	var _ *graph.Graph = g
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	g := testbeds.ForkJoin(4, 10)
+	pl := platform.Paper()
+	s, err := heuristics.HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ChromeTrace(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	// 4 metadata events per processor + 1 per task + 2 per hop
+	want := 4*pl.NumProcs() + g.NumNodes() + 2*s.CommCount()
+	if len(decoded.TraceEvents) != want {
+		t.Errorf("trace has %d events, want %d", len(decoded.TraceEvents), want)
+	}
+	var tasks, comms int
+	for _, ev := range decoded.TraceEvents {
+		switch ev["cat"] {
+		case "task":
+			tasks++
+		case "comm":
+			comms++
+		}
+		if ph, ok := ev["ph"].(string); ok && ph == "X" {
+			if ev["dur"].(float64) < 0 {
+				t.Error("negative duration event")
+			}
+		}
+	}
+	if tasks != g.NumNodes() {
+		t.Errorf("task events = %d, want %d", tasks, g.NumNodes())
+	}
+	if comms != 2*s.CommCount() {
+		t.Errorf("comm events = %d, want %d", comms, 2*s.CommCount())
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	g := testbeds.ForkJoin(5, 10)
+	pl := platform.Paper()
+	s, err := heuristics.HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SVG(g, pl, s, 800)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not an SVG document:\n%.200s", out)
+	}
+	// one rect per processor lane + one per task + two per hop, at least
+	rects := strings.Count(out, "<rect")
+	want := pl.NumProcs() + g.NumNodes() + 2*s.CommCount()
+	if rects < want {
+		t.Errorf("SVG has %d rects, want at least %d", rects, want)
+	}
+	if xml.Unmarshal([]byte(out), new(struct {
+		XMLName xml.Name `xml:"svg"`
+	})) != nil {
+		t.Error("SVG does not parse as XML")
+	}
+	// tiny width is clamped
+	_ = SVG(g, pl, s, 10)
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// SVG renders the schedule as a self-contained SVG Gantt chart: one lane
+// per processor with task blocks, and a thin sub-lane underneath for port
+// activity (sends above, receives below). Suitable for embedding in reports
+// without any external tooling.
+func SVG(g *graph.Graph, pl *platform.Platform, s *sched.Schedule, width int) string {
+	if width < 200 {
+		width = 200
+	}
+	const (
+		laneH   = 34.0 // task lane height
+		portH   = 8.0  // port sub-lane height
+		gapH    = 10.0
+		leftPad = 52.0
+		topPad  = 28.0
+	)
+	span := s.Makespan()
+	if span <= 0 {
+		span = 1
+	}
+	plotW := float64(width) - leftPad - 10
+	x := func(t float64) float64 { return leftPad + t/span*plotW }
+	laneY := func(p int) float64 { return topPad + float64(p)*(laneH+2*portH+gapH) }
+	height := topPad + float64(pl.NumProcs())*(laneH+2*portH+gapH) + 24
+
+	// a small qualitative palette cycled over tasks
+	colors := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%.0f" font-family="monospace" font-size="10">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="16">makespan %.6g — %d comms</text>`+"\n", leftPad, s.Makespan(), s.CommCount())
+	for p := 0; p < pl.NumProcs(); p++ {
+		y := laneY(p)
+		fmt.Fprintf(&b, `<text x="4" y="%.1f">P%d</text>`+"\n", y+laneH/2+3, p)
+		fmt.Fprintf(&b, `<rect x="%g" y="%.1f" width="%.1f" height="%.1f" fill="#f4f4f4"/>`+"\n",
+			leftPad, y, plotW, laneH)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		ev := &s.Tasks[v]
+		if !ev.Done {
+			continue
+		}
+		y := laneY(ev.Proc)
+		w := x(ev.Finish) - x(ev.Start)
+		if w < 1 {
+			w = 1
+		}
+		label := g.Label(v)
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="%s" stroke="#333" stroke-width="0.5"><title>%s [%.6g,%.6g) on P%d</title></rect>`+"\n",
+			x(ev.Start), y, w, laneH, colors[v%len(colors)], escape(label), ev.Start, ev.Finish, ev.Proc)
+		if w > 24 {
+			fmt.Fprintf(&b, `<text x="%.2f" y="%.1f" fill="#fff">%s</text>`+"\n",
+				x(ev.Start)+2, y+laneH/2+3, escape(truncate(label, int(w/6))))
+		}
+	}
+	for ci := range s.Comms {
+		c := &s.Comms[ci]
+		title := fmt.Sprintf("v%d-&gt;v%d (%.6g data)", c.FromTask, c.ToTask, c.Data)
+		for _, h := range c.Hops {
+			w := x(h.Finish) - x(h.Start)
+			if w < 0.8 {
+				w = 0.8
+			}
+			ys := laneY(h.FromProc) + laneH + 1
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="#c0392b"><title>send %s</title></rect>`+"\n",
+				x(h.Start), ys, w, portH-2, title)
+			yr := laneY(h.ToProc) + laneH + portH + 1
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="#2980b9"><title>recv %s</title></rect>`+"\n",
+				x(h.Start), yr, w, portH-2, title)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func truncate(s string, n int) string {
+	if n < 1 {
+		n = 1
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

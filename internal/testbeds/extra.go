@@ -1,0 +1,115 @@
+package testbeds
+
+import (
+	"fmt"
+
+	"oneport/internal/graph"
+)
+
+// Additional classical task-graph families beyond the paper's six testbeds.
+// They widen the comparison suite (exp.Compare) and exercise shapes the
+// paper's kernels do not cover: trees and a tiled Cholesky factorization.
+
+// OutTree builds a complete out-tree (top-down binary tree by default):
+// every node has fanout children, depth levels in total, unit weights.
+// Trees are the classic fork-heavy workload where one-port send
+// serialization dominates.
+func OutTree(depth, fanout int, c float64) *graph.Graph {
+	g := graph.New(1 << depth)
+	build := func() int { return g.AddNode(1, fmt.Sprintf("n%d", g.NumNodes())) }
+	root := build()
+	frontier := []int{root}
+	for d := 1; d < depth; d++ {
+		var next []int
+		for _, u := range frontier {
+			for k := 0; k < fanout; k++ {
+				v := build()
+				g.MustEdge(u, v, c)
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return g
+}
+
+// InTree builds the mirror image: leaves reduce pairwise (fanout-wise) into
+// a single root; the receive port of each reducer serializes its inputs.
+func InTree(depth, fanin int, c float64) *graph.Graph {
+	g := graph.New(1 << depth)
+	// build levels from the leaves down to the root
+	width := 1
+	for d := 1; d < depth; d++ {
+		width *= fanin
+	}
+	level := make([]int, width)
+	for i := range level {
+		level[i] = g.AddNode(1, fmt.Sprintf("leaf%d", i))
+	}
+	for len(level) > 1 {
+		nextWidth := (len(level) + fanin - 1) / fanin
+		next := make([]int, nextWidth)
+		for i := range next {
+			next[i] = g.AddNode(1, fmt.Sprintf("red%d", g.NumNodes()))
+			for k := 0; k < fanin; k++ {
+				idx := i*fanin + k
+				if idx < len(level) {
+					g.MustEdge(level[idx], next[i], c)
+				}
+			}
+		}
+		level = next
+	}
+	return g
+}
+
+// Cholesky builds the tiled right-looking Cholesky factorization task graph
+// over an n×n tile grid: POTRF(k) → TRSM(k,i) → {SYRK(k,i), GEMM(k,i,j)} →
+// next level. Weights follow the classic flop ratios (POTRF 1, TRSM 3,
+// SYRK 3, GEMM 6 — scaled so the units stay comparable to the other
+// testbeds); data volumes are c times the producing task's weight, the
+// paper's convention.
+func Cholesky(n int, c float64) *graph.Graph {
+	g := graph.New(n * n * n / 3)
+	const (
+		wPotrf = 1
+		wTrsm  = 3
+		wSyrk  = 3
+		wGemm  = 6
+	)
+	// tile (i,j) last writer task id
+	writer := map[[2]int]int{}
+	dep := func(i, j, to int) {
+		if u, ok := writer[[2]int{i, j}]; ok {
+			g.MustEdge(u, to, c*g.Weight(u))
+		}
+	}
+	for k := 0; k < n; k++ {
+		potrf := g.AddNode(wPotrf, fmt.Sprintf("potrf%d", k))
+		dep(k, k, potrf)
+		writer[[2]int{k, k}] = potrf
+		for i := k + 1; i < n; i++ {
+			trsm := g.AddNode(wTrsm, fmt.Sprintf("trsm%d,%d", k, i))
+			dep(k, k, trsm)
+			dep(i, k, trsm)
+			writer[[2]int{i, k}] = trsm
+		}
+		for i := k + 1; i < n; i++ {
+			syrk := g.AddNode(wSyrk, fmt.Sprintf("syrk%d,%d", k, i))
+			dep(i, k, syrk)
+			dep(i, i, syrk)
+			writer[[2]int{i, i}] = syrk
+			for j := k + 1; j < i; j++ {
+				gemm := g.AddNode(wGemm, fmt.Sprintf("gemm%d,%d,%d", k, i, j))
+				dep(i, k, gemm)
+				dep(j, k, gemm)
+				dep(i, j, gemm)
+				writer[[2]int{i, j}] = gemm
+			}
+		}
+	}
+	return g
+}
+
+// ExtraNames lists the families beyond the paper's six.
+func ExtraNames() []string { return []string{"cholesky", "outtree", "intree"} }

@@ -1,0 +1,243 @@
+// Package testbeds generates the six task-graph families of the paper's
+// evaluation (§5.1): LU, LAPLACE, STENCIL, FORK-JOIN, DOOLITTLE and LDMt,
+// plus plain fork graphs and random layered DAGs used by tests and the
+// complexity constructions.
+//
+// Weight rules follow §5.2: LAPLACE, STENCIL and FORK-JOIN tasks have unit
+// weight; LU tasks at level k weigh N−k; DOOLITTLE and LDMt tasks at level
+// k weigh k. Every edge (u,v) carries data(u,v) = c·w(u) where c is the
+// communication-to-computation ratio of the target platform (the paper uses
+// c = 10 throughout).
+package testbeds
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"oneport/internal/graph"
+)
+
+// ForkJoin builds the FORK-JOIN testbed: a source task, n independent middle
+// tasks and a sink, all of unit weight.
+func ForkJoin(n int, c float64) *graph.Graph {
+	g := graph.New(n + 2)
+	src := g.AddNode(1, "src")
+	mids := make([]int, n)
+	for i := 0; i < n; i++ {
+		mids[i] = g.AddNode(1, fmt.Sprintf("m%d", i))
+		g.MustEdge(src, mids[i], c)
+	}
+	sink := g.AddNode(1, "sink")
+	for _, m := range mids {
+		g.MustEdge(m, sink, c)
+	}
+	return g
+}
+
+// Fork builds a bare fork graph: a parent of weight w0 and children with the
+// given weights and message sizes. It is the graph family of the paper's
+// NP-completeness proof (Figure 2).
+func Fork(w0 float64, childWeights, childData []float64) (*graph.Graph, error) {
+	if len(childWeights) != len(childData) {
+		return nil, fmt.Errorf("testbeds: %d child weights but %d data volumes",
+			len(childWeights), len(childData))
+	}
+	g := graph.New(len(childWeights) + 1)
+	parent := g.AddNode(w0, "v0")
+	for i := range childWeights {
+		v := g.AddNode(childWeights[i], fmt.Sprintf("v%d", i+1))
+		g.MustEdge(parent, v, childData[i])
+	}
+	return g, nil
+}
+
+// Laplace builds the LAPLACE testbed: an n×n grid in which cell (i,j) feeds
+// (i+1,j) and (i,j+1); all weights are 1. Every node lies on a critical
+// path (the anti-diagonal wavefront).
+func Laplace(n int, c float64) *graph.Graph {
+	g := graph.New(n * n)
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.AddNode(1, fmt.Sprintf("(%d,%d)", i, j))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				g.MustEdge(id(i, j), id(i+1, j), c)
+			}
+			if j+1 < n {
+				g.MustEdge(id(i, j), id(i, j+1), c)
+			}
+		}
+	}
+	return g
+}
+
+// Stencil builds the STENCIL testbed: n rows of n unit-weight cells; cell
+// (r,j) feeds its three lower neighbours (r+1, j−1..j+1).
+func Stencil(n int, c float64) *graph.Graph {
+	g := graph.New(n * n)
+	id := func(r, j int) int { return r*n + j }
+	for r := 0; r < n; r++ {
+		for j := 0; j < n; j++ {
+			g.AddNode(1, fmt.Sprintf("(%d,%d)", r, j))
+		}
+	}
+	for r := 0; r+1 < n; r++ {
+		for j := 0; j < n; j++ {
+			for dj := -1; dj <= 1; dj++ {
+				if nj := j + dj; nj >= 0 && nj < n {
+					g.MustEdge(id(r, j), id(r+1, nj), c)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// LU builds the LU-decomposition testbed: for k = 1..n−1 a pivot task P_k
+// and update tasks U_{k,j} (j = k+1..n), every level-k task of weight n−k
+// (the work shrinks as the factorization proceeds, [Cosnard et al.]).
+// Dependences: P_k → U_{k,j}; U_{k,k+1} → P_{k+1}; U_{k,j} → U_{k+1,j}.
+func LU(n int, c float64) *graph.Graph {
+	return eliminationGraph(n, c, func(k int) float64 { return float64(n - k) }, "lu")
+}
+
+// Doolittle builds the DOOLITTLE-reduction testbed. The dependence skeleton
+// is the row/column elimination structure of the Doolittle algorithm
+// [Golub & Van Loan]; by §5.2 the task weight at level k is k (inner
+// products grow with the step).
+func Doolittle(n int, c float64) *graph.Graph {
+	return eliminationGraph(n, c, func(k int) float64 { return float64(k) }, "doolittle")
+}
+
+// eliminationGraph is the shared skeleton of LU and DOOLITTLE: n−1 levels,
+// level k with one pivot task and n−k update tasks of weight w(k).
+func eliminationGraph(n int, c float64, weight func(int) float64, name string) *graph.Graph {
+	g := graph.New(n * n / 2)
+	// pivot[k] and update[k][j] ids, 1-based level k
+	pivot := make([]int, n) // index k = 1..n-1
+	update := make(map[[2]int]int, n*n/2)
+	for k := 1; k <= n-1; k++ {
+		w := weight(k)
+		pivot[k-1] = g.AddNode(w, fmt.Sprintf("%s-p%d", name, k))
+		for j := k + 1; j <= n; j++ {
+			update[[2]int{k, j}] = g.AddNode(w, fmt.Sprintf("%s-u%d,%d", name, k, j))
+		}
+	}
+	for k := 1; k <= n-1; k++ {
+		w := weight(k)
+		d := c * w
+		for j := k + 1; j <= n; j++ {
+			g.MustEdge(pivot[k-1], update[[2]int{k, j}], d)
+		}
+		if k+1 <= n-1 {
+			g.MustEdge(update[[2]int{k, k + 1}], pivot[k], d)
+			for j := k + 2; j <= n; j++ {
+				g.MustEdge(update[[2]int{k, j}], update[[2]int{k + 1, j}], d)
+			}
+		}
+	}
+	return g
+}
+
+// LDMt builds the LDMᵀ-factorization testbed: like the elimination skeleton
+// but each level k has a diagonal task D_k feeding two independent fans
+// (the L-solve and the M-solve), all of weight k (§5.2's rule).
+func LDMt(n int, c float64) *graph.Graph {
+	g := graph.New(n * n)
+	diag := make([]int, n)
+	lfan := make(map[[2]int]int, n*n/2)
+	mfan := make(map[[2]int]int, n*n/2)
+	for k := 1; k <= n-1; k++ {
+		w := float64(k)
+		diag[k-1] = g.AddNode(w, fmt.Sprintf("ldmt-d%d", k))
+		for j := k + 1; j <= n; j++ {
+			lfan[[2]int{k, j}] = g.AddNode(w, fmt.Sprintf("ldmt-l%d,%d", k, j))
+			mfan[[2]int{k, j}] = g.AddNode(w, fmt.Sprintf("ldmt-m%d,%d", k, j))
+		}
+	}
+	for k := 1; k <= n-1; k++ {
+		d := c * float64(k)
+		for j := k + 1; j <= n; j++ {
+			g.MustEdge(diag[k-1], lfan[[2]int{k, j}], d)
+			g.MustEdge(diag[k-1], mfan[[2]int{k, j}], d)
+		}
+		if k+1 <= n-1 {
+			g.MustEdge(lfan[[2]int{k, k + 1}], diag[k], d)
+			g.MustEdge(mfan[[2]int{k, k + 1}], diag[k], d)
+			for j := k + 2; j <= n; j++ {
+				g.MustEdge(lfan[[2]int{k, j}], lfan[[2]int{k + 1, j}], d)
+				g.MustEdge(mfan[[2]int{k, j}], mfan[[2]int{k + 1, j}], d)
+			}
+		}
+	}
+	return g
+}
+
+// RandomLayered builds a random DAG of the given number of layers and width:
+// every node has weight in [1, maxW], every layer-l node draws 1..3
+// predecessors from layer l−1, and edges carry data = c·w(source). The same
+// seed always yields the same graph.
+func RandomLayered(seed int64, layers, width, maxW int, c float64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(layers * width)
+	prev := make([]int, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]int, 0, width)
+		for i := 0; i < width; i++ {
+			w := float64(1 + r.Intn(maxW))
+			v := g.AddNode(w, fmt.Sprintf("L%d.%d", l, i))
+			cur = append(cur, v)
+			if l > 0 {
+				npred := 1 + r.Intn(3)
+				if npred > len(prev) {
+					npred = len(prev)
+				}
+				perm := r.Perm(len(prev))[:npred]
+				sort.Ints(perm)
+				for _, pi := range perm {
+					u := prev[pi]
+					g.MustEdge(u, v, c*g.Weight(u))
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Names lists the six paper testbeds in the order of §5.1.
+func Names() []string {
+	return []string{"lu", "laplace", "stencil", "forkjoin", "doolittle", "ldmt"}
+}
+
+// ByName builds the named testbed at problem size n with communication
+// ratio c.
+func ByName(name string, n int, c float64) (*graph.Graph, error) {
+	switch name {
+	case "lu":
+		return LU(n, c), nil
+	case "laplace":
+		return Laplace(n, c), nil
+	case "stencil":
+		return Stencil(n, c), nil
+	case "forkjoin":
+		return ForkJoin(n, c), nil
+	case "doolittle":
+		return Doolittle(n, c), nil
+	case "ldmt":
+		return LDMt(n, c), nil
+	case "cholesky":
+		return Cholesky(n, c), nil
+	case "outtree":
+		return OutTree(n, 2, c), nil
+	case "intree":
+		return InTree(n, 2, c), nil
+	default:
+		return nil, fmt.Errorf("testbeds: unknown testbed %q (known: %v + %v)", name, Names(), ExtraNames())
+	}
+}

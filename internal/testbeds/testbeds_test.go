@@ -1,0 +1,345 @@
+package testbeds
+
+import (
+	"testing"
+
+	"oneport/internal/graph"
+)
+
+func TestAllTestbedsAreValidDAGs(t *testing.T) {
+	for _, name := range Names() {
+		for _, n := range []int{2, 3, 5, 10} {
+			g, err := ByName(name, n, 10)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s(%d): %v", name, n, err)
+			}
+			if g.NumNodes() == 0 {
+				t.Errorf("%s(%d): empty graph", name, n)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 5, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(6, 10)
+	if g.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", g.NumNodes())
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("edges = %d, want 12", g.NumEdges())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("fork-join must have one source and one sink")
+	}
+	src, sink := g.Sources()[0], g.Sinks()[0]
+	if g.OutDegree(src) != 6 || g.InDegree(sink) != 6 {
+		t.Fatal("middle layer wrong")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Weight(v) != 1 {
+			t.Errorf("node %d weight %g, want 1", v, g.Weight(v))
+		}
+	}
+	// data = c * w(source) = 10
+	for _, e := range g.Edges() {
+		if e.Data != 10 {
+			t.Errorf("edge %v data %g, want 10", e, e.Data)
+		}
+	}
+}
+
+func TestForkValidation(t *testing.T) {
+	if _, err := Fork(1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	g, err := Fork(0, []float64{5, 7}, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("fork shape wrong: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Weight(0) != 0 {
+		t.Errorf("parent weight = %g, want 0", g.Weight(0))
+	}
+}
+
+func TestLaplaceShape(t *testing.T) {
+	n := 4
+	g := Laplace(n, 10)
+	if g.NumNodes() != n*n {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), n*n)
+	}
+	// edges: 2*n*(n-1)
+	if want := 2 * n * (n - 1); g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	// critical path: 2n-1 unit tasks along the top-left to bottom-right
+	cp, err := g.CriticalPathWeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != float64(2*n-1) {
+		t.Errorf("critical path = %g, want %d", cp, 2*n-1)
+	}
+	// every node on a critical path (§5.3): tlevel+blevel == cp for all
+	tl, _ := g.TopLevels(1, 0)
+	bl, _ := g.BottomLevels(1, 0)
+	for v := 0; v < g.NumNodes(); v++ {
+		if tl[v]+bl[v] != cp {
+			t.Errorf("node %d not on a critical path (%g+%g != %g)", v, tl[v], bl[v], cp)
+		}
+	}
+}
+
+func TestStencilShape(t *testing.T) {
+	n := 5
+	g := Stencil(n, 10)
+	if g.NumNodes() != n*n {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), n*n)
+	}
+	// interior cells have out-degree 3, boundary cells 2, last row 0
+	id := func(r, j int) int { return r*n + j }
+	if g.OutDegree(id(0, 2)) != 3 {
+		t.Errorf("interior out-degree = %d, want 3", g.OutDegree(id(0, 2)))
+	}
+	if g.OutDegree(id(0, 0)) != 2 {
+		t.Errorf("corner out-degree = %d, want 2", g.OutDegree(id(0, 0)))
+	}
+	if g.OutDegree(id(n-1, 2)) != 0 {
+		t.Errorf("last-row out-degree = %d, want 0", g.OutDegree(id(n-1, 2)))
+	}
+	// depth levels = n rows of n tasks
+	levels, err := g.DepthLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != n {
+		t.Fatalf("depth levels = %d, want %d", len(levels), n)
+	}
+	for r, level := range levels {
+		if len(level) != n {
+			t.Errorf("level %d has %d tasks, want %d", r, len(level), n)
+		}
+	}
+}
+
+func TestLUShapeAndWeights(t *testing.T) {
+	n := 5
+	g := LU(n, 10)
+	// (n-1) pivots + sum_{k=1}^{n-1} (n-k) updates = 4 + 10 = 14
+	if want := (n - 1) + n*(n-1)/2; g.NumNodes() != want {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	// level-k tasks weigh n-k; levels are 2k-1 (pivot) and 2k (updates) deep
+	levels, err := g.DepthLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// level structure alternates pivot / update fan: 2(n-1) depth levels
+	if len(levels) != 2*(n-1) {
+		t.Fatalf("depth levels = %d, want %d", len(levels), 2*(n-1))
+	}
+	for d, level := range levels {
+		k := d/2 + 1
+		for _, v := range level {
+			if g.Weight(v) != float64(n-k) {
+				t.Errorf("depth %d task %s weight %g, want %d", d, g.Label(v), g.Weight(v), n-k)
+			}
+		}
+	}
+	// data = c * w(source)
+	for _, e := range g.Edges() {
+		if e.Data != 10*g.Weight(e.From) {
+			t.Errorf("edge %v data %g, want %g", e, e.Data, 10*g.Weight(e.From))
+		}
+	}
+}
+
+func TestDoolittleWeightsGrow(t *testing.T) {
+	n := 5
+	g := Doolittle(n, 10)
+	levels, err := g.DepthLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, level := range levels {
+		k := d/2 + 1
+		for _, v := range level {
+			if g.Weight(v) != float64(k) {
+				t.Errorf("depth %d task %s weight %g, want %d", d, g.Label(v), g.Weight(v), k)
+			}
+		}
+	}
+}
+
+func TestLDMtTwoFans(t *testing.T) {
+	n := 4
+	g := LDMt(n, 10)
+	// per level k: 1 diag + 2*(n-k) fan tasks
+	want := 0
+	for k := 1; k <= n-1; k++ {
+		want += 1 + 2*(n-k)
+	}
+	if g.NumNodes() != want {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), want)
+	}
+	// the first diagonal task fans out to 2*(n-1) tasks
+	if g.OutDegree(0) != 2*(n-1) {
+		t.Errorf("diag out-degree = %d, want %d", g.OutDegree(0), 2*(n-1))
+	}
+	// weights grow with the level
+	levels, err := g.DepthLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, level := range levels {
+		k := d/2 + 1
+		for _, v := range level {
+			if g.Weight(v) != float64(k) {
+				t.Errorf("depth %d task %s weight %g, want %d", d, g.Label(v), g.Weight(v), k)
+			}
+		}
+	}
+}
+
+func TestRandomLayeredDeterministic(t *testing.T) {
+	a := RandomLayered(7, 5, 8, 4, 10)
+	b := RandomLayered(7, 5, 8, 4, 10)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.Weight(v) != b.Weight(v) {
+			t.Fatal("same seed, different weights")
+		}
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != 40 {
+		t.Fatalf("nodes = %d, want 40", a.NumNodes())
+	}
+}
+
+func TestRandomLayeredConnectivity(t *testing.T) {
+	g := RandomLayered(3, 6, 5, 3, 2)
+	// every non-first-layer node has at least one predecessor
+	levels, err := g.DepthLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 6 {
+		t.Fatalf("levels = %d, want 6", len(levels))
+	}
+	for v := 5; v < g.NumNodes(); v++ { // nodes after layer 0
+		if g.InDegree(v) == 0 {
+			t.Errorf("node %d (%s) has no predecessor", v, g.Label(v))
+		}
+	}
+}
+
+func TestGraphSizesScale(t *testing.T) {
+	// documented size formulas hold for a larger instance
+	n := 20
+	if got, want := LU(n, 1).NumNodes(), (n-1)+n*(n-1)/2; got != want {
+		t.Errorf("LU nodes = %d, want %d", got, want)
+	}
+	if got, want := Laplace(n, 1).NumNodes(), n*n; got != want {
+		t.Errorf("Laplace nodes = %d, want %d", got, want)
+	}
+	var _ *graph.Graph = Stencil(2, 1) // smallest sensible stencil builds
+}
+
+func TestOutTreeShape(t *testing.T) {
+	g := OutTree(3, 2, 5)
+	// 1 + 2 + 4 = 7 nodes, 6 edges
+	if g.NumNodes() != 7 || g.NumEdges() != 6 {
+		t.Fatalf("outtree: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if len(g.Sources()) != 1 {
+		t.Fatalf("outtree sources = %v", g.Sources())
+	}
+	if len(g.Sinks()) != 4 {
+		t.Fatalf("outtree sinks = %d, want 4", len(g.Sinks()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInTreeShape(t *testing.T) {
+	g := InTree(3, 2, 5)
+	if g.NumNodes() != 7 || g.NumEdges() != 6 {
+		t.Fatalf("intree: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if len(g.Sinks()) != 1 {
+		t.Fatalf("intree sinks = %v", g.Sinks())
+	}
+	if len(g.Sources()) != 4 {
+		t.Fatalf("intree sources = %d, want 4", len(g.Sources()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// fan-in 3 over 9 leaves: 9 -> 3 -> 1
+	g3 := InTree(3, 3, 1)
+	if g3.NumNodes() != 13 {
+		t.Fatalf("intree fanin3 nodes = %d, want 13", g3.NumNodes())
+	}
+}
+
+func TestCholeskyShape(t *testing.T) {
+	n := 4
+	g := Cholesky(n, 10)
+	// counts: potrf n; trsm n(n-1)/2; syrk n(n-1)/2; gemm sum_{k} C(n-k-1,2)
+	wantGemm := 0
+	for k := 0; k < n; k++ {
+		m := n - k - 1
+		wantGemm += m * (m - 1) / 2
+	}
+	want := n + n*(n-1)/2 + n*(n-1)/2 + wantGemm
+	if g.NumNodes() != want {
+		t.Fatalf("cholesky nodes = %d, want %d", g.NumNodes(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// the first potrf is the unique entry
+	if len(g.Sources()) != 1 || g.Sources()[0] != 0 {
+		t.Fatalf("cholesky sources = %v", g.Sources())
+	}
+	// data volumes follow the c*w(producer) rule
+	for _, e := range g.Edges() {
+		if e.Data != 10*g.Weight(e.From) {
+			t.Fatalf("edge %v data %g, want %g", e, e.Data, 10*g.Weight(e.From))
+		}
+	}
+}
+
+func TestExtraTestbedsSchedulable(t *testing.T) {
+	for _, name := range ExtraNames() {
+		g, err := ByName(name, 4, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
