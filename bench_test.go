@@ -23,6 +23,7 @@ import (
 // benchFigure regenerates one figure point and reports both speedups.
 func benchFigure(b *testing.B, figID string, size int) {
 	b.Helper()
+	b.ReportAllocs()
 	fig, err := exp.FigureByID(figID)
 	if err != nil {
 		b.Fatal(err)
@@ -55,11 +56,13 @@ func BenchmarkFig12Stencil(b *testing.B)   { benchFigure(b, "fig12", 40) }
 // BenchmarkAblationBSweep shows the §5.3 chunk-size sensitivity on LU: the
 // critical path favours small B.
 func BenchmarkAblationBSweep(b *testing.B) {
+	b.ReportAllocs()
 	pl := platform.Paper()
 	g := testbeds.LU(60, exp.CommRatio)
 	seq := pl.SequentialTime(g.TotalWeight())
 	for _, chunk := range []int{2, 4, 10, 38} {
 		b.Run(benchName("B", chunk), func(b *testing.B) {
+			b.ReportAllocs()
 			var sp float64
 			for i := 0; i < b.N; i++ {
 				s, err := heuristics.ILHA(g, pl, sched.OnePort, heuristics.ILHAOptions{B: chunk})
@@ -77,6 +80,7 @@ func BenchmarkAblationBSweep(b *testing.B) {
 // paper's Step 1 (scan depth 0), the single-communication scan (depth 1),
 // capacity-capped Step 2, and the communication-rescheduling third step.
 func BenchmarkAblationILHAVariants(b *testing.B) {
+	b.ReportAllocs()
 	pl := platform.Paper()
 	g := testbeds.Stencil(40, exp.CommRatio)
 	seq := pl.SequentialTime(g.TotalWeight())
@@ -91,6 +95,7 @@ func BenchmarkAblationILHAVariants(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sp float64
 			var comms int
 			for i := 0; i < b.N; i++ {
@@ -110,11 +115,13 @@ func BenchmarkAblationILHAVariants(b *testing.B) {
 // BenchmarkAblationPortModels quantifies the cost of realism: the same
 // heuristic under macro-dataflow (unlimited ports) versus one-port.
 func BenchmarkAblationPortModels(b *testing.B) {
+	b.ReportAllocs()
 	pl := platform.Paper()
 	g := testbeds.Laplace(40, exp.CommRatio)
 	seq := pl.SequentialTime(g.TotalWeight())
 	for _, m := range []sched.Model{sched.MacroDataflow, sched.OnePort} {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var sp float64
 			for i := 0; i < b.N; i++ {
 				s, err := heuristics.HEFT(g, pl, m)
@@ -131,6 +138,7 @@ func BenchmarkAblationPortModels(b *testing.B) {
 // BenchmarkHEFTThroughput measures raw scheduling throughput (tasks/second)
 // of the one-port HEFT implementation on a mid-size LU graph.
 func BenchmarkHEFTThroughput(b *testing.B) {
+	b.ReportAllocs()
 	pl := platform.Paper()
 	g := testbeds.LU(60, exp.CommRatio)
 	b.ResetTimer()
@@ -164,6 +172,7 @@ func itoa(v int) string {
 // buys over append-only placement — the timeline-policy ablation from
 // DESIGN.md.
 func BenchmarkAblationInsertion(b *testing.B) {
+	b.ReportAllocs()
 	pl := platform.Paper()
 	g := testbeds.LU(40, exp.CommRatio)
 	seq := pl.SequentialTime(g.TotalWeight())
@@ -172,6 +181,7 @@ func BenchmarkAblationInsertion(b *testing.B) {
 		f    heuristics.Func
 	}{{"insertion", heuristics.HEFT}, {"append", heuristics.HEFTAppend}} {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var sp float64
 			for i := 0; i < b.N; i++ {
 				s, err := v.f(g, pl, sched.OnePort)
@@ -188,6 +198,7 @@ func BenchmarkAblationInsertion(b *testing.B) {
 // BenchmarkAblationImprove measures the §4.4 post-allocation rescheduling
 // pass: HEFT's schedule reworked by N stochastic fixed-allocation rounds.
 func BenchmarkAblationImprove(b *testing.B) {
+	b.ReportAllocs()
 	pl := platform.Paper()
 	g := testbeds.Stencil(24, exp.CommRatio)
 	seq := pl.SequentialTime(g.TotalWeight())
@@ -197,6 +208,7 @@ func BenchmarkAblationImprove(b *testing.B) {
 	}
 	for _, rounds := range []int{0, 8, 32} {
 		b.Run(benchName("rounds", rounds), func(b *testing.B) {
+			b.ReportAllocs()
 			var sp float64
 			for i := 0; i < b.N; i++ {
 				s, err := heuristics.Improve(g, pl, sched.OnePort, base, rounds, 1)
@@ -213,6 +225,7 @@ func BenchmarkAblationImprove(b *testing.B) {
 // BenchmarkOptimalityGap runs the exhaustive active-schedule search on a
 // tiny instance and reports how far HEFT and ILHA sit from the optimum.
 func BenchmarkOptimalityGap(b *testing.B) {
+	b.ReportAllocs()
 	pl, err := platform.Uniform([]float64{1, 2}, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -242,6 +255,7 @@ func BenchmarkOptimalityGap(b *testing.B) {
 // BenchmarkCompareHeuristics runs the whole registry on the mixed workload
 // suite and reports the two headline means.
 func BenchmarkCompareHeuristics(b *testing.B) {
+	b.ReportAllocs()
 	wls, err := exp.StandardWorkloads(8)
 	if err != nil {
 		b.Fatal(err)

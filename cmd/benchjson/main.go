@@ -1,0 +1,89 @@
+// Command benchjson runs the figure benchmark suite and writes a
+// machine-readable trajectory point (BENCH_<tag>.json by default), so
+// successive changes to the scheduler hot path leave a comparable record.
+//
+//	benchjson -tag seed                      # writes BENCH_seed.json
+//	benchjson -baseline BENCH_seed.json      # embeds the previous point
+//	benchjson -only fig8,heft                # substring filter on spec names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"oneport/internal/perf"
+)
+
+func main() {
+	tag := flag.String("tag", time.Now().UTC().Format("20060102"), "tag naming this trajectory point")
+	out := flag.String("o", "", "output path (default BENCH_<tag>.json)")
+	baseline := flag.String("baseline", "", "previous report whose results are embedded as the baseline")
+	only := flag.String("only", "", "comma-separated substrings; keep specs whose name contains any")
+	flag.Parse()
+
+	var keep func(string) bool
+	if *only != "" {
+		pats := strings.Split(*only, ",")
+		keep = func(name string) bool {
+			for _, p := range pats {
+				if strings.Contains(name, strings.TrimSpace(p)) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	// load the baseline before the (slow) benchmark run so a bad path
+	// fails immediately
+	var base []perf.Result
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base, err = perf.LoadBaseline(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep, err := perf.Run(*tag, keep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Baseline = base
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *tag + ".json"
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	byName := map[string]perf.Result{}
+	for _, r := range rep.Baseline {
+		byName[r.Name] = r
+	}
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-22s %12.0f ns/op %10d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if b, ok := byName[r.Name]; ok && r.NsPerOp > 0 && b.NsPerOp > 0 {
+			line += fmt.Sprintf("   %.2fx vs baseline", b.NsPerOp/r.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,3 @@
+module oneport
+
+go 1.24

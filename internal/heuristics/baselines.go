@@ -143,7 +143,9 @@ func DLS(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Sched
 				delta := g.Weight(v)*ef - pl.ExecTime(g.Weight(v), q)
 				dl := sl[v] - cand.start + delta
 				if dl > bestDL {
-					bestV, bestDL, bestPl = v, dl, cand
+					// cand's comms live in probe scratch; stash them so the
+					// held best survives the remaining probes of this step
+					bestV, bestDL, bestPl = v, dl, s.stash(cand)
 				}
 			}
 		}

@@ -13,12 +13,43 @@ package heuristics
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"oneport/internal/graph"
 	"oneport/internal/platform"
 	"oneport/internal/sched"
 )
+
+// probeWorkers is the number of goroutines bestEFT fans candidate probes out
+// to; 1 disables parallel probing. It is sampled when a state is created.
+var probeWorkers atomic.Int64
+
+// probeParallelGrain is the minimum probe work — len(preds) × candidate
+// count — below which bestEFT stays on the sequential path: for small tasks
+// the goroutine fan-out costs more than the probes themselves. Probes are
+// deterministic either way, so the cut-over is invisible in the output.
+var probeParallelGrain = 64
+
+func init() {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	probeWorkers.Store(int64(w))
+}
+
+// SetProbeParallelism sets the number of concurrent probe workers bestEFT
+// uses (clamped to at least 1; n = 1 forces the sequential reference path)
+// and returns the previous value. It applies to states created afterwards.
+func SetProbeParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(probeWorkers.Swap(int64(n)))
+}
 
 // state carries the incremental resource timelines during list scheduling.
 type state struct {
@@ -38,10 +69,78 @@ type state struct {
 	wires   map[[2]int]*sched.Intervals // per-wire timeline (LinkContention)
 
 	sch *sched.Schedule
+
+	// probe scratch, all lazily created and reused across probes: one buf
+	// per worker (bufs[0] doubles as the sequential buf), the predecessor
+	// buffer, and the per-worker reduction slots of a parallel bestEFT.
+	par     int // max probe workers for this state
+	bufs    []*probeBuf
+	wg      sync.WaitGroup
+	predBuf []predInfo
+	results []workerBest
+
+	// hopArena chunks the committed hop copies handed to the schedule, so a
+	// commit costs one allocation per arena chunk instead of one per comm
+	// event. Carved slices are capacity-limited, so later arena appends can
+	// never write into a slice the schedule already owns.
+	hopArena []sched.Hop
+}
+
+// workerBest is one worker's contribution to a parallel bestEFT reduction.
+type workerBest struct {
+	pl  placement
+	pos int // candidate position of pl, -1 when the worker saw none
+}
+
+// probeJob is one stripe of a parallel bestEFT, dispatched to a pool worker.
+type probeJob struct {
+	s          *state
+	v          int
+	candidates []int
+	preds      []predInfo
+	n, w, wi   int
+	res        []workerBest
+	done       *sync.WaitGroup
+}
+
+// The probe worker pool is shared by every state in the process: workers are
+// stateless (each job carries the state, stripe and result slot it needs),
+// so one bounded set of goroutines serves any number of concurrent
+// schedulers without per-state spawn cost or lifecycle management. It is
+// started lazily by the first bestEFT that crosses the parallel grain and
+// sized to the machine, not to any state's par setting — a state asking for
+// more stripes than there are workers just queues; the reduction is
+// positional, so worker count never affects the schedule.
+var (
+	probePoolOnce sync.Once
+	probeJobs     chan probeJob
+)
+
+func poolJobs() chan probeJob {
+	probePoolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0) - 1
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > 8 {
+			workers = 8
+		}
+		probeJobs = make(chan probeJob, 4*workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for j := range probeJobs {
+					j.res[j.wi] = j.s.probeStripe(j.v, j.candidates, j.preds, j.n, j.w, j.wi)
+					j.done.Done()
+				}
+			}()
+		}
+	})
+	return probeJobs
 }
 
 // wire returns the timeline of the undirected wire {a,b}, creating it on
-// first use.
+// first use. Only commit may call it: probes must use wireBase, which never
+// mutates the map and is therefore safe under parallel probing.
 func (s *state) wire(a, b int) *sched.Intervals {
 	if a > b {
 		a, b = b, a
@@ -53,6 +152,23 @@ func (s *state) wire(a, b int) *sched.Intervals {
 		s.wires[k] = w
 	}
 	return w
+}
+
+// wireBase returns the committed timeline of wire {a,b}, or nil when the
+// wire has never carried a message (a nil View.Base is treated as empty).
+func (s *state) wireBase(a, b int) *sched.Intervals {
+	if a > b {
+		a, b = b, a
+	}
+	return s.wires[[2]int{a, b}]
+}
+
+// buf returns the i-th probe buffer, creating it on first use.
+func (s *state) buf(i int) *probeBuf {
+	for len(s.bufs) <= i {
+		s.bufs = append(s.bufs, newProbeBuf(s.pl.NumProcs()))
+	}
+	return s.bufs[i]
 }
 
 func newState(g *graph.Graph, pl *platform.Platform, model sched.Model) (*state, error) {
@@ -68,6 +184,7 @@ func newState(g *graph.Graph, pl *platform.Platform, model sched.Model) (*state,
 		recv:    make([]*sched.Intervals, pl.NumProcs()),
 		wires:   make(map[[2]int]*sched.Intervals),
 		sch:     sched.NewSchedule(g.NumNodes(), pl.NumProcs()),
+		par:     int(probeWorkers.Load()),
 	}
 	for i := 0; i < pl.NumProcs(); i++ {
 		s.compute[i] = &sched.Intervals{}
@@ -85,7 +202,8 @@ func newState(g *graph.Graph, pl *platform.Platform, model sched.Model) (*state,
 }
 
 // clone deep-copies the state (used by the ILHA communication-rescheduling
-// variant, which needs to undo a chunk's tentative placement).
+// variant, which needs to undo a chunk's tentative placement). Probe scratch
+// is not shared: the clone lazily grows its own buffers.
 func (s *state) clone() *state {
 	c := &state{
 		g:          s.g,
@@ -93,6 +211,7 @@ func (s *state) clone() *state {
 		model:      s.model,
 		routes:     s.routes,
 		appendOnly: s.appendOnly,
+		par:        s.par,
 		compute:    make([]*sched.Intervals, len(s.compute)),
 		send:       make([]*sched.Intervals, len(s.send)),
 		recv:       make([]*sched.Intervals, len(s.recv)),
@@ -115,42 +234,13 @@ func (s *state) clone() *state {
 }
 
 // placement is the result of probing one candidate processor for one task.
+// comms points into scratch storage owned by the state: it stays valid until
+// the next probe cycle, so callers must commit (or stash) a placement before
+// probing again.
 type placement struct {
 	proc          int
 	start, finish float64
 	comms         []sched.CommEvent
-}
-
-// overlay holds the tentative resource reservations accumulated while
-// probing a candidate placement, keyed by processor (or wire). It never
-// touches the committed timelines.
-type overlay struct {
-	send    map[int][]sched.Interval
-	recv    map[int][]sched.Interval
-	compute map[int][]sched.Interval    // OnePortNoOverlap only
-	wire    map[[2]int][]sched.Interval // LinkContention only
-}
-
-func newOverlay() *overlay {
-	return &overlay{
-		send:    make(map[int][]sched.Interval),
-		recv:    make(map[int][]sched.Interval),
-		compute: make(map[int][]sched.Interval),
-		wire:    make(map[[2]int][]sched.Interval),
-	}
-}
-
-func (o *overlay) addSend(p int, start, end float64) {
-	o.send[p] = sched.AddExtra(o.send[p], start, end)
-}
-func (o *overlay) addRecv(p int, start, end float64) {
-	o.recv[p] = sched.AddExtra(o.recv[p], start, end)
-}
-func (o *overlay) addCompute(p int, start, end float64) {
-	o.compute[p] = sched.AddExtra(o.compute[p], start, end)
-}
-func (o *overlay) addWire(k [2]int, start, end float64) {
-	o.wire[k] = sched.AddExtra(o.wire[k], start, end)
 }
 
 // path returns the processor chain a message from q to r traverses.
@@ -163,54 +253,54 @@ func (s *state) path(q, r int) []int {
 
 // placeComm finds, without committing, the hop chain for moving data items
 // from proc q (available at time ready) to proc r, honouring the model, the
-// committed timelines and the overlay. It records its reservations in the
-// overlay and returns the comm event and the arrival time.
-func (s *state) placeComm(u, v int, data float64, q, r int, ready float64, o *overlay) (sched.CommEvent, float64) {
-	ev := sched.CommEvent{FromTask: u, ToTask: v, Data: data}
+// committed timelines and the buf's tentative overlay. It appends the comm
+// event and its reservations to the buf and returns the arrival time.
+func (s *state) placeComm(b *probeBuf, u, v int, data float64, q, r int, ready float64) float64 {
+	ev := b.appendComm(u, v, data)
 	t := ready
 	procs := s.path(q, r)
 	for i := 0; i+1 < len(procs); i++ {
-		a, b := procs[i], procs[i+1]
-		dur := s.pl.CommTime(data, a, b)
+		pa, pb := procs[i], procs[i+1]
+		dur := s.pl.CommTime(data, pa, pb)
 		var start float64
 		switch s.model {
 		case sched.OnePort:
 			start = sched.EarliestGap(t, dur,
-				sched.View{Base: s.send[a], Extra: o.send[a]},
-				sched.View{Base: s.recv[b], Extra: o.recv[b]})
-			o.addSend(a, start, start+dur)
-			o.addRecv(b, start, start+dur)
+				sched.View{Base: s.send[pa], Extra: b.send[pa], Cur: b.cur(b.sendCur, pa)},
+				sched.View{Base: s.recv[pb], Extra: b.recv[pb], Cur: b.cur(b.recvCur, pb)})
+			b.addSend(pa, start, start+dur)
+			b.addRecv(pb, start, start+dur)
 		case sched.UniPort:
 			// a single half-duplex port per processor: every hop occupies
 			// the (combined) port of both endpoints, stored in send[].
 			start = sched.EarliestGap(t, dur,
-				sched.View{Base: s.send[a], Extra: o.send[a]},
-				sched.View{Base: s.send[b], Extra: o.send[b]})
-			o.addSend(a, start, start+dur)
-			o.addSend(b, start, start+dur)
+				sched.View{Base: s.send[pa], Extra: b.send[pa], Cur: b.cur(b.sendCur, pa)},
+				sched.View{Base: s.send[pb], Extra: b.send[pb], Cur: b.cur(b.sendCur, pb)})
+			b.addSend(pa, start, start+dur)
+			b.addSend(pb, start, start+dur)
 		case sched.OnePortNoOverlap:
 			// one-port rules and the hop blocks computation on both ends
 			start = sched.EarliestGap(t, dur,
-				sched.View{Base: s.send[a], Extra: o.send[a]},
-				sched.View{Base: s.recv[b], Extra: o.recv[b]},
-				sched.View{Base: s.compute[a], Extra: o.compute[a]},
-				sched.View{Base: s.compute[b], Extra: o.compute[b]})
-			o.addSend(a, start, start+dur)
-			o.addRecv(b, start, start+dur)
-			o.addCompute(a, start, start+dur)
-			o.addCompute(b, start, start+dur)
+				sched.View{Base: s.send[pa], Extra: b.send[pa], Cur: b.cur(b.sendCur, pa)},
+				sched.View{Base: s.recv[pb], Extra: b.recv[pb], Cur: b.cur(b.recvCur, pb)},
+				sched.View{Base: s.compute[pa], Extra: b.compute[pa], Cur: b.cur(b.computeCur, pa)},
+				sched.View{Base: s.compute[pb], Extra: b.compute[pb], Cur: b.cur(b.computeCur, pb)})
+			b.addSend(pa, start, start+dur)
+			b.addRecv(pb, start, start+dur)
+			b.addCompute(pa, start, start+dur)
+			b.addCompute(pb, start, start+dur)
 		case sched.LinkContention:
-			k := wireKey(a, b)
+			k := wireKey(pa, pb)
 			start = sched.EarliestGap(t, dur,
-				sched.View{Base: s.wire(a, b), Extra: o.wire[k]})
-			o.addWire(k, start, start+dur)
+				sched.View{Base: s.wireBase(pa, pb), Extra: b.wireExtra(k)})
+			b.addWire(k, start, start+dur)
 		default: // MacroDataflow: ports are unlimited
 			start = t
 		}
-		ev.Hops = append(ev.Hops, sched.Hop{FromProc: a, ToProc: b, Start: start, Finish: start + dur})
+		ev.Hops = append(ev.Hops, sched.Hop{FromProc: pa, ToProc: pb, Start: start, Finish: start + dur})
 		t = start + dur
 	}
-	return ev, t
+	return t
 }
 
 // wireKey canonicalizes an unordered processor pair.
@@ -231,10 +321,11 @@ type predInfo struct {
 
 // preds gathers the (already scheduled) predecessors of v sorted by
 // ascending finish time (ties by node id), the greedy order in which their
-// messages are serialized.
+// messages are serialized. The returned slice is scratch owned by the state
+// and stays valid until the next preds call.
 func (s *state) preds(v int) []predInfo {
 	adj := s.g.Pred(v)
-	out := make([]predInfo, 0, len(adj))
+	out := s.predBuf[:0]
 	for _, a := range adj {
 		ev := &s.sch.Tasks[a.Node]
 		if !ev.Done {
@@ -242,23 +333,39 @@ func (s *state) preds(v int) []predInfo {
 		}
 		out = append(out, predInfo{node: a.Node, data: a.Data, proc: ev.Proc, finish: ev.Finish})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].finish != out[j].finish {
-			return out[i].finish < out[j].finish
+	// insertion sort: pred lists are short and often nearly sorted, and this
+	// avoids the sort.Slice closure allocation on the hot path
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && predLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].node < out[j].node
-	})
+	}
+	s.predBuf = out
 	return out
 }
 
-// probe computes the placement of task v on processor proc: it tentatively
-// schedules every incoming communication as early as possible (in pred
-// finish-time order, honouring the one-port constraint when the model asks
-// for it) and then finds the earliest compute gap. Nothing is committed.
+func predLess(a, b predInfo) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	return a.node < b.node
+}
+
+// probe computes the placement of task v on processor proc using the
+// sequential scratch buffer. See probeWith for the contract.
 func (s *state) probe(v, proc int, preds []predInfo) placement {
-	o := newOverlay()
+	return s.probeWith(s.buf(0), v, proc, preds)
+}
+
+// probeWith computes the placement of task v on processor proc: it
+// tentatively schedules every incoming communication as early as possible
+// (in pred finish-time order, honouring the one-port constraint when the
+// model asks for it) and then finds the earliest compute gap. Nothing is
+// committed; all tentative reservations live in b, and the returned
+// placement's comms point into b (valid until b's next probe).
+func (s *state) probeWith(b *probeBuf, v, proc int, preds []predInfo) placement {
+	b.reset()
 	ready := 0.0
-	var comms []sched.CommEvent
 	for _, p := range preds {
 		if p.proc == proc {
 			if p.finish > ready {
@@ -266,8 +373,7 @@ func (s *state) probe(v, proc int, preds []predInfo) placement {
 			}
 			continue
 		}
-		ev, arrival := s.placeComm(p.node, v, p.data, p.proc, proc, p.finish, o)
-		comms = append(comms, ev)
+		arrival := s.placeComm(b, p.node, v, p.data, p.proc, proc, p.finish)
 		if arrival > ready {
 			ready = arrival
 		}
@@ -277,14 +383,23 @@ func (s *state) probe(v, proc int, preds []predInfo) placement {
 		ready = s.compute[proc].LastEnd()
 	}
 	// under OnePortNoOverlap the task's own incoming messages also reserved
-	// the processor's compute timeline (o.compute), so include the overlay
-	start := sched.EarliestGap(ready, dur, sched.View{Base: s.compute[proc], Extra: o.compute[proc]})
-	return placement{proc: proc, start: start, finish: start + dur, comms: comms}
+	// the processor's compute timeline (b.compute), so include the overlay
+	start := sched.EarliestGap(ready, dur,
+		sched.View{Base: s.compute[proc], Extra: b.compute[proc], Cur: b.cur(b.computeCur, proc)})
+	return placement{proc: proc, start: start, finish: start + dur, comms: b.comms}
+}
+
+// stash copies a placement's comm events out of the probe scratch into the
+// sequential buf's stable stash, so the placement survives later probes.
+// Callers that keep a placement across probe cycles (DLS) must stash it.
+func (s *state) stash(pl placement) placement {
+	return stashPlacement(&s.buf(0).best, pl)
 }
 
 // commit applies a placement: communication hops are reserved on the port
 // timelines, the task occupies its compute window, and the schedule records
-// both.
+// both. The schedule takes ownership of a fresh copy of each event's hops
+// (the placement's hop storage is probe scratch that will be recycled).
 func (s *state) commit(v int, pl placement) {
 	for _, c := range pl.comms {
 		for _, h := range c.Hops {
@@ -304,34 +419,120 @@ func (s *state) commit(v int, pl placement) {
 				s.wire(h.FromProc, h.ToProc).Add(h.Start, h.Finish)
 			}
 		}
+		c.Hops = s.ownHops(c.Hops)
 		s.sch.AddComm(c)
 	}
 	s.compute[pl.proc].Add(pl.start, pl.finish)
 	s.sch.SetTask(v, pl.proc, pl.start, pl.finish)
 }
 
+// ownHops copies probe-scratch hops into the state's arena and returns a
+// stable, capacity-limited slice the schedule can own.
+func (s *state) ownHops(hops []sched.Hop) []sched.Hop {
+	if cap(s.hopArena)-len(s.hopArena) < len(hops) {
+		n := 1024
+		if len(hops) > n {
+			n = len(hops)
+		}
+		s.hopArena = make([]sched.Hop, 0, n)
+	}
+	n0 := len(s.hopArena)
+	s.hopArena = append(s.hopArena, hops...)
+	return s.hopArena[n0:len(s.hopArena):len(s.hopArena)]
+}
+
 // bestEFT probes every processor in candidates (all processors when nil) and
 // returns the placement with the earliest finish time, breaking ties by the
-// lowest processor index — the paper's convention.
+// lowest candidate position — with ascending candidates that is the lowest
+// processor index, the paper's convention.
+//
+// When the probe work is large enough, candidates are probed concurrently by
+// a small worker fan-out. This is safe because probes only read the
+// committed timelines and write worker-private scratch, and it is exact:
+// every candidate's placement is a pure function of the committed state, so
+// the (finish, position)-minimum reduction returns byte-identical schedules
+// to the sequential loop.
 func (s *state) bestEFT(v int, candidates []int) placement {
 	preds := s.preds(v)
-	best := placement{proc: -1}
-	try := func(p int) {
-		pl := s.probe(v, p, preds)
-		if best.proc == -1 || pl.finish < best.finish {
-			best = pl
-		}
-	}
+	n := len(candidates)
 	if candidates == nil {
-		for p := 0; p < s.pl.NumProcs(); p++ {
-			try(p)
+		n = s.pl.NumProcs()
+	}
+	w := s.par
+	if w > n {
+		w = n
+	}
+	if w > 1 && (len(preds)+1)*n >= probeParallelGrain {
+		return s.bestEFTParallel(v, candidates, preds, n, w)
+	}
+	// sequential reference path: allocation-free in steady state
+	b := s.buf(0)
+	best := placement{proc: -1}
+	for j := 0; j < n; j++ {
+		p := j
+		if candidates != nil {
+			p = candidates[j]
 		}
-	} else {
-		for _, p := range candidates {
-			try(p)
+		pl := s.probeWith(b, v, p, preds)
+		if best.proc == -1 || pl.finish < best.finish {
+			best = stashPlacement(&b.best, pl)
 		}
 	}
 	return best
+}
+
+// bestEFTParallel fans the candidate probes of one task out to w workers.
+// Worker wi probes candidates wi, wi+w, wi+2w, … in ascending position order
+// and keeps its local best under the same strict earliest-finish comparison
+// as the sequential loop; the final reduction takes the minimum by (finish,
+// candidate position), which is exactly the placement the sequential loop
+// would have kept.
+func (s *state) bestEFTParallel(v int, candidates []int, preds []predInfo, n, w int) placement {
+	for len(s.results) < w {
+		s.results = append(s.results, workerBest{})
+	}
+	res := s.results[:w]
+	s.buf(w - 1) // materialize every worker buf before the fan-out
+	jobs := poolJobs()
+	s.wg.Add(w - 1)
+	for wi := 1; wi < w; wi++ {
+		jobs <- probeJob{
+			s: s, v: v, candidates: candidates, preds: preds,
+			n: n, w: w, wi: wi, res: res, done: &s.wg,
+		}
+	}
+	res[0] = s.probeStripe(v, candidates, preds, n, w, 0)
+	s.wg.Wait()
+	best := workerBest{pos: -1}
+	for _, r := range res {
+		if r.pos < 0 {
+			continue
+		}
+		if best.pos < 0 || r.pl.finish < best.pl.finish ||
+			(r.pl.finish == best.pl.finish && r.pos < best.pos) {
+			best = r
+		}
+	}
+	return best.pl
+}
+
+// probeStripe probes candidates wi, wi+w, wi+2w, … of task v and returns the
+// stripe's best placement under the strict earliest-finish comparison,
+// stashed into the stripe's own buf.
+func (s *state) probeStripe(v int, candidates []int, preds []predInfo, n, w, wi int) workerBest {
+	b := s.bufs[wi]
+	lb := workerBest{pos: -1}
+	for j := wi; j < n; j += w {
+		p := j
+		if candidates != nil {
+			p = candidates[j]
+		}
+		pl := s.probeWith(b, v, p, preds)
+		if lb.pos < 0 || pl.finish < lb.pl.finish {
+			lb = workerBest{pl: stashPlacement(&b.best, pl), pos: j}
+		}
+	}
+	return lb
 }
 
 // priorities computes the paper's bottom levels: task weights scaled by the
@@ -392,6 +593,7 @@ type releaser struct {
 	g      *graph.Graph
 	indeg  []int
 	placed int
+	out    []int // scratch returned by release, reused across calls
 }
 
 func newReleaser(g *graph.Graph) *releaser {
@@ -413,16 +615,18 @@ func (rl *releaser) initial() []int {
 	return out
 }
 
-// release marks v scheduled and returns the tasks that become ready.
+// release marks v scheduled and returns the tasks that become ready. The
+// returned slice is scratch reused by the next release call.
 func (rl *releaser) release(v int) []int {
 	rl.placed++
-	var out []int
+	out := rl.out[:0]
 	for _, a := range rl.g.Succ(v) {
 		rl.indeg[a.Node]--
 		if rl.indeg[a.Node] == 0 {
 			out = append(out, a.Node)
 		}
 	}
+	rl.out = out
 	return out
 }
 

@@ -1,0 +1,206 @@
+// Package perf runs the repository's figure benchmarks programmatically and
+// emits a machine-readable trajectory point (BENCH_<tag>.json), so each PR
+// touching the scheduler hot path can record before/after numbers and later
+// PRs can prove they did not regress. It is the library behind
+// cmd/benchjson.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "oneport-bench/v1"
+
+// Result is the measurement of one benchmark spec.
+type Result struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one trajectory point: the machine context, the measured
+// results, and optionally the baseline they are compared against (the
+// previous trajectory point, or hand-recorded pre-change numbers).
+type Report struct {
+	Schema     string   `json:"schema"`
+	Tag        string   `json:"tag"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Baseline   []Result `json:"baseline,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// Spec is one benchmark: a name and a single-iteration work function
+// returning its custom metrics. When tasksPerOp is non-zero, RunSpec also
+// derives a "tasks/s" metric from the averaged time per op (stable across
+// GC pauses, unlike timing a single iteration).
+type Spec struct {
+	Name       string
+	work       func() (map[string]float64, error)
+	tasksPerOp float64
+}
+
+// Specs lists the benchmark suite: the six figure benchmarks of the paper's
+// evaluation at the bench_test.go sizes, plus raw HEFT and ILHA scheduling
+// throughput on the mid-size LU instance.
+func Specs() []Spec {
+	pl := platform.Paper()
+	specs := make([]Spec, 0, 8)
+	for _, f := range []struct {
+		id   string
+		size int
+	}{
+		{"fig7", 300}, {"fig8", 60}, {"fig9", 40},
+		{"fig10", 40}, {"fig11", 60}, {"fig12", 40},
+	} {
+		fig, err := exp.FigureByID(f.id)
+		if err != nil {
+			panic(err) // static table; cannot fail
+		}
+		g, err := testbeds.ByName(fig.Testbed, f.size, exp.CommRatio)
+		if err != nil {
+			panic(err)
+		}
+		b := fig.B
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("%s-%s%d", f.id, fig.Testbed, f.size),
+			work: func() (map[string]float64, error) {
+				p, err := exp.RunPoint(g, pl, sched.OnePort, b)
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{
+					"heft-speedup": p.HEFTSpeedup,
+					"ilha-speedup": p.ILHASpeedup,
+					"tasks":        float64(p.Tasks),
+				}, nil
+			},
+		})
+	}
+	lu := testbeds.LU(60, exp.CommRatio)
+	specs = append(specs, Spec{
+		Name:       "heft-throughput-lu60",
+		tasksPerOp: float64(lu.NumNodes()),
+		work: func() (map[string]float64, error) {
+			_, err := heuristics.HEFT(lu, pl, sched.OnePort)
+			return nil, err
+		},
+	})
+	specs = append(specs, Spec{
+		Name:       "ilha-throughput-lu60",
+		tasksPerOp: float64(lu.NumNodes()),
+		work: func() (map[string]float64, error) {
+			_, err := heuristics.ILHA(lu, pl, sched.OnePort, heuristics.ILHAOptions{B: 4})
+			return nil, err
+		},
+	})
+	return specs
+}
+
+// RunSpec benchmarks one spec with the standard testing harness (≈1s of
+// iterations) and returns its result.
+func RunSpec(s Spec) (Result, error) {
+	var metrics map[string]float64
+	var workErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			metrics, workErr = s.work()
+			if workErr != nil {
+				return
+			}
+		}
+		b.StopTimer()
+		for k, v := range metrics {
+			b.ReportMetric(v, k)
+		}
+		b.StartTimer()
+	})
+	if workErr != nil {
+		return Result{}, fmt.Errorf("perf: %s: %w", s.Name, workErr)
+	}
+	r := Result{
+		Name:        s.Name,
+		N:           br.N,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	if len(br.Extra) > 0 {
+		r.Metrics = make(map[string]float64, len(br.Extra))
+		for k, v := range br.Extra {
+			r.Metrics[k] = v
+		}
+	}
+	if s.tasksPerOp > 0 && r.NsPerOp > 0 {
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64, 1)
+		}
+		r.Metrics["tasks/s"] = s.tasksPerOp / (r.NsPerOp * 1e-9)
+	}
+	return r, nil
+}
+
+// Run benchmarks every spec whose name passes the filter (nil keeps all) and
+// assembles the trajectory report.
+func Run(tag string, keep func(name string) bool) (*Report, error) {
+	rep := &Report{
+		Schema:     Schema,
+		Tag:        tag,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range Specs() {
+		if keep != nil && !keep(s.Name) {
+			continue
+		}
+		r, err := RunSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark matched the filter")
+	}
+	return rep, nil
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadBaseline parses a previous report (or a bare result list) and returns
+// its results, for embedding as the Baseline of a new report.
+func LoadBaseline(data []byte) ([]Result, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.Results) > 0 {
+		return rep.Results, nil
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("perf: baseline is neither a report nor a result list: %w", err)
+	}
+	return rs, nil
+}

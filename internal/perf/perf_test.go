@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpecsAreWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Specs() {
+		if s.Name == "" || s.work == nil {
+			t.Fatalf("malformed spec %+v", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("expected at least 8 specs, got %d", len(seen))
+	}
+}
+
+// TestWorkFunctionsRun executes one cheap spec body once (no benchmark
+// harness) and checks it yields metrics.
+func TestWorkFunctionsRun(t *testing.T) {
+	for _, s := range Specs() {
+		if !strings.HasPrefix(s.Name, "fig9") {
+			continue
+		}
+		m, err := s.work()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m["heft-speedup"] <= 0 || m["ilha-speedup"] <= 0 {
+			t.Fatalf("fig9 metrics missing: %v", m)
+		}
+		return
+	}
+	t.Fatal("fig9 spec not found")
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema: Schema, Tag: "t", Date: "d", GoVersion: "go", GOMAXPROCS: 4,
+		Baseline: []Result{{Name: "a", N: 1, NsPerOp: 2}},
+		Results:  []Result{{Name: "a", N: 3, NsPerOp: 1, Metrics: map[string]float64{"m": 5}}},
+	}
+	b, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Metrics["m"] != 5 || back.Baseline[0].Name != "a" {
+		t.Fatalf("round trip mangled report: %+v", back)
+	}
+	rs, err := LoadBaseline(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Name != "a" {
+		t.Fatalf("LoadBaseline(report) = %+v", rs)
+	}
+	list, _ := json.Marshal(rep.Results)
+	rs, err = LoadBaseline(list)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("LoadBaseline(list) = %+v, %v", rs, err)
+	}
+}

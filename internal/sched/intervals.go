@@ -37,8 +37,25 @@ func (s *Intervals) All() []Interval { return append([]Interval(nil), s.iv...) }
 // Add inserts the busy period [start, end), merging it with any overlapping
 // or touching intervals. Adding an empty or inverted interval is a no-op for
 // end <= start.
+//
+// Timelines grow mostly monotonically during list scheduling (each commit
+// lands at or after the last reservation), so the common cases — append
+// after the tail, or merge into the tail — are handled in O(1) before
+// falling back to the general binary-search insertion.
 func (s *Intervals) Add(start, end float64) {
 	if end <= start {
+		return
+	}
+	if n := len(s.iv); n == 0 || start > s.iv[n-1].End {
+		s.iv = append(s.iv, Interval{Start: start, End: end})
+		return
+	} else if start >= s.iv[n-1].Start {
+		// touches or overlaps only the tail: intervals are maximal and
+		// separated, so everything before iv[n-1] ends strictly before
+		// iv[n-1].Start <= start and cannot merge.
+		if end > s.iv[n-1].End {
+			s.iv[n-1].End = end
+		}
 		return
 	}
 	// find the insertion window: all intervals with End >= start can merge
@@ -105,30 +122,30 @@ func (s *Intervals) Reset() { s.iv = s.iv[:0] }
 type View struct {
 	Base  *Intervals // may be nil (treated as empty)
 	Extra []Interval // tentative busy periods, sorted by Start, non-overlapping
+
+	// Cur, when non-nil, caches the walk position in Base across successive
+	// EarliestGap calls. It is only consulted when still valid and the new
+	// search starts at or after the cached time; the caller must invalidate
+	// it whenever Base changes.
+	Cur *Cursor
 }
 
-// conflictEnd returns (end, true) of some busy interval conflicting with
-// [t, t+dur) in this view, or (0, false) if the window is free.
-func (v View) conflictEnd(t, dur float64) (float64, bool) {
-	if v.Base != nil {
-		iv := v.Base.iv
-		i := sort.Search(len(iv), func(i int) bool { return iv[i].End > t })
-		if i < len(iv) && iv[i].Start < t+dur && iv[i].End > t {
-			return iv[i].End, true
-		}
-		// A zero-length window still conflicts when it sits strictly inside
-		// a busy interval; that case is covered above since Start < t and
-		// End > t implies Start < t+0.
+// Cursor remembers where a previous gap search stopped inside one timeline's
+// busy list, so a later search over the same (unchanged) timeline with an
+// equal-or-later start time resumes the forward walk instead of re-running
+// the binary search. The zero value is an invalid (ignored) cursor.
+type Cursor struct {
+	idx   int     // first interval with End > at
+	at    float64 // the time idx was established for
+	valid bool
+}
+
+// Invalidate marks the cursor stale; the next search falls back to a binary
+// search. Call it whenever the underlying timeline is mutated.
+func (c *Cursor) Invalidate() {
+	if c != nil {
+		c.valid = false
 	}
-	for _, e := range v.Extra {
-		if e.Start >= t+dur {
-			break
-		}
-		if e.End > t && e.Start < t+dur {
-			return e.End, true
-		}
-	}
-	return 0, false
 }
 
 // EarliestGap returns the earliest t >= after such that the window
@@ -138,19 +155,69 @@ func (v View) conflictEnd(t, dur float64) (float64, bool) {
 //
 // dur == 0 windows conflict only when strictly inside a busy period, so
 // zero-size messages schedule instantly at their ready time.
+//
+// The search is a k-way merged walk: every view keeps a cursor into its
+// committed busy list and its overlay, and since the candidate time t only
+// ever increases, each cursor advances monotonically. One call is therefore
+// O(k·log n) for the initial positioning plus O(total intervals walked),
+// instead of a fresh binary search per conflict.
 func EarliestGap(after, dur float64, views ...View) float64 {
+	// cursor storage: stack-allocated for the common arities (<= 4 views)
+	var biArr, eiArr [4]int
+	bi, ei := biArr[:], eiArr[:]
+	if len(views) > 4 {
+		bi = make([]int, len(views))
+		ei = make([]int, len(views))
+	}
+	for i := range views {
+		v := &views[i]
+		if v.Base == nil {
+			continue
+		}
+		if c := v.Cur; c != nil && c.valid && after >= c.at {
+			bi[i] = c.idx
+			continue
+		}
+		iv := v.Base.iv
+		bi[i] = sort.Search(len(iv), func(j int) bool { return iv[j].End > after })
+	}
 	t := after
 	for {
 		moved := false
-		for _, v := range views {
-			if end, conflict := v.conflictEnd(t, dur); conflict {
-				if end > t {
-					t = end
+		for i := range views {
+			v := &views[i]
+			if v.Base != nil {
+				iv := v.Base.iv
+				j := bi[i]
+				for j < len(iv) && iv[j].End <= t {
+					j++
+				}
+				bi[i] = j
+				// A zero-length window still conflicts when it sits strictly
+				// inside a busy interval: Start < t and End > t implies
+				// Start < t+0.
+				if j < len(iv) && iv[j].Start < t+dur && iv[j].End > t {
+					t = iv[j].End
 					moved = true
 				}
 			}
+			j := ei[i]
+			for j < len(v.Extra) && v.Extra[j].End <= t {
+				j++
+			}
+			ei[i] = j
+			if j < len(v.Extra) && v.Extra[j].Start < t+dur && v.Extra[j].End > t {
+				t = v.Extra[j].End
+				moved = true
+			}
 		}
 		if !moved {
+			for i := range views {
+				v := &views[i]
+				if v.Cur != nil && v.Base != nil {
+					*v.Cur = Cursor{idx: bi[i], at: t, valid: true}
+				}
+			}
 			return t
 		}
 	}
