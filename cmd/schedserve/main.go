@@ -1,0 +1,229 @@
+// Command schedserve runs the scheduling service and the sharded sweep
+// protocol (internal/service, internal/service/sweep).
+//
+// Serve mode (default) exposes POST /schedule, POST /batch, GET /healthz
+// and GET /stats; -worker additionally mounts the sweep worker endpoint
+// POST /sweep/run so the process can take shards from a coordinator:
+//
+//	schedserve -addr :8642 -pool 8 -cache 1024
+//	schedserve -addr :8643 -worker
+//
+// Coordinator mode shards a figure sweep or a B-sweep across running
+// workers and prints the merged result — the same numbers, in the same
+// table, as the single-process cmd/experiments and cmd/bsweep runs:
+//
+//	schedserve -sweep fig8 -sizes quick -shards http://h1:8642,http://h2:8642
+//	schedserve -bsweep lu -size 60 -bs 1,2,4,38 -shards http://h1:8642
+//
+// -example emits a ready-to-POST request JSON for a testbed instance, for
+// smoke tests and quickstarts:
+//
+//	schedserve -example lu:10 | curl -s -d @- localhost:8642/schedule
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"oneport/internal/cli"
+	"oneport/internal/exp"
+	"oneport/internal/platform"
+	"oneport/internal/service"
+	"oneport/internal/service/sweep"
+	"oneport/internal/testbeds"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8642", "listen address (serve mode)")
+		pool     = flag.Int("pool", 0, "worker pool size (0: GOMAXPROCS)")
+		cacheSz  = flag.Int("cache", 256, "LRU result-cache entries (negative disables)")
+		probePar = flag.Int("probe-par", 1, "per-run probe parallelism")
+		worker   = flag.Bool("worker", false, "also serve the sweep worker endpoint /sweep/run")
+
+		sweepFig  = flag.String("sweep", "", "coordinator mode: shard this figure (fig7..fig12) across -shards")
+		bsweepTb  = flag.String("bsweep", "", "coordinator mode: shard a B-sweep on this testbed across -shards")
+		shards    = flag.String("shards", "", "comma list of worker base URLs for coordinator mode")
+		sizesSpec = flag.String("sizes", "quick", `figure sweep sizes: "quick", "paper" or a comma list`)
+		size      = flag.Int("size", 60, "problem size for -bsweep")
+		bsSpec    = flag.String("bs", "", "comma list of B values for -bsweep (default 1..perfect-balance count)")
+		scanDepth = flag.Int("scan", 0, "ILHA Step-1 scan depth for -bsweep")
+		modelName = flag.String("model", "oneport", "communication model")
+
+		example = flag.String("example", "", `print a request JSON for "testbed:size" (e.g. lu:10) and exit`)
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *example != "":
+		err = printExample(*example, *modelName)
+	case *sweepFig != "":
+		err = coordinateFigure(*sweepFig, *sizesSpec, *modelName, *shards)
+	case *bsweepTb != "":
+		err = coordinateBSweep(*bsweepTb, *size, *bsSpec, *scanDepth, *modelName, *shards)
+	default:
+		err = serve(*addr, *pool, *cacheSz, *probePar, *worker)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedserve:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, pool, cacheSz, probePar int, worker bool) error {
+	srv := service.New(service.Config{PoolSize: pool, CacheSize: cacheSz, ProbeParallelism: probePar})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	role := "scheduler"
+	if worker {
+		mux.Handle("/sweep/", sweep.Handler())
+		role = "scheduler+sweep-worker"
+	}
+	log.Printf("schedserve: %s listening on %s", role, addr)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return hs.ListenAndServe()
+}
+
+func parseShards(spec string) ([]string, error) {
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("coordinator mode needs -shards url1,url2,...")
+	}
+	return out, nil
+}
+
+func coordinateFigure(figID, sizesSpec, modelName, shards string) error {
+	workers, err := parseShards(shards)
+	if err != nil {
+		return err
+	}
+	fig, err := exp.FigureByID(figID)
+	if err != nil {
+		return err
+	}
+	model, err := cli.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	var sizes []int
+	switch sizesSpec {
+	case "quick":
+		sizes = exp.QuickSizes()
+	case "paper":
+		sizes = exp.PaperSizes()
+	default:
+		if sizes, err = cli.ParseInts(sizesSpec); err != nil {
+			return err
+		}
+	}
+
+	co := &sweep.Coordinator{Workers: workers}
+	jobs := sweep.FigureJobs(fig, modelName, sizes)
+	start := time.Now()
+	results, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		return err
+	}
+	series, err := sweep.MergeFigure(fig, model, results, len(jobs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sharded across %d workers in %v\n", len(workers), time.Since(start).Round(time.Millisecond))
+	fmt.Print(series.Table())
+	return nil
+}
+
+func coordinateBSweep(testbed string, size int, bsSpec string, scanDepth int, modelName, shards string) error {
+	workers, err := parseShards(shards)
+	if err != nil {
+		return err
+	}
+	if _, err := cli.ParseModel(modelName); err != nil {
+		return err
+	}
+	var bs []int
+	if bsSpec == "" {
+		max, err := platform.Paper().PerfectBalanceCount()
+		if err != nil {
+			return err
+		}
+		for b := 1; b <= max; b++ {
+			bs = append(bs, b)
+		}
+	} else if bs, err = cli.ParseInts(bsSpec); err != nil {
+		return err
+	}
+
+	co := &sweep.Coordinator{Workers: workers}
+	jobs := sweep.BSweepJobs(testbed, size, modelName, scanDepth, bs)
+	results, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		return err
+	}
+	speedups, err := sweep.MergeBSweep(results, len(jobs))
+	if err != nil {
+		return err
+	}
+
+	sorted := append([]int(nil), bs...)
+	sort.Ints(sorted)
+	fmt.Printf("%s size %d, %s model, scan depth %d — sharded across %d workers\n",
+		testbed, size, modelName, scanDepth, len(workers))
+	fmt.Printf("%6s %12s\n", "B", "speedup")
+	bestB, bestSp := sorted[0], speedups[sorted[0]]
+	for _, b := range sorted {
+		fmt.Printf("%6d %12.4f\n", b, speedups[b])
+		if speedups[b] > bestSp {
+			bestB, bestSp = b, speedups[b]
+		}
+	}
+	fmt.Printf("best B = %d (speedup %.4f)\n", bestB, bestSp)
+	return nil
+}
+
+func printExample(spec, modelName string) error {
+	name, sizeStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("-example wants testbed:size, got %q", spec)
+	}
+	n, err := strconv.Atoi(sizeStr)
+	if err != nil {
+		return fmt.Errorf("-example size %q: %w", sizeStr, err)
+	}
+	g, err := testbeds.ByName(name, n, exp.CommRatio)
+	if err != nil {
+		return err
+	}
+	req := service.Request{
+		Graph:     g,
+		Platform:  platform.Paper(),
+		Heuristic: "ilha",
+		Model:     modelName,
+		Options:   service.Options{B: 4},
+	}
+	data, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(data))
+	return err
+}

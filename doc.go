@@ -16,9 +16,30 @@
 //     the appendix) with exact solvers cross-checking both reduction
 //     directions;
 //   - schedule validators for both models, a decision-replay simulator, and
-//     ASCII Gantt rendering.
+//     ASCII Gantt rendering;
+//   - a scheduling service (internal/service, cmd/schedserve): a concurrent
+//     HTTP/JSON server with a bounded worker pool, pooled scheduler scratch
+//     and an LRU result cache, plus a sharded sweep coordinator that spreads
+//     the experiment harness across worker processes.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-versus-measured results. Entry points live under
-// cmd/ (onesched, experiments, bsweep, graphgen) and examples/.
+// # Service quickstart
+//
+// Start a server (also a sweep worker) and post a scheduling request:
+//
+//	go run ./cmd/schedserve -addr :8642 -worker &
+//	go run ./cmd/schedserve -example lu:10 | curl -s -d @- localhost:8642/schedule
+//
+// The response carries the validated schedule, its makespan/speedup and the
+// canonical cache key; posting the identical request again is a cache hit
+// ("cached":true). Shard a figure sweep across two workers and get exactly
+// the single-process cmd/experiments numbers:
+//
+//	go run ./cmd/schedserve -sweep fig8 -sizes quick \
+//	    -shards http://host1:8642,http://host2:8642
+//
+// See README.md for a tour, DESIGN.md for the system inventory (the
+// "Service layer" section documents endpoints, the job protocol, the cache
+// key and the pooling invariants) and EXPERIMENTS.md for paper-versus-
+// measured results. Entry points live under cmd/ (onesched, experiments,
+// bsweep, graphgen, schedserve) and examples/.
 package oneport

@@ -87,22 +87,22 @@ type Series struct {
 }
 
 // Run regenerates one figure on the given platform and model for the given
-// problem sizes, using the figure's B for ILHA.
+// problem sizes, using the figure's B for ILHA. It is the in-process
+// execution of the figure's job decomposition: one RunPointSpec per size,
+// reassembled by AssembleSeries — sharded execution (internal/service/sweep)
+// runs exactly the same jobs and merges to the same Series. As a
+// consequence the series is always reported in ascending size order and
+// duplicate sizes are rejected, whatever order the caller passed.
 func Run(fig Figure, pl *platform.Platform, model sched.Model, sizes []int) (*Series, error) {
-	out := &Series{Figure: fig, Model: model}
-	for _, n := range sizes {
-		g, err := testbeds.ByName(fig.Testbed, n, CommRatio)
+	points := make([]Point, 0, len(sizes))
+	for _, ps := range fig.PointSpecs(sizes) {
+		p, err := RunPointSpec(ps, pl, model)
 		if err != nil {
 			return nil, err
 		}
-		p, err := RunPoint(g, pl, model, fig.B)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s size %d: %w", fig.ID, n, err)
-		}
-		p.Size = n
-		out.Points = append(out.Points, p)
+		points = append(points, p)
 	}
-	return out, nil
+	return AssembleSeries(fig, model, points)
 }
 
 // RunPoint schedules one graph with both heuristics and returns the

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// Figure sweeps decomposed into independent jobs. Every (figure, size) pair
+// is one self-contained unit of work with no shared state, so a sweep can
+// run in-process (Run), across goroutines, or sharded over worker processes
+// (internal/service/sweep) and always reassemble to the same Series.
+
+// PointSpec identifies one independent unit of a figure sweep: one problem
+// size of one figure.
+type PointSpec struct {
+	Figure Figure
+	Size   int
+}
+
+// PointSpecs decomposes a figure sweep into its independent jobs, one per
+// problem size.
+func (f Figure) PointSpecs(sizes []int) []PointSpec {
+	out := make([]PointSpec, len(sizes))
+	for i, n := range sizes {
+		out[i] = PointSpec{Figure: f, Size: n}
+	}
+	return out
+}
+
+// RunPointSpec executes one sweep job: it regenerates the testbed instance
+// and schedules it with both heuristics. The result depends only on the
+// spec, the platform and the model — never on which process runs it.
+func RunPointSpec(ps PointSpec, pl *platform.Platform, model sched.Model) (Point, error) {
+	g, err := testbeds.ByName(ps.Figure.Testbed, ps.Size, CommRatio)
+	if err != nil {
+		return Point{}, err
+	}
+	p, err := RunPoint(g, pl, model, ps.Figure.B)
+	if err != nil {
+		return Point{}, fmt.Errorf("exp: %s size %d: %w", ps.Figure.ID, ps.Size, err)
+	}
+	p.Size = ps.Size
+	return p, nil
+}
+
+// AssembleSeries merges independently computed points back into a figure
+// series, deterministically: points are ordered by size regardless of the
+// order (or process) they were computed in. Duplicate sizes are rejected so
+// a double-dispatched shard cannot silently skew a merged sweep.
+func AssembleSeries(fig Figure, model sched.Model, points []Point) (*Series, error) {
+	out := &Series{Figure: fig, Model: model, Points: append([]Point(nil), points...)}
+	sort.SliceStable(out.Points, func(i, j int) bool { return out.Points[i].Size < out.Points[j].Size })
+	for i := 1; i < len(out.Points); i++ {
+		if out.Points[i].Size == out.Points[i-1].Size {
+			return nil, fmt.Errorf("exp: duplicate point for %s size %d", fig.ID, out.Points[i].Size)
+		}
+	}
+	return out, nil
+}

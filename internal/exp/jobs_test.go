@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// TestJobDecompositionMatchesRun pins the sharding contract: running a
+// figure's jobs independently and in scrambled order, then reassembling,
+// gives exactly the Series the in-process sweep produces.
+func TestJobDecompositionMatchesRun(t *testing.T) {
+	fig, err := FigureByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := platform.Paper()
+	sizes := []int{20, 40, 60}
+
+	want, err := Run(fig, pl, sched.OnePort, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := fig.PointSpecs(sizes)
+	rand.New(rand.NewSource(1)).Shuffle(len(specs), func(i, j int) {
+		specs[i], specs[j] = specs[j], specs[i]
+	})
+	var points []Point
+	for _, ps := range specs {
+		p, err := RunPointSpec(ps, pl, sched.OnePort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, p)
+	}
+	got, err := AssembleSeries(fig, sched.OnePort, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Fatalf("point %d differs:\n got %+v\nwant %+v", i, got.Points[i], want.Points[i])
+		}
+	}
+}
+
+func TestAssembleSeriesRejectsDuplicates(t *testing.T) {
+	fig, err := FigureByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = AssembleSeries(fig, sched.OnePort, []Point{{Size: 20}, {Size: 20}})
+	if err == nil {
+		t.Fatal("duplicate sizes must be rejected")
+	}
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -26,23 +27,34 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jg)
 }
 
-// UnmarshalJSON decodes a graph previously produced by MarshalJSON.
+// UnmarshalJSON decodes a graph previously produced by MarshalJSON. Any
+// malformed payload — negative or non-finite weights, out-of-range or
+// duplicate edge endpoints, self loops, negative data, cycles — is rejected
+// with an error; a successfully decoded graph always passes Validate, so
+// callers feeding untrusted payloads (the scheduling service) never
+// schedule a structurally broken DAG.
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
 		return err
 	}
 	*g = Graph{}
-	for _, n := range jg.Nodes {
-		if n.Weight < 0 {
-			return fmt.Errorf("graph: negative node weight %g in JSON", n.Weight)
+	for i, n := range jg.Nodes {
+		if n.Weight < 0 || math.IsNaN(n.Weight) || math.IsInf(n.Weight, 0) {
+			return fmt.Errorf("graph: node %d weight %g in JSON must be finite and non-negative", i, n.Weight)
 		}
 		g.AddNode(n.Weight, n.Label)
 	}
 	for _, e := range jg.Edges {
+		if math.IsNaN(e.Data) || math.IsInf(e.Data, 0) {
+			return fmt.Errorf("graph: edge (%d,%d) data %g in JSON must be finite", e.From, e.To, e.Data)
+		}
 		if err := g.AddEdge(e.From, e.To, e.Data); err != nil {
 			return err
 		}
+	}
+	if err := g.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

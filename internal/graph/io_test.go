@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestUnmarshalJSONErrors exercises every rejection path of the graph JSON
+// codec: the scheduling service feeds it untrusted payloads, so malformed
+// input must come back as an error — never a panic, never a graph that
+// later fails Validate.
+func TestUnmarshalJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{
+			"negative node weight",
+			`{"nodes":[{"weight":-1}],"edges":[]}`,
+			"must be finite and non-negative",
+		},
+		{
+			"NaN is not JSON",
+			`{"nodes":[{"weight":NaN}],"edges":[]}`,
+			"", // json syntax error, message version-dependent
+		},
+		{
+			"edge endpoint out of range",
+			`{"nodes":[{"weight":1},{"weight":1}],"edges":[{"from":0,"to":7,"data":1}]}`,
+			"out of range",
+		},
+		{
+			"negative edge endpoint",
+			`{"nodes":[{"weight":1}],"edges":[{"from":-1,"to":0,"data":1}]}`,
+			"out of range",
+		},
+		{
+			"self loop",
+			`{"nodes":[{"weight":1}],"edges":[{"from":0,"to":0,"data":1}]}`,
+			"self loop",
+		},
+		{
+			"negative edge data",
+			`{"nodes":[{"weight":1},{"weight":1}],"edges":[{"from":0,"to":1,"data":-3}]}`,
+			"negative data",
+		},
+		{
+			"duplicate edge",
+			`{"nodes":[{"weight":1},{"weight":1}],"edges":[{"from":0,"to":1,"data":1},{"from":0,"to":1,"data":2}]}`,
+			"duplicate edge",
+		},
+		{
+			"two-node cycle",
+			`{"nodes":[{"weight":1},{"weight":1}],"edges":[{"from":0,"to":1,"data":1},{"from":1,"to":0,"data":1}]}`,
+			"cycle",
+		},
+		{
+			"three-node cycle",
+			`{"nodes":[{"weight":1},{"weight":1},{"weight":1}],"edges":[{"from":0,"to":1,"data":1},{"from":1,"to":2,"data":1},{"from":2,"to":0,"data":1}]}`,
+			"cycle",
+		},
+		{
+			"truncated payload",
+			`{"nodes":[{"weight":1}`,
+			"",
+		},
+		{
+			"wrong shape",
+			`[1,2,3]`,
+			"",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var g Graph
+			err := json.Unmarshal([]byte(c.in), &g)
+			if err == nil {
+				t.Fatalf("want error, got graph with %d nodes %d edges", g.NumNodes(), g.NumEdges())
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestUnmarshalJSONValidGraphPassesValidate pins the codec's postcondition:
+// a payload that decodes without error yields a graph Validate accepts.
+func TestUnmarshalJSONValidGraphPassesValidate(t *testing.T) {
+	in := `{"nodes":[{"weight":2,"label":"a"},{"weight":3},{"weight":0}],
+	        "edges":[{"from":0,"to":1,"data":1},{"from":0,"to":2,"data":0},{"from":1,"to":2,"data":4}]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(in), &g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("decoded %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}

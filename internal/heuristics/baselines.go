@@ -23,10 +23,15 @@ import (
 // processor minimizing the path's total execution time; every other task is
 // placed by earliest finish time.
 func CPOP(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return cpopRun(g, pl, model, nil)
+}
+
+func cpopRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	ef, cf := pl.AvgExecFactor(), pl.AvgLinkFactor()
 	bl, err := g.BottomLevels(ef, cf)
 	if err != nil {
@@ -113,10 +118,15 @@ func CPOP(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Sche
 // faster than average on the task. Ties go to the lower task id, then the
 // lower processor index.
 func DLS(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return dlsRun(g, pl, model, nil)
+}
+
+func dlsRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	sl, err := priorities(g, pl)
 	if err != nil {
 		return nil, err
@@ -172,10 +182,15 @@ func DLS(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Sched
 // minimizing its earliest finish time, the adaptation matching how the
 // other list heuristics are ported to the one-port model.
 func BIL(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return bilRun(g, pl, model, nil)
+}
+
+func bilRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -256,10 +271,15 @@ func PCT(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Sched
 // to processors cyclically; communications are still scheduled correctly
 // under the model. It shows how much EFT-style mapping buys.
 func RoundRobin(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return roundRobinRun(g, pl, model, nil)
+}
+
+func roundRobinRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	prio, err := priorities(g, pl)
 	if err != nil {
 		return nil, err
@@ -288,10 +308,15 @@ func RoundRobin(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sche
 // Random is a control heuristic mapping each task to a uniformly random
 // processor (deterministic for a given seed).
 func Random(g *graph.Graph, pl *platform.Platform, model sched.Model, seed int64) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return randomRun(g, pl, model, seed, nil)
+}
+
+func randomRun(g *graph.Graph, pl *platform.Platform, model sched.Model, seed int64, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	prio, err := priorities(g, pl)
 	if err != nil {
 		return nil, err

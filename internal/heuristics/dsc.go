@@ -31,10 +31,15 @@ import (
 // Phases 1–2 are estimates only; correctness (validated schedules under any
 // model) comes entirely from phase 3.
 func DSC(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return dscRun(g, pl, model, nil)
+}
+
+func dscRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	ef, cf := pl.AvgExecFactor(), pl.AvgLinkFactor()
 	bl, err := g.BottomLevels(ef, cf)
 	if err != nil {
@@ -173,10 +178,15 @@ func DSC(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Sched
 // there is no bottom-level chunking (no parameter B): whole levels are
 // placed at once.
 func ILHALevels(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+	return ilhaLevelsRun(g, pl, model, nil)
+}
+
+func ilhaLevelsRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	levels, err := g.DepthLevels()
 	if err != nil {
 		return nil, err

@@ -26,7 +26,7 @@ func Exhaustive(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBu
 	if nodeBudget <= 0 {
 		nodeBudget = 200000
 	}
-	s, err := newState(g, pl, model)
+	s, err := newState(g, pl, model, nil)
 	if err != nil {
 		return nil, false, err
 	}

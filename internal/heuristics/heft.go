@@ -25,7 +25,7 @@ import (
 // With model == sched.MacroDataflow the same code degenerates to classical
 // HEFT: communications are pure delays and ports are unlimited.
 func HEFT(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	return heftRun(g, pl, model, false)
+	return heftRun(g, pl, model, false, nil)
 }
 
 // HEFTAppend is HEFT with the insertion policy disabled: a task always goes
@@ -33,14 +33,15 @@ func HEFT(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Sche
 // It exists to quantify what insertion buys (an ablation DESIGN.md calls
 // out); classic HEFT's insertion is usually a few percent better.
 func HEFTAppend(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
-	return heftRun(g, pl, model, true)
+	return heftRun(g, pl, model, true, nil)
 }
 
-func heftRun(g *graph.Graph, pl *platform.Platform, model sched.Model, appendOnly bool) (*sched.Schedule, error) {
-	s, err := newState(g, pl, model)
+func heftRun(g *graph.Graph, pl *platform.Platform, model sched.Model, appendOnly bool, tune *Tuning) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	s.appendOnly = appendOnly
 	prio, err := priorities(g, pl)
 	if err != nil {

@@ -56,6 +56,10 @@ type ILHAOptions struct {
 //     the earliest finish time with communications serialized under the
 //     one-port constraint.
 func ILHA(g *graph.Graph, pl *platform.Platform, model sched.Model, opts ILHAOptions) (*sched.Schedule, error) {
+	return ilhaRun(g, pl, model, opts, nil)
+}
+
+func ilhaRun(g *graph.Graph, pl *platform.Platform, model sched.Model, opts ILHAOptions, tune *Tuning) (*sched.Schedule, error) {
 	b := opts.B
 	if b == 0 {
 		if pb, err := pl.PerfectBalanceCount(); err == nil {
@@ -80,10 +84,11 @@ func ILHA(g *graph.Graph, pl *platform.Platform, model sched.Model, opts ILHAOpt
 		return nil, fmt.Errorf("heuristics: ILHA ScanDepth = %d must be non-negative", opts.ScanDepth)
 	}
 
-	s, err := newState(g, pl, model)
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, err
 	}
+	defer tune.reclaim(s)
 	prio, err := priorities(g, pl)
 	if err != nil {
 		return nil, err

@@ -29,7 +29,7 @@ func FixedAlloc(g *graph.Graph, pl *platform.Platform, model sched.Model, alloc 
 			return nil, fmt.Errorf("heuristics: task %d allocated to invalid processor %d", v, p)
 		}
 	}
-	s, err := newState(g, pl, model)
+	s, err := newState(g, pl, model, nil)
 	if err != nil {
 		return nil, err
 	}

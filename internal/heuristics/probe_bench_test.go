@@ -15,7 +15,7 @@ import (
 func BenchmarkProbeMicro(b *testing.B) {
 	pl := platform.Paper()
 	g := testbeds.LU(30, 10)
-	s, err := newState(g, pl, sched.OnePort)
+	s, err := newState(g, pl, sched.OnePort, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

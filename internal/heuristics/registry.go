@@ -17,33 +17,48 @@ type Func func(*graph.Graph, *platform.Platform, sched.Model) (*sched.Schedule, 
 // ilha, ilha-levels, dsc, cpop, dls, gdl (alias of dls), bil, pct,
 // roundrobin, random.
 func ByName(name string, opts ILHAOptions) (Func, error) {
+	return ByNameTuned(name, opts, nil)
+}
+
+// ByNameTuned is ByName with a per-run Tuning bound into the returned Func:
+// every invocation runs with the Tuning's probe parallelism and scratch
+// instead of the process-wide defaults. The same one-run-at-a-time rule as
+// Tuning applies to the returned Func when the Tuning carries a Scratch.
+func ByNameTuned(name string, opts ILHAOptions, tune *Tuning) (Func, error) {
+	run := func(f func(*graph.Graph, *platform.Platform, sched.Model, *Tuning) (*sched.Schedule, error)) Func {
+		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (*sched.Schedule, error) {
+			return f(g, pl, m, tune)
+		}
+	}
 	switch name {
-	case "heft":
-		return HEFT, nil
+	case "heft", "pct": // PCT's port is structurally HEFT; see its doc comment
+		return run(func(g *graph.Graph, pl *platform.Platform, m sched.Model, t *Tuning) (*sched.Schedule, error) {
+			return heftRun(g, pl, m, false, t)
+		}), nil
 	case "heft-append":
-		return HEFTAppend, nil
+		return run(func(g *graph.Graph, pl *platform.Platform, m sched.Model, t *Tuning) (*sched.Schedule, error) {
+			return heftRun(g, pl, m, true, t)
+		}), nil
 	case "dsc":
-		return DSC, nil
+		return run(dscRun), nil
 	case "ilha-levels":
-		return ILHALevels, nil
+		return run(ilhaLevelsRun), nil
 	case "ilha":
-		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (*sched.Schedule, error) {
-			return ILHA(g, pl, m, opts)
-		}, nil
+		return run(func(g *graph.Graph, pl *platform.Platform, m sched.Model, t *Tuning) (*sched.Schedule, error) {
+			return ilhaRun(g, pl, m, opts, t)
+		}), nil
 	case "cpop":
-		return CPOP, nil
+		return run(cpopRun), nil
 	case "dls", "gdl":
-		return DLS, nil
+		return run(dlsRun), nil
 	case "bil":
-		return BIL, nil
-	case "pct":
-		return PCT, nil
+		return run(bilRun), nil
 	case "roundrobin":
-		return RoundRobin, nil
+		return run(roundRobinRun), nil
 	case "random":
-		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (*sched.Schedule, error) {
-			return Random(g, pl, m, 1)
-		}, nil
+		return run(func(g *graph.Graph, pl *platform.Platform, m sched.Model, t *Tuning) (*sched.Schedule, error) {
+			return randomRun(g, pl, m, 1, t)
+		}), nil
 	default:
 		return nil, fmt.Errorf("heuristics: unknown heuristic %q (known: %v)", name, Names())
 	}

@@ -41,9 +41,12 @@ func init() {
 	probeWorkers.Store(int64(w))
 }
 
-// SetProbeParallelism sets the number of concurrent probe workers bestEFT
-// uses (clamped to at least 1; n = 1 forces the sequential reference path)
-// and returns the previous value. It applies to states created afterwards.
+// SetProbeParallelism sets the process-wide default number of concurrent
+// probe workers bestEFT uses (clamped to at least 1; n = 1 forces the
+// sequential reference path) and returns the previous value. It applies to
+// states created afterwards that do not carry their own Tuning; concurrent
+// schedulers should prefer the per-run Tuning.ProbeParallelism, which this
+// global only provides the default for.
 func SetProbeParallelism(n int) int {
 	if n < 1 {
 		n = 1
@@ -171,7 +174,7 @@ func (s *state) buf(i int) *probeBuf {
 	return s.bufs[i]
 }
 
-func newState(g *graph.Graph, pl *platform.Platform, model sched.Model) (*state, error) {
+func newState(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuning) (*state, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,7 +187,10 @@ func newState(g *graph.Graph, pl *platform.Platform, model sched.Model) (*state,
 		recv:    make([]*sched.Intervals, pl.NumProcs()),
 		wires:   make(map[[2]int]*sched.Intervals),
 		sch:     sched.NewSchedule(g.NumNodes(), pl.NumProcs()),
-		par:     int(probeWorkers.Load()),
+		par:     tune.par(),
+	}
+	if tune != nil && tune.Scratch != nil {
+		tune.Scratch.lend(s)
 	}
 	for i := 0; i < pl.NumProcs(); i++ {
 		s.compute[i] = &sched.Intervals{}

@@ -88,7 +88,7 @@ func TestDominantPredProc(t *testing.T) {
 	g.MustEdge(u2, v, 1)
 	g.MustEdge(u3, v, 1)
 	pl, _ := platform.Homogeneous(3)
-	s, err := newState(g, pl, sched.OnePort)
+	s, err := newState(g, pl, sched.OnePort, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestPredsSortedByFinish(t *testing.T) {
 	g.MustEdge(u1, v, 4)
 	g.MustEdge(u2, v, 5)
 	pl, _ := platform.Homogeneous(2)
-	s, err := newState(g, pl, sched.OnePort)
+	s, err := newState(g, pl, sched.OnePort, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestProbePanicsOnUnscheduledPred(t *testing.T) {
 	v := g.AddNode(1, "")
 	g.MustEdge(u, v, 1)
 	pl, _ := platform.Homogeneous(1)
-	s, err := newState(g, pl, sched.OnePort)
+	s, err := newState(g, pl, sched.OnePort, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestStateCloneIndependence(t *testing.T) {
 	v := g.AddNode(1, "")
 	g.MustEdge(u, v, 2)
 	pl, _ := platform.Homogeneous(2)
-	s, err := newState(g, pl, sched.OnePort)
+	s, err := newState(g, pl, sched.OnePort, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package heuristics
+
+// Tuning carries per-run scheduler settings. Every heuristic historically
+// read the process-wide SetProbeParallelism knob, which is a hazard once
+// several schedulers run concurrently (a long-running service): one caller
+// flipping the global changes the fan-out of every in-flight request. A
+// Tuning scopes those settings to a single scheduler run; the zero value
+// (and a nil *Tuning) keeps the historical behaviour of sampling the
+// globals.
+//
+// A Tuning must not be shared by two runs at the same time when it carries
+// a Scratch: the scratch buffers are handed to the running state and only
+// returned when the run completes.
+type Tuning struct {
+	// ProbeParallelism caps the candidate-probe fan-out of this run
+	// (clamped to at least 1; 1 forces the sequential reference path).
+	// 0 uses the process-wide default set by SetProbeParallelism.
+	ProbeParallelism int
+
+	// Scratch, when non-nil, donates reusable probe buffers to the run and
+	// receives them back when the run finishes, so a worker loop scheduling
+	// many graphs on the same platform stays near-zero-alloc in steady
+	// state instead of re-growing probe scratch per request.
+	Scratch *Scratch
+}
+
+// Scratch owns the probe scratch memory (per-worker probe buffers, the
+// predecessor buffer and the parallel-reduction slots) that a scheduler
+// state grows during a run. Reusing one Scratch across successive runs on
+// platforms of the same size avoids re-allocating all of it every time.
+// A Scratch may only feed one run at a time; see Tuning.
+type Scratch struct {
+	procs   int // processor count the buffers are sized for
+	bufs    []*probeBuf
+	predBuf []predInfo
+	results []workerBest
+}
+
+// NewScratch returns an empty Scratch; buffers are grown by the first run
+// that uses it and recycled by every run after that.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// lend moves the scratch buffers into a freshly created state. Ownership
+// transfers: the Scratch is emptied so that a second state created while
+// the first is still running can never alias the same buffers (it simply
+// grows fresh ones). Buffers sized for a different processor count are
+// dropped — probeBuf slices are indexed by processor.
+func (sc *Scratch) lend(s *state) {
+	if sc.procs == s.pl.NumProcs() && sc.bufs != nil {
+		s.bufs = sc.bufs
+		s.predBuf = sc.predBuf[:0]
+		s.results = sc.results[:0]
+	}
+	sc.bufs, sc.predBuf, sc.results = nil, nil, nil
+}
+
+// reclaim returns a finished state's (possibly grown) scratch buffers to
+// the Tuning's Scratch. nil-safe on every level so runners can defer it
+// unconditionally. Safe to call even on error paths: the state's buffers
+// are no longer referenced once the run returns (committed schedules own
+// copies of every hop).
+func (t *Tuning) reclaim(s *state) {
+	if t == nil || t.Scratch == nil || s == nil {
+		return
+	}
+	sc := t.Scratch
+	sc.procs = s.pl.NumProcs()
+	sc.bufs = s.bufs
+	sc.predBuf = s.predBuf
+	sc.results = s.results
+}
+
+// par returns the run's probe parallelism: the Tuning's setting when
+// positive, otherwise the process-wide default.
+func (t *Tuning) par() int {
+	if t != nil && t.ProbeParallelism > 0 {
+		return t.ProbeParallelism
+	}
+	return int(probeWorkers.Load())
+}

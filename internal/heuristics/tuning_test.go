@@ -1,0 +1,157 @@
+package heuristics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// TestConcurrentSchedulersTuned is the safety net of the per-run Tuning:
+// many schedulers run concurrently, each with a different per-run probe
+// parallelism, while another goroutine keeps flipping the process-wide
+// default. Every run must produce a schedule identical to the sequential
+// reference — per-run settings must neither race (run under -race in CI)
+// nor leak across concurrent runs the way the global knob did.
+func TestConcurrentSchedulersTuned(t *testing.T) {
+	pl := platform.Paper()
+	g := testbeds.ForkJoin(40, 10)
+	lu := testbeds.LU(12, 10)
+
+	oldGrain := probeParallelGrain
+	probeParallelGrain = 2
+	defer func() { probeParallelGrain = oldGrain }()
+
+	refH, err := heftRun(g, pl, sched.OnePort, false, &Tuning{ProbeParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refI, err := ilhaRun(lu, pl, sched.OnePort, ILHAOptions{B: 7}, &Tuning{ProbeParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// churn the global default while the tuned runs are in flight: per-run
+	// tunings must be immune to it
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SetProbeParallelism(1 + n%8)
+				n++
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tune := &Tuning{ProbeParallelism: 1 + i%6, Scratch: NewScratch()}
+			for rep := 0; rep < 3; rep++ {
+				h, err := heftRun(g, pl, sched.OnePort, false, tune)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := sameSchedule(refH, h); err != nil {
+					errs <- fmt.Errorf("worker %d rep %d HEFT (par %d): %w", i, rep, tune.ProbeParallelism, err)
+					return
+				}
+				s, err := ilhaRun(lu, pl, sched.OnePort, ILHAOptions{B: 7}, tune)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := sameSchedule(refI, s); err != nil {
+					errs <- fmt.Errorf("worker %d rep %d ILHA (par %d): %w", i, rep, tune.ProbeParallelism, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	SetProbeParallelism(8)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// sameSchedule reports the first difference between two schedules, nil when
+// identical (task events, comm events, hops — exact float equality).
+func sameSchedule(a, b *sched.Schedule) error {
+	if len(a.Tasks) != len(b.Tasks) || len(a.Comms) != len(b.Comms) {
+		return fmt.Errorf("shape differs: %d/%d tasks, %d/%d comms",
+			len(a.Tasks), len(b.Tasks), len(a.Comms), len(b.Comms))
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			return fmt.Errorf("task %d differs: %+v vs %+v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+	for i := range a.Comms {
+		ca, cb := &a.Comms[i], &b.Comms[i]
+		if ca.FromTask != cb.FromTask || ca.ToTask != cb.ToTask || ca.Data != cb.Data || len(ca.Hops) != len(cb.Hops) {
+			return fmt.Errorf("comm %d differs: %+v vs %+v", i, ca, cb)
+		}
+		for j := range ca.Hops {
+			if ca.Hops[j] != cb.Hops[j] {
+				return fmt.Errorf("comm %d hop %d differs: %+v vs %+v", i, j, ca.Hops[j], cb.Hops[j])
+			}
+		}
+	}
+	return nil
+}
+
+// TestScratchReuse checks that one Scratch recycled across runs keeps
+// producing identical schedules, including across a platform-size change
+// (mismatched buffers must be dropped, not reused out of bounds).
+func TestScratchReuse(t *testing.T) {
+	pl := platform.Paper()
+	small, err := platform.Homogeneous(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testbeds.LU(10, 10)
+	want, err := HEFT(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSmall, err := HEFT(g, small, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tune := &Tuning{Scratch: NewScratch()}
+	for rep := 0; rep < 3; rep++ {
+		got, err := heftRun(g, pl, sched.OnePort, false, tune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(want, got); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		gotSmall, err := heftRun(g, small, sched.OnePort, false, tune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(wantSmall, gotSmall); err != nil {
+			t.Fatalf("rep %d (small platform): %v", rep, err)
+		}
+	}
+}

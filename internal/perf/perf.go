@@ -46,13 +46,15 @@ type Report struct {
 }
 
 // Spec is one benchmark: a name and a single-iteration work function
-// returning its custom metrics. When tasksPerOp is non-zero, RunSpec also
-// derives a "tasks/s" metric from the averaged time per op (stable across
-// GC pauses, unlike timing a single iteration).
+// returning its custom metrics. When perOp is non-zero, RunSpec also
+// derives a perOpUnit+"/s" throughput metric (e.g. "tasks/s", "req/s")
+// from the averaged time per op (stable across GC pauses, unlike timing a
+// single iteration).
 type Spec struct {
-	Name       string
-	work       func() (map[string]float64, error)
-	tasksPerOp float64
+	Name      string
+	work      func() (map[string]float64, error)
+	perOp     float64
+	perOpUnit string
 }
 
 // Specs lists the benchmark suite: the six figure benchmarks of the paper's
@@ -94,21 +96,24 @@ func Specs() []Spec {
 	}
 	lu := testbeds.LU(60, exp.CommRatio)
 	specs = append(specs, Spec{
-		Name:       "heft-throughput-lu60",
-		tasksPerOp: float64(lu.NumNodes()),
+		Name:      "heft-throughput-lu60",
+		perOp:     float64(lu.NumNodes()),
+		perOpUnit: "tasks",
 		work: func() (map[string]float64, error) {
 			_, err := heuristics.HEFT(lu, pl, sched.OnePort)
 			return nil, err
 		},
 	})
 	specs = append(specs, Spec{
-		Name:       "ilha-throughput-lu60",
-		tasksPerOp: float64(lu.NumNodes()),
+		Name:      "ilha-throughput-lu60",
+		perOp:     float64(lu.NumNodes()),
+		perOpUnit: "tasks",
 		work: func() (map[string]float64, error) {
 			_, err := heuristics.ILHA(lu, pl, sched.OnePort, heuristics.ILHAOptions{B: 4})
 			return nil, err
 		},
 	})
+	specs = append(specs, serviceSpecs()...)
 	return specs
 }
 
@@ -147,11 +152,11 @@ func RunSpec(s Spec) (Result, error) {
 			r.Metrics[k] = v
 		}
 	}
-	if s.tasksPerOp > 0 && r.NsPerOp > 0 {
+	if s.perOp > 0 && r.NsPerOp > 0 {
 		if r.Metrics == nil {
 			r.Metrics = make(map[string]float64, 1)
 		}
-		r.Metrics["tasks/s"] = s.tasksPerOp / (r.NsPerOp * 1e-9)
+		r.Metrics[s.perOpUnit+"/s"] = s.perOp / (r.NsPerOp * 1e-9)
 	}
 	return r, nil
 }

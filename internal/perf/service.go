@@ -1,0 +1,61 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+
+	"oneport/internal/exp"
+	"oneport/internal/platform"
+	"oneport/internal/service"
+	"oneport/internal/testbeds"
+)
+
+// serviceSpecs benchmarks the serving hot path of internal/service: one
+// POST /schedule request driven straight through the HTTP handler (JSON
+// decode, canonical hash, pooled scheduler run, validation, JSON encode) —
+// no sockets, so the numbers are the server's own cost. Two variants:
+//
+//   - service-lu30-request: result cache disabled, every op runs the
+//     scheduler — allocs/op is the steady-state allocation cost of one
+//     served request;
+//   - service-lu30-cachehit: default cache, every op after the first is a
+//     hit — the floor a repeated sweep-shaped workload pays.
+func serviceSpecs() []Spec {
+	lu := testbeds.LU(30, exp.CommRatio)
+	payload, err := json.Marshal(service.Request{
+		Graph:     lu,
+		Platform:  platform.Paper(),
+		Heuristic: "heft",
+	})
+	if err != nil {
+		panic(err) // static request; cannot fail
+	}
+	post := func(srv *service.Server) func() (map[string]float64, error) {
+		handler := srv.Handler()
+		return func() (map[string]float64, error) {
+			req := httptest.NewRequest("POST", "/schedule", bytes.NewReader(payload))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				return nil, fmt.Errorf("perf: service answered %d: %s", rec.Code, rec.Body.Bytes())
+			}
+			return nil, nil
+		}
+	}
+	return []Spec{
+		{
+			Name:      "service-lu30-request",
+			perOp:     1,
+			perOpUnit: "req",
+			work:      post(service.New(service.Config{CacheSize: -1, PoolSize: 1})),
+		},
+		{
+			Name:      "service-lu30-cachehit",
+			perOp:     1,
+			perOpUnit: "req",
+			work:      post(service.New(service.Config{PoolSize: 1})),
+		},
+	}
+}

@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonPlatform is the wire representation used by MarshalJSON/UnmarshalJSON.
+// Missing wires (link(q,r) = +Inf on a sparse topology) are encoded as JSON
+// null, since JSON has no literal for infinity.
+type jsonPlatform struct {
+	Cycles []float64 `json:"cycles"`
+	Link   [][]*jnum `json:"link,omitempty"`
+	// UniformLink is a shorthand accepted on input: when Link is absent, the
+	// platform is fully connected with this single off-diagonal cost.
+	UniformLink *float64 `json:"uniform_link,omitempty"`
+}
+
+// jnum is a float64 whose JSON null means +Inf (no direct wire).
+type jnum float64
+
+func (n jnum) MarshalJSON() ([]byte, error) {
+	return json.Marshal(float64(n))
+}
+
+// MarshalJSON encodes the platform as
+// {"cycles":[...],"link":[[...]]}, with null entries for missing wires.
+// The encoding round-trips through UnmarshalJSON, sparse topologies
+// included.
+func (pl *Platform) MarshalJSON() ([]byte, error) {
+	jp := jsonPlatform{
+		Cycles: append([]float64(nil), pl.cycle...),
+		Link:   make([][]*jnum, len(pl.link)),
+	}
+	for q := range pl.link {
+		row := make([]*jnum, len(pl.link[q]))
+		for r, c := range pl.link[q] {
+			if !math.IsInf(c, 1) {
+				v := jnum(c)
+				row[r] = &v
+			}
+		}
+		jp.Link[q] = row
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON decodes a platform previously produced by MarshalJSON, or
+// the {"cycles":[...],"uniform_link":c} shorthand for fully-connected
+// platforms. It runs the same validation as New, so malformed payloads
+// (non-positive cycle-times, ragged matrices, negative links, non-zero
+// diagonals) fail with errors rather than building a corrupt platform.
+func (pl *Platform) UnmarshalJSON(data []byte) error {
+	var jp jsonPlatform
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	if jp.Link == nil {
+		cost := 1.0
+		if jp.UniformLink != nil {
+			cost = *jp.UniformLink
+		}
+		built, err := Uniform(jp.Cycles, cost)
+		if err != nil {
+			return err
+		}
+		*pl = *built
+		return nil
+	}
+	if jp.UniformLink != nil {
+		return fmt.Errorf("platform: JSON carries both link and uniform_link")
+	}
+	link := make([][]float64, len(jp.Link))
+	for q := range jp.Link {
+		link[q] = make([]float64, len(jp.Link[q]))
+		for r, c := range jp.Link[q] {
+			if c == nil {
+				link[q][r] = math.Inf(1)
+			} else {
+				link[q][r] = float64(*c)
+			}
+		}
+	}
+	built, err := New(jp.Cycles, link)
+	if err != nil {
+		return err
+	}
+	*pl = *built
+	return nil
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU over computed responses, keyed by the
+// canonical request hash. Stored responses are immutable once inserted —
+// readers receive a shallow copy with the Cached flag set, sharing the
+// (read-only) *sched.Schedule — so a hit costs one map lookup and one list
+// splice under a single mutex.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+}
+
+// newResultCache returns an LRU holding up to max entries; max <= 0
+// disables caching (every lookup misses, every insert is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns a copy of the cached response with Cached set, or false.
+func (c *resultCache) get(key string) (Response, bool) {
+	if c.max <= 0 {
+		return Response{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return Response{}, false
+	}
+	c.ll.MoveToFront(el)
+	resp := *el.Value.(*cacheEntry).resp
+	resp.Cached = true
+	return resp, true
+}
+
+// add inserts (or refreshes) a computed response, evicting the least
+// recently used entry when full. The caller must not mutate resp or its
+// schedule afterwards.
+func (c *resultCache) add(key string, resp *Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// keySchema versions the canonical encoding; bump on incompatible change so
+// stale cache entries (or cross-version worker fleets) can never collide.
+const keySchema = "oneport-schedreq/v1"
+
+// CanonicalKey returns the content hash identifying a request's result: the
+// hex SHA-256 of a canonical binary encoding of (graph, platform,
+// heuristic, model, options). Two requests get the same key iff they
+// describe the same scheduling problem:
+//
+//   - graph edges are sorted by (from, to), so edge insertion order — a
+//     construction artifact — does not split the cache;
+//   - the platform encodes as raw cycle-time and link-matrix float bits
+//     (+Inf wires included), so sparse topologies hash faithfully;
+//   - Options.ProbeParallelism is excluded: it changes how fast the
+//     schedule is computed, never the schedule itself.
+//
+// The model string is normalized through Request.normalize before hashing,
+// so aliases ("macro" / "macrodataflow") share a key.
+func CanonicalKey(r *Request) string {
+	h := sha256.New()
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str(keySchema)
+	str(r.Heuristic)
+	str(r.Model)
+	u64(uint64(r.Options.B))
+	u64(uint64(r.Options.ScanDepth))
+
+	g := r.Graph
+	u64(uint64(g.NumNodes()))
+	for v := 0; v < g.NumNodes(); v++ {
+		f64(g.Weight(v))
+		str(g.Label(v))
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	u64(uint64(len(edges)))
+	for _, e := range edges {
+		u64(uint64(e.From))
+		u64(uint64(e.To))
+		f64(e.Data)
+	}
+
+	pl := r.Platform
+	u64(uint64(pl.NumProcs()))
+	for i := 0; i < pl.NumProcs(); i++ {
+		f64(pl.CycleTime(i))
+	}
+	for q := 0; q < pl.NumProcs(); q++ {
+		for rr := 0; rr < pl.NumProcs(); rr++ {
+			f64(pl.Link(q, rr))
+		}
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,291 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oneport/internal/heuristics"
+	"oneport/internal/sched"
+)
+
+// maxBodyBytes bounds request payloads (graphs of several hundred thousand
+// edges fit comfortably; unbounded bodies would let one client exhaust the
+// server).
+const maxBodyBytes = 64 << 20
+
+// Config sizes a Server.
+type Config struct {
+	// PoolSize bounds the number of concurrently executing scheduler runs
+	// (default: GOMAXPROCS). Requests beyond it queue on the pool, not in
+	// new goroutine pile-ups.
+	PoolSize int
+	// CacheSize is the LRU result-cache capacity in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// ProbeParallelism is the per-run probe fan-out handed to each
+	// scheduler (default 1: a loaded server gets its parallelism from
+	// concurrent requests, so single-probe runs avoid oversubscribing the
+	// machine; raise it for latency-sensitive, low-concurrency use).
+	ProbeParallelism int
+}
+
+// Server executes scheduling requests on a bounded worker pool with pooled
+// probe scratch and an LRU result cache. It is safe for concurrent use;
+// construct with New.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	scratch sync.Pool // *heuristics.Scratch, one borrowed per in-flight run
+	cache   *resultCache
+	start   time.Time
+
+	requests  atomic.Int64 // single /schedule jobs accepted
+	batches   atomic.Int64 // /batch payloads accepted
+	batchJobs atomic.Int64 // jobs inside batch payloads
+	hits      atomic.Int64
+	misses    atomic.Int64
+	errors    atomic.Int64
+	inFlight  atomic.Int64 // scheduler runs currently executing
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.ProbeParallelism <= 0 {
+		cfg.ProbeParallelism = 1
+	}
+	s := &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.PoolSize),
+		cache: newResultCache(cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.scratch.New = func() any { return heuristics.NewScratch() }
+	return s
+}
+
+// Run executes one request: cache lookup, then a pooled scheduler run. It
+// never panics on malformed input; failures come back in Response.Error.
+// The returned Response is self-contained (its schedule is never mutated
+// later), so callers may hold or serialize it freely.
+func (s *Server) Run(req *Request) Response {
+	model, err := req.normalize()
+	if err != nil {
+		s.errors.Add(1)
+		return Response{Error: err.Error()}
+	}
+	key := CanonicalKey(req)
+	if resp, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		return resp
+	}
+	s.misses.Add(1)
+
+	s.sem <- struct{}{}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+
+	par := s.cfg.ProbeParallelism
+	if req.Options.ProbeParallelism > 0 {
+		par = req.Options.ProbeParallelism
+	}
+	sc := s.scratch.Get().(*heuristics.Scratch)
+	tune := &heuristics.Tuning{ProbeParallelism: par, Scratch: sc}
+	fn, err := heuristics.ByNameTuned(req.Heuristic,
+		heuristics.ILHAOptions{B: req.Options.B, ScanDepth: req.Options.ScanDepth}, tune)
+	if err != nil {
+		s.scratch.Put(sc)
+		s.errors.Add(1)
+		return Response{Key: key, Error: err.Error()}
+	}
+	began := time.Now()
+	schedule, err := fn(req.Graph, req.Platform, model)
+	elapsed := time.Since(began)
+	s.scratch.Put(sc)
+	if err != nil {
+		s.errors.Add(1)
+		return Response{Key: key, Error: err.Error()}
+	}
+	if err := sched.Validate(req.Graph, req.Platform, schedule, model); err != nil {
+		s.errors.Add(1)
+		return Response{Key: key, Error: fmt.Sprintf("service: produced schedule failed validation: %v", err), serverFault: true}
+	}
+
+	// a graph of all-zero weights legally yields makespan 0; guard the
+	// division so the response never carries a NaN JSON cannot encode
+	speedup := 0.0
+	if ms := schedule.Makespan(); ms > 0 {
+		speedup = req.Platform.SequentialTime(req.Graph.TotalWeight()) / ms
+	}
+	resp := Response{
+		Key:       key,
+		Heuristic: req.Heuristic,
+		Model:     req.Model,
+		Tasks:     req.Graph.NumNodes(),
+		Makespan:  schedule.Makespan(),
+		Speedup:   speedup,
+		Comms:     schedule.CommCount(),
+		ElapsedNs: elapsed.Nanoseconds(),
+		Schedule:  schedule,
+	}
+	s.cache.add(key, &resp)
+	return resp
+}
+
+// RunBatch executes a batch's jobs concurrently on the worker pool and
+// returns responses in input order. Per-job failures are reported in the
+// matching Response.Error; one bad job never fails its neighbours.
+func (s *Server) RunBatch(b *Batch) BatchResponse {
+	out := BatchResponse{Responses: make([]Response, len(b.Requests))}
+	workers := s.cfg.PoolSize
+	if workers > len(b.Requests) {
+		workers = len(b.Requests)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(b.Requests) {
+					return
+				}
+				out.Responses[i] = s.Run(&b.Requests[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /schedule  one Request  -> one Response
+//	POST /batch     {"requests":[...]} -> {"responses":[...]}
+//	GET  /healthz   liveness
+//	GET  /stats     counters (requests, cache hits/misses, in-flight, ...)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /schedule", s.handleSchedule)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	s.requests.Add(1)
+	resp := s.Run(&req)
+	status := http.StatusOK
+	switch {
+	case resp.serverFault:
+		status = http.StatusInternalServerError
+	case resp.Error != "":
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var b Batch
+	if err := decodeJSON(w, r, &b); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	if len(b.Requests) == 0 {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: "service: batch has no requests"})
+		return
+	}
+	s.batches.Add(1)
+	s.batchJobs.Add(int64(len(b.Requests)))
+	writeJSON(w, http.StatusOK, s.RunBatch(&b))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// Stats is the counters snapshot served by GET /stats.
+type Stats struct {
+	UptimeS     float64 `json:"uptime_s"`
+	PoolSize    int     `json:"pool_size"`
+	Requests    int64   `json:"requests"`
+	Batches     int64   `json:"batches"`
+	BatchJobs   int64   `json:"batch_jobs"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	CacheLen    int     `json:"cache_len"`
+	CacheSize   int     `json:"cache_size"`
+	Errors      int64   `json:"errors"`
+	InFlight    int64   `json:"in_flight"`
+}
+
+// StatsSnapshot returns the current counters.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		UptimeS:     time.Since(s.start).Seconds(),
+		PoolSize:    s.cfg.PoolSize,
+		Requests:    s.requests.Load(),
+		Batches:     s.batches.Load(),
+		BatchJobs:   s.batchJobs.Load(),
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		CacheLen:    s.cache.len(),
+		CacheSize:   s.cfg.CacheSize,
+		Errors:      s.errors.Load(),
+		InFlight:    s.inFlight.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// decodeJSON strictly decodes one JSON value from a size-capped body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON marshals before writing the status line, so a value that fails
+// to encode becomes an honest 500 instead of a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"service: response not serializable"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}

@@ -1,0 +1,142 @@
+// Package service is the scheduling server: it turns the library's
+// single-shot heuristics into a long-running, concurrent HTTP/JSON
+// subsystem. A request carries a task graph, a platform, a heuristic name,
+// a communication model and options; the server runs it on a bounded worker
+// pool where each in-flight run borrows pooled probe scratch
+// (heuristics.Scratch via sync.Pool), so steady-state requests stay
+// near-zero-alloc in the scheduler core, and returns the validated
+// schedule.
+//
+// Results are cached in an LRU keyed by a canonical content hash of
+// (graph, platform, heuristic, model, options) — see CanonicalKey — so a
+// repeated request is a cache hit that never re-enters the scheduler.
+// Sweep-shaped payloads can be batched (POST /batch) through the same pool.
+// The sharded sweep protocol built on top lives in the sweep subpackage.
+//
+// Endpoints: POST /schedule, POST /batch, GET /healthz, GET /stats.
+package service
+
+import (
+	"fmt"
+
+	"oneport/internal/cli"
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// Options tunes the heuristic of one request.
+type Options struct {
+	// B is ILHA's chunk size (0 lets ILHA pick the platform default).
+	B int `json:"b,omitempty"`
+	// ScanDepth is ILHA's Step-1 scan depth.
+	ScanDepth int `json:"scan_depth,omitempty"`
+	// ProbeParallelism overrides the server's per-run probe fan-out for
+	// this request (0 keeps the server default). It never changes the
+	// resulting schedule — parallel probing is deterministic — so it is
+	// deliberately NOT part of the cache key.
+	ProbeParallelism int `json:"probe_parallelism,omitempty"`
+}
+
+// Request is one scheduling job: everything needed to reproduce the
+// schedule from scratch.
+type Request struct {
+	Graph     *graph.Graph       `json:"graph"`
+	Platform  *platform.Platform `json:"platform"`
+	Heuristic string             `json:"heuristic"`
+	// Model names the communication model ("oneport", "macro", "uniport",
+	// "nooverlap", "linkcontention"); empty means "oneport".
+	Model   string  `json:"model,omitempty"`
+	Options Options `json:"options,omitempty"`
+}
+
+// normalize validates the request's scalar fields and resolves defaults.
+// It returns the parsed model; graph and platform content is validated by
+// their JSON codecs and again by the scheduler.
+func (r *Request) normalize() (sched.Model, error) {
+	if r.Graph == nil || r.Graph.NumNodes() == 0 {
+		return 0, fmt.Errorf("service: request has no graph")
+	}
+	if r.Platform == nil || r.Platform.NumProcs() == 0 {
+		return 0, fmt.Errorf("service: request has no platform")
+	}
+	if r.Heuristic == "" {
+		r.Heuristic = "heft"
+	}
+	if _, err := heuristics.ByName(r.Heuristic, heuristics.ILHAOptions{}); err != nil {
+		return 0, err
+	}
+	if r.Model == "" {
+		r.Model = "oneport"
+	}
+	model, err := cli.ParseModel(r.Model)
+	if err != nil {
+		return 0, err
+	}
+	// rewrite aliases ("macro-dataflow", "1port", ...) to the canonical
+	// name so equivalent requests share one cache key
+	r.Model = canonicalModelName(model)
+	if r.Options.B < 0 {
+		return 0, fmt.Errorf("service: B = %d must be non-negative", r.Options.B)
+	}
+	if r.Options.ScanDepth < 0 {
+		return 0, fmt.Errorf("service: scan_depth = %d must be non-negative", r.Options.ScanDepth)
+	}
+	return model, nil
+}
+
+// canonicalModelName maps a parsed model back to the primary token
+// cli.ParseModel accepts for it.
+func canonicalModelName(m sched.Model) string {
+	switch m {
+	case sched.MacroDataflow:
+		return "macro"
+	case sched.UniPort:
+		return "uniport"
+	case sched.OnePortNoOverlap:
+		return "nooverlap"
+	case sched.LinkContention:
+		return "linkcontention"
+	default:
+		return "oneport"
+	}
+}
+
+// Response is the outcome of one scheduling job. For batch entries that
+// failed, Error is set and every other field is zero.
+type Response struct {
+	// Key is the canonical cache key of the request (hex SHA-256).
+	Key       string  `json:"key"`
+	Heuristic string  `json:"heuristic"`
+	Model     string  `json:"model"`
+	Tasks     int     `json:"tasks"`
+	Makespan  float64 `json:"makespan"`
+	// Speedup is sequential-time-on-the-fastest-processor / makespan, the
+	// paper's figure axis.
+	Speedup float64 `json:"speedup"`
+	Comms   int     `json:"comms"`
+	// Cached reports that the schedule was served from the result cache.
+	Cached bool `json:"cached"`
+	// ElapsedNs is the scheduler time of the run that produced the
+	// schedule (not the cache lookup).
+	ElapsedNs int64           `json:"elapsed_ns"`
+	Schedule  *sched.Schedule `json:"schedule,omitempty"`
+	Error     string          `json:"error,omitempty"`
+
+	// serverFault marks an Error as server-originated (a produced schedule
+	// failing validation) rather than a bad request, so the HTTP layer can
+	// answer 500 instead of 400.
+	serverFault bool
+}
+
+// Batch is the payload of POST /batch: independent requests executed
+// concurrently on the worker pool, answered in input order.
+type Batch struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse answers a Batch; Responses[i] matches Requests[i].
+type BatchResponse struct {
+	Responses []Response `json:"responses"`
+}

@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"oneport/internal/platform"
+)
+
+// maxShardBytes bounds worker-side shard payloads.
+const maxShardBytes = 16 << 20
+
+// Handler returns the worker-side HTTP surface of the sweep protocol:
+//
+//	POST /sweep/run  Shard -> ShardResult
+//
+// cmd/schedserve mounts it next to the scheduling service's handler when
+// started with -worker.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweep/run", func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxShardBytes))
+		dec.DisallowUnknownFields()
+		var sh Shard
+		if err := dec.Decode(&sh); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("sweep: bad shard: %w", err))
+			return
+		}
+		if len(sh.Jobs) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("sweep: empty shard"))
+			return
+		}
+		res, err := RunShard(&sh)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(res)
+	})
+	return mux
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// Coordinator shards jobs across worker processes and gathers the partial
+// results. The zero value is unusable; set Workers to the workers' base
+// URLs (e.g. "http://host:8642").
+type Coordinator struct {
+	Workers []string
+	// Client defaults to a client with a generous sweep-scale timeout.
+	Client *http.Client
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 10 * time.Minute}
+}
+
+// Run partitions jobs round-robin into one shard per worker, dispatches the
+// shards concurrently, and returns every job's result (order unspecified;
+// the Merge* helpers sort by job id). pl selects the shard platform (nil:
+// the paper platform). A shard whose worker fails is retried on the
+// remaining workers, so the sweep survives losing all but one worker; it
+// fails only when a shard is rejected by every worker.
+func (c *Coordinator) Run(ctx context.Context, pl *platform.Platform, jobs []Job) ([]Result, error) {
+	if len(c.Workers) == 0 {
+		return nil, fmt.Errorf("sweep: coordinator has no workers")
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sweep: no jobs")
+	}
+	shards := Partition(jobs, len(c.Workers))
+
+	var mu sync.Mutex
+	var all []Result
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, shardJobs := range shards {
+		wg.Add(1)
+		go func(i int, shardJobs []Job) {
+			defer wg.Done()
+			sh := Shard{Platform: pl, Jobs: shardJobs}
+			res, err := c.runShardWithFailover(ctx, i, &sh)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			all = append(all, res.Results...)
+			mu.Unlock()
+		}(i, shardJobs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+// runShardWithFailover tries the shard's home worker first (shard index
+// round-robins onto the worker list), then every other worker.
+func (c *Coordinator) runShardWithFailover(ctx context.Context, shard int, sh *Shard) (*ShardResult, error) {
+	var firstErr error
+	for attempt := 0; attempt < len(c.Workers); attempt++ {
+		worker := c.Workers[(shard+attempt)%len(c.Workers)]
+		res, err := c.postShard(ctx, worker, sh)
+		if err == nil {
+			return res, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("sweep: shard %d failed on every worker: %w", shard, firstErr)
+}
+
+func (c *Coordinator) postShard(ctx context.Context, worker string, sh *Shard) (*ShardResult, error) {
+	body, err := json.Marshal(sh)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimRight(worker, "/") + "/sweep/run"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return nil, fmt.Errorf("sweep: worker %s: %s", worker, e.Error)
+	}
+	var out ShardResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("sweep: worker %s: bad response: %w", worker, err)
+	}
+	if len(out.Results) != len(sh.Jobs) {
+		return nil, fmt.Errorf("sweep: worker %s answered %d results for %d jobs", worker, len(out.Results), len(sh.Jobs))
+	}
+	return &out, nil
+}

@@ -1,0 +1,261 @@
+// Package sweep shards the experiment harness across worker processes: the
+// first multi-machine scaling path. A figure sweep (internal/exp, Figures
+// 7–12) or a B-sweep (cmd/bsweep) is decomposed into independent jobs, the
+// jobs are partitioned round-robin into shards, each shard is POSTed to a
+// worker process (schedserve -worker, endpoint /sweep/run), and the partial
+// results are merged deterministically — sorted by job id with completeness
+// checked — so a sharded sweep reproduces the single-process numbers
+// exactly, regardless of worker count, scheduling order or which worker ran
+// which job.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"oneport/internal/cli"
+	"oneport/internal/exp"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// Job kinds.
+const (
+	KindFigure = "figure" // one (figure, size) point: HEFT vs ILHA
+	KindBSweep = "bsweep" // one ILHA run at a single chunk size B
+)
+
+// Job is one independent unit of a sweep. Its result depends only on the
+// job fields and the shard's platform — never on the process that runs it.
+type Job struct {
+	ID   int    `json:"id"`
+	Kind string `json:"kind"`
+	// Model names the communication model; empty means "oneport".
+	Model string `json:"model,omitempty"`
+
+	// KindFigure: one size of one figure.
+	Figure string `json:"figure,omitempty"`
+	Size   int    `json:"size"`
+
+	// KindBSweep: one ILHA chunk size on one testbed instance (Size above).
+	Testbed string `json:"testbed,omitempty"`
+	B       int    `json:"b,omitempty"`
+	Scan    int    `json:"scan,omitempty"`
+}
+
+// Result is the outcome of one job. Job is echoed back so merging never
+// depends on coordinator-side bookkeeping beyond the id.
+type Result struct {
+	Job   Job        `json:"job"`
+	Point *exp.Point `json:"point,omitempty"` // figure jobs
+	// B-sweep jobs: the speedup and message count of the single ILHA run.
+	Speedup float64 `json:"speedup,omitempty"`
+	Comms   int     `json:"comms,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Shard is the wire payload a coordinator sends to one worker. Platform is
+// optional; nil means the paper's 10-processor platform, and round-trips
+// through the platform JSON codec otherwise (sparse topologies included).
+type Shard struct {
+	Platform *platform.Platform `json:"platform,omitempty"`
+	Jobs     []Job              `json:"jobs"`
+}
+
+// ShardResult answers a Shard, one Result per job.
+type ShardResult struct {
+	Results []Result `json:"results"`
+}
+
+// FigureJobs decomposes a figure sweep into jobs, one per problem size.
+func FigureJobs(fig exp.Figure, model string, sizes []int) []Job {
+	jobs := make([]Job, len(sizes))
+	for i, n := range sizes {
+		jobs[i] = Job{ID: i, Kind: KindFigure, Model: model, Figure: fig.ID, Size: n}
+	}
+	return jobs
+}
+
+// BSweepJobs decomposes a B-sweep into jobs, one per chunk size.
+func BSweepJobs(testbed string, size int, model string, scan int, bs []int) []Job {
+	jobs := make([]Job, len(bs))
+	for i, b := range bs {
+		jobs[i] = Job{ID: i, Kind: KindBSweep, Model: model, Testbed: testbed, Size: size, B: b, Scan: scan}
+	}
+	return jobs
+}
+
+// Partition splits jobs round-robin into n shards (some possibly empty
+// shards are dropped). Round-robin keeps shards balanced when job cost
+// grows with the problem size, which it does for every figure sweep.
+func Partition(jobs []Job, n int) [][]Job {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]Job, 0, n)
+	buckets := make([][]Job, n)
+	for i, j := range jobs {
+		buckets[i%n] = append(buckets[i%n], j)
+	}
+	for _, b := range buckets {
+		if len(b) > 0 {
+			shards = append(shards, b)
+		}
+	}
+	return shards
+}
+
+// RunShard executes a shard's jobs on this process, fanning them out across
+// the CPUs with one pooled scheduler scratch per lane. Per-job failures are
+// reported in Result.Err; the shard itself only fails on a malformed
+// platform (which poisons every job anyway).
+func RunShard(sh *Shard) (*ShardResult, error) {
+	pl := sh.Platform
+	if pl == nil {
+		pl = platform.Paper()
+	}
+	out := &ShardResult{Results: make([]Result, len(sh.Jobs))}
+	lanes := runtime.GOMAXPROCS(0)
+	if lanes > len(sh.Jobs) {
+		lanes = len(sh.Jobs)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// per-lane scratch: jobs on a lane run one after another, so
+			// the one-run-at-a-time Tuning rule holds by construction.
+			// ProbeParallelism 1: the lanes already saturate the CPUs, so
+			// per-run probe fan-out would only add contention.
+			tune := &heuristics.Tuning{ProbeParallelism: 1, Scratch: heuristics.NewScratch()}
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(sh.Jobs) {
+					return
+				}
+				out.Results[i] = runJob(sh.Jobs[i], pl, tune)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func runJob(job Job, pl *platform.Platform, tune *heuristics.Tuning) Result {
+	res := Result{Job: job}
+	modelName := job.Model
+	if modelName == "" {
+		modelName = "oneport"
+	}
+	model, err := cli.ParseModel(modelName)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	switch job.Kind {
+	case KindFigure:
+		fig, err := exp.FigureByID(job.Figure)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		p, err := exp.RunPointSpec(exp.PointSpec{Figure: fig, Size: job.Size}, pl, model)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Point = &p
+	case KindBSweep:
+		g, err := testbeds.ByName(job.Testbed, job.Size, exp.CommRatio)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		fn, err := heuristics.ByNameTuned("ilha", heuristics.ILHAOptions{B: job.B, ScanDepth: job.Scan}, tune)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		s, err := fn(g, pl, model)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		if err := sched.Validate(g, pl, s, model); err != nil {
+			res.Err = fmt.Sprintf("B=%d: %v", job.B, err)
+			return res
+		}
+		res.Speedup = pl.SequentialTime(g.TotalWeight()) / s.Makespan()
+		res.Comms = s.CommCount()
+	default:
+		res.Err = fmt.Sprintf("sweep: unknown job kind %q", job.Kind)
+	}
+	return res
+}
+
+// mergeCheck sorts results by job id and verifies each expected id occurs
+// exactly once with no error — the deterministic-merge precondition shared
+// by MergeFigure and MergeBSweep.
+func mergeCheck(results []Result, want int) ([]Result, error) {
+	if len(results) != want {
+		return nil, fmt.Errorf("sweep: merged %d results, want %d", len(results), want)
+	}
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Job.ID < sorted[j].Job.ID })
+	for i, r := range sorted {
+		if r.Err != "" {
+			return nil, fmt.Errorf("sweep: job %d failed: %s", r.Job.ID, r.Err)
+		}
+		if r.Job.ID != i {
+			return nil, fmt.Errorf("sweep: job ids not contiguous: got %d at position %d", r.Job.ID, i)
+		}
+	}
+	return sorted, nil
+}
+
+// MergeFigure reassembles figure-job results into the figure's Series,
+// exactly as the single-process exp.Run would have produced it.
+func MergeFigure(fig exp.Figure, model sched.Model, results []Result, wantJobs int) (*exp.Series, error) {
+	sorted, err := mergeCheck(results, wantJobs)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]exp.Point, 0, len(sorted))
+	for _, r := range sorted {
+		if r.Job.Kind != KindFigure || r.Point == nil {
+			return nil, fmt.Errorf("sweep: job %d is not a figure result", r.Job.ID)
+		}
+		points = append(points, *r.Point)
+	}
+	return exp.AssembleSeries(fig, model, points)
+}
+
+// MergeBSweep reassembles B-sweep results into the exp.BSweep map shape:
+// speedup per chunk size.
+func MergeBSweep(results []Result, wantJobs int) (map[int]float64, error) {
+	sorted, err := mergeCheck(results, wantJobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(sorted))
+	for _, r := range sorted {
+		if r.Job.Kind != KindBSweep {
+			return nil, fmt.Errorf("sweep: job %d is not a bsweep result", r.Job.ID)
+		}
+		if _, dup := out[r.Job.B]; dup {
+			return nil, fmt.Errorf("sweep: duplicate B=%d", r.Job.B)
+		}
+		out[r.Job.B] = r.Speedup
+	}
+	return out, nil
+}

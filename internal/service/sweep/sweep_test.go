@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"oneport/internal/exp"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// twoWorkers starts two independent in-process workers (each serving the
+// real /sweep/run handler, exactly what `schedserve -worker` mounts) and
+// returns a coordinator over both.
+func twoWorkers(t *testing.T) *Coordinator {
+	t.Helper()
+	w1 := httptest.NewServer(Handler())
+	t.Cleanup(w1.Close)
+	w2 := httptest.NewServer(Handler())
+	t.Cleanup(w2.Close)
+	return &Coordinator{Workers: []string{w1.URL, w2.URL}}
+}
+
+// TestShardedFigureMatchesSingleProcess is the acceptance criterion: a
+// figure sweep sharded across two worker processes merges to exactly the
+// numbers the single-process exp.Run (cmd/experiments) produces.
+func TestShardedFigureMatchesSingleProcess(t *testing.T) {
+	fig, err := exp.FigureByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := exp.QuickSizes()
+	pl := platform.Paper()
+
+	want, err := exp.Run(fig, pl, sched.OnePort, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := twoWorkers(t)
+	jobs := FigureJobs(fig, "oneport", sizes)
+	if got := len(Partition(jobs, len(co.Workers))); got != 2 {
+		t.Fatalf("expected 2 shards, got %d", got)
+	}
+	results, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeFigure(fig, sched.OnePort, results, len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Fatalf("point %d differs:\n got %+v\nwant %+v", i, got.Points[i], want.Points[i])
+		}
+	}
+	if got.Table() != want.Table() {
+		t.Fatal("rendered tables differ")
+	}
+}
+
+// TestShardedBSweepMatchesSingleProcess shards a B-sweep and compares to
+// the in-process exp.BSweep.
+func TestShardedBSweepMatchesSingleProcess(t *testing.T) {
+	pl := platform.Paper()
+	bs := []int{1, 2, 4, 7, 10, 20, 38}
+	want, err := exp.BSweep("lu", 20, pl, sched.OnePort, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := twoWorkers(t)
+	jobs := BSweepJobs("lu", 20, "oneport", 0, bs)
+	results, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeBSweep(results, len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, want %d", len(got), len(want))
+	}
+	for b, sp := range want {
+		if got[b] != sp {
+			t.Fatalf("B=%d: %g vs %g", b, got[b], sp)
+		}
+	}
+}
+
+// TestCoordinatorFailover kills one worker: the sweep must still complete
+// (the dead worker's shard fails over to the live one) and merge to the
+// same series.
+func TestCoordinatorFailover(t *testing.T) {
+	fig, err := exp.FigureByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{20, 30, 40}
+	pl := platform.Paper()
+	want, err := exp.Run(fig, pl, sched.OnePort, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := httptest.NewServer(Handler())
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "worker on fire", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	co := &Coordinator{Workers: []string{dead.URL, live.URL}}
+	jobs := FigureJobs(fig, "oneport", sizes)
+	results, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeFigure(fig, sched.OnePort, results, len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Fatalf("point %d differs after failover", i)
+		}
+	}
+}
+
+// TestCoordinatorAllWorkersDown: when every worker rejects a shard the
+// sweep fails with the underlying error, not a bogus partial merge.
+func TestCoordinatorAllWorkersDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	co := &Coordinator{Workers: []string{dead.URL}}
+	fig, _ := exp.FigureByID("fig7")
+	if _, err := co.Run(context.Background(), nil, FigureJobs(fig, "oneport", []int{20})); err == nil {
+		t.Fatal("want error when every worker is down")
+	}
+}
+
+// TestMergeRejectsIncomplete pins the determinism guard: a lost or
+// duplicated job must fail the merge instead of silently skewing numbers.
+func TestMergeRejectsIncomplete(t *testing.T) {
+	fig, _ := exp.FigureByID("fig8")
+	jobs := FigureJobs(fig, "oneport", []int{20, 40})
+	sh := Shard{Jobs: jobs}
+	res, err := RunShard(&sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFigure(fig, sched.OnePort, res.Results[:1], len(jobs)); err == nil {
+		t.Fatal("missing job must fail the merge")
+	}
+	dup := append(append([]Result(nil), res.Results...), res.Results[0])
+	if _, err := MergeFigure(fig, sched.OnePort, dup, len(jobs)); err == nil {
+		t.Fatal("duplicated job must fail the merge")
+	}
+	if _, err := MergeFigure(fig, sched.OnePort, dup, len(dup)); err == nil {
+		t.Fatal("non-contiguous ids must fail the merge")
+	}
+}
+
+// TestShardPlatformRoundTrip runs a shard on a non-default platform sent
+// over the wire through the platform JSON codec.
+func TestShardPlatformRoundTrip(t *testing.T) {
+	small, err := platform.Homogeneous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, _ := exp.FigureByID("fig8")
+	sizes := []int{20, 40}
+	want, err := exp.Run(fig, small, sched.OnePort, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := twoWorkers(t)
+	results, err := co.Run(context.Background(), small, FigureJobs(fig, "oneport", sizes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeFigure(fig, sched.OnePort, results, len(sizes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Fatalf("point %d differs on custom platform", i)
+		}
+	}
+}
