@@ -132,37 +132,110 @@ func dlsRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 		return nil, err
 	}
 	ef := pl.AvgExecFactor()
+	f := attachFrontier(s)
 	rel := newReleaser(g)
-	readySet := map[int]bool{}
+	ready := newReadyList(sl)
 	for _, v := range rel.initial() {
-		readySet[v] = true
+		ready.push(v)
 	}
-	for len(readySet) > 0 {
-		bestV, bestDL := -1, math.Inf(-1)
-		var bestPl placement
-		// deterministic iteration: ascending task id
-		ids := make([]int, 0, len(readySet))
-		for v := range readySet {
-			ids = append(ids, v)
+	np := pl.NumProcs()
+	lazy := s.par <= 1
+	// heavy marks frontiers where the bound pass barely skips anything (a
+	// fork-join chunk: every pair's communication crosses the same source
+	// port, so each commit re-inflates every stale bound); there a single
+	// refresh-as-you-scan sweep avoids the second pass. Re-sampled
+	// periodically in case the frontier's shape changes. Both modes (and
+	// the parallel ensure) compute the exact same argmax.
+	heavy := false
+	step := 0
+	for !ready.empty() {
+		step++
+		useBound := lazy && (!heavy || step%16 == 0)
+		if !lazy {
+			// parallel budget: revalidate the whole frontier through the
+			// worker pool — only the pairs the last commit perturbed are
+			// re-probed — then reduce over exact scores
+			f.ensure(ready.items())
 		}
-		sortInts(ids)
-		for _, v := range ids {
-			preds := s.preds(v)
-			for q := 0; q < pl.NumProcs(); q++ {
-				cand := s.probe(v, q, preds)
-				delta := g.Weight(v)*ef - pl.ExecTime(g.Weight(v), q)
-				dl := sl[v] - cand.start + delta
-				if dl > bestDL {
-					// cand's comms live in probe scratch; stash them so the
-					// held best survives the remaining probes of this step
-					bestV, bestDL, bestPl = v, dl, s.stash(cand)
+		// argmax over every (ready task, processor) pair by the total order
+		// (DL desc, task id asc, proc id asc) — exactly the pair the former
+		// ascending-id strict-improvement scan kept
+		bestV, bestP, bestDL := -1, -1, math.Inf(-1)
+		better := func(dl float64, v, q int) bool {
+			return dl > bestDL || (dl == bestDL && (v < bestV || (v == bestV && q < bestP)))
+		}
+		// exact pass: cached and compute-refreshed entries (every entry when
+		// the parallel ensure ran; heavy mode re-probes stale pairs inline)
+		for _, v := range ready.items() {
+			row := f.row(v)
+			w := g.Weight(v)
+			var preds []predInfo
+			havePreds := false
+			for q := 0; q < np; q++ {
+				e := &row[q]
+				if lazy {
+					switch f.staleKind(v, e) {
+					case staleCompute:
+						f.fastRefresh(v, q, e)
+					case staleFull:
+						if useBound {
+							continue // bound pass below
+						}
+						if !havePreds {
+							preds = s.preds(v)
+							havePreds = true
+						}
+						f.refresh(v, q, preds)
+					}
+				}
+				delta := w*ef - pl.ExecTime(w, q)
+				dl := sl[v] - e.start + delta
+				if better(dl, v, q) {
+					bestV, bestP, bestDL = v, q, dl
 				}
 			}
 		}
-		s.commit(bestV, bestPl)
-		delete(readySet, bestV)
+		if useBound {
+			// bound pass: committed reservations only ever grow the
+			// timelines, so a stale cached start is a lower bound on the
+			// true start and sl − start + Δ an upper bound on the true DL.
+			// A stale pair whose bound cannot beat the incumbent (under the
+			// full tie-break) can never be the argmax and is skipped without
+			// a probe; the rest are re-probed exactly once.
+			cand, refreshed := 0, 0
+			for _, v := range ready.items() {
+				row := f.row(v)
+				w := g.Weight(v)
+				var preds []predInfo
+				havePreds := false
+				for q := 0; q < np; q++ {
+					e := &row[q]
+					if f.staleKind(v, e) != staleFull {
+						continue
+					}
+					cand++
+					delta := w*ef - pl.ExecTime(w, q)
+					if bound := sl[v] - e.start + delta; !better(bound, v, q) {
+						continue
+					}
+					if !havePreds {
+						preds = s.preds(v)
+						havePreds = true
+					}
+					refreshed++
+					f.refresh(v, q, preds)
+					dl := sl[v] - e.start + delta
+					if better(dl, v, q) {
+						bestV, bestP, bestDL = v, q, dl
+					}
+				}
+			}
+			heavy = cand >= 64 && refreshed*4 >= cand*3
+		}
+		s.commit(bestV, f.placementFor(bestV, bestP))
+		ready.remove(bestV)
 		for _, nv := range rel.release(bestV) {
-			readySet[nv] = true
+			ready.push(nv)
 		}
 	}
 	if !rel.done() {
@@ -238,6 +311,11 @@ func bilRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 		prio[v] = m
 	}
 
+	// BIL's level scan runs on the frontier engine like DLS and Exhaustive:
+	// each popped task's processor row is probed through the shared cached +
+	// parallel scan machinery, and the earliest-finish reduction (ties to
+	// the lowest processor index) is identical to bestEFT's.
+	f := attachFrontier(s)
 	ready := newReadyList(prio)
 	rel := newReleaser(g)
 	for _, v := range rel.initial() {
@@ -245,8 +323,7 @@ func bilRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 	}
 	for !ready.empty() {
 		v := ready.pop()
-		best := s.bestEFT(v, nil)
-		s.commit(v, best)
+		s.commit(v, f.bestInRow(v))
 		for _, nv := range rel.release(v) {
 			ready.push(nv)
 		}
@@ -343,12 +420,4 @@ func randomRun(g *graph.Graph, pl *platform.Platform, model sched.Model, seed in
 
 func almost(a, b float64) bool {
 	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

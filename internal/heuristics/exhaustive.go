@@ -19,17 +19,33 @@ import (
 // for small instances: heuristic results are compared against it in tests
 // and ablation tables.
 //
+// The (ready task × processor) expansion scores come from the frontier-probe
+// engine: each DFS node revalidates only the pairs its parent's one commit
+// perturbed (a cloned child inherits the parent's cache) and probes them in
+// parallel, while pruning and expansion order — and therefore the result and
+// the completion flag — are byte-identical to the uncached sequential
+// search.
+//
 // The search is exponential; nodeBudget caps the number of DFS expansions.
 // The returned flag reports whether the search ran to completion (true) or
 // was cut off, in which case the schedule is the best found so far.
 func Exhaustive(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBudget int) (*sched.Schedule, bool, error) {
+	return ExhaustiveTuned(g, pl, model, nodeBudget, nil)
+}
+
+// ExhaustiveTuned is Exhaustive with a per-run Tuning: ProbeParallelism
+// caps (1 forces off) the frontier engine's probe fan-out, and a Scratch is
+// recycled like in every other tuned runner.
+func ExhaustiveTuned(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBudget int, tune *Tuning) (*sched.Schedule, bool, error) {
 	if nodeBudget <= 0 {
 		nodeBudget = 200000
 	}
-	s, err := newState(g, pl, model, nil)
+	s, err := newState(g, pl, model, tune)
 	if err != nil {
 		return nil, false, err
 	}
+	defer tune.reclaim(s)
+	attachFrontier(s)
 	// remaining pure-computation bottom level at the fastest speed: a lower
 	// bound on the time between a task's start and the makespan
 	tmin := pl.CycleTime(pl.FastestProc())
@@ -39,6 +55,7 @@ func Exhaustive(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBu
 	}
 
 	n := g.NumNodes()
+	np := pl.NumProcs()
 	indeg := make([]int, n)
 	var ready []int
 	for v := 0; v < n; v++ {
@@ -70,15 +87,71 @@ func Exhaustive(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBu
 			}
 			return
 		}
+		// Score every (ready, proc) pair: cache hits for everything the path
+		// to this node left untouched. Committed reservations only ever grow
+		// the timelines, so even a stale cached start is a lower bound on
+		// the pair's true start — a pair the bound prunes on a stale score
+		// is pruned without ever re-probing it (the reference search, seeing
+		// the only-larger true start, prunes it too). With a parallel budget
+		// the surviving invalid pairs are swept up front through the worker
+		// pool; sequentially the walk is lazy and each survivor is probed
+		// exactly once (the refreshing probe doubles as the expansion's
+		// placement).
+		batch := st.par > 1
+		if batch {
+			st.frontier.ensureFiltered(ready, func(v, p int, e *frontierEntry) bool {
+				return e.start+blw[v] < bestSpan
+			})
+		}
 		for ri, v := range ready {
-			preds := st.preds(v)
-			for q := 0; q < pl.NumProcs(); q++ {
-				plc := st.probe(v, q, preds)
-				// bound: the task's own remaining bottom level must still run
-				if plc.start+blw[v] >= bestSpan {
+			// preds are only needed by the lazy staleFull refreshes below;
+			// a row served from cache or bound-pruned never fetches them
+			var preds []predInfo
+			havePreds := false
+			row := st.frontier.row(v)
+			for q := 0; q < np; q++ {
+				e := &row[q]
+				// prune on the (possibly stale, hence lower-bound) score
+				if e.start+blw[v] >= bestSpan {
 					continue
 				}
+				var plc placement
+				haveComms := false
+				if !batch {
+					switch st.frontier.staleKind(v, e) {
+					case staleCompute:
+						st.frontier.fastRefresh(v, q, e)
+					case staleFull:
+						if !havePreds {
+							preds = st.preds(v)
+							havePreds = true
+						}
+						plc = st.frontier.refresh(v, q, preds)
+						haveComms = true
+					}
+					// re-check the bound against the now-exact score
+					if e.start+blw[v] >= bestSpan {
+						continue
+					}
+				}
+				// the pair would expand: only now may the budget cut it off,
+				// and doing so means the search did not run to completion —
+				// the pre-engine code returned here silently, letting a
+				// mid-search cutoff masquerade as a completed (provably
+				// optimal) search, while pairs the bound disposes of are
+				// legitimately finished work at any node count
+				if nodes >= nodeBudget {
+					exhausted = true
+					return
+				}
+				if !haveComms {
+					plc = st.frontier.placementFor(v, q)
+				}
 				child := st.clone()
+				// the DFS is strictly sequential and probes fully reset
+				// their buffer, so the whole search shares one buffer set
+				// instead of lazily growing one per cloned state
+				child.bufs = st.bufs
 				child.commit(v, plc)
 				nm := curMax
 				if plc.finish > nm {
@@ -98,9 +171,9 @@ func Exhaustive(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBu
 				for _, a := range g.Succ(v) {
 					indeg[a.Node]++
 				}
-				if nodes >= nodeBudget {
-					return
-				}
+				// the child subtree is fully explored: recycle its engine
+				// clone for the next branch
+				st.frontier.scan.recycle(child.frontier)
 			}
 		}
 	}

@@ -13,14 +13,18 @@ import (
 
 func TestExhaustiveFigure1Optimum(t *testing.T) {
 	// Figure 1's fork: exhaustive search must find the optimal one-port
-	// makespan 5 and the macro-dataflow optimum 3.
+	// makespan 5 and the macro-dataflow optimum 3. The fork needs ~10⁶ DFS
+	// expansions to *prove* optimality; the default 200 000 budget used to
+	// appear sufficient only because a mid-search cutoff silently reported
+	// completion (the flag bug fixed alongside the frontier engine), so the
+	// budget is now explicit.
 	g, pl := fig1Fork(t)
-	s, complete, err := Exhaustive(g, pl, sched.OnePort, 0)
+	s, complete, err := Exhaustive(g, pl, sched.OnePort, 2000000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !complete {
-		t.Fatal("search did not complete within the default budget")
+		t.Fatal("search did not complete within the budget")
 	}
 	if err := sched.Validate(g, pl, s, sched.OnePort); err != nil {
 		t.Fatal(err)
@@ -28,7 +32,7 @@ func TestExhaustiveFigure1Optimum(t *testing.T) {
 	if s.Makespan() != 5 {
 		t.Errorf("one-port optimum = %g, want 5", s.Makespan())
 	}
-	m, complete, err := Exhaustive(g, pl, sched.MacroDataflow, 0)
+	m, complete, err := Exhaustive(g, pl, sched.MacroDataflow, 2000000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,500 @@
+package heuristics
+
+import (
+	"math/bits"
+	"sync"
+
+	"oneport/internal/sched"
+)
+
+// This file implements the frontier-probe engine: an incremental, cached and
+// parallel evaluator of the (ready task × processor) probe matrix that the
+// whole-frontier heuristics scan at every scheduling step. DLS maximizes a
+// dynamic level over all pairs, the Exhaustive branch-and-bound expands
+// every pair, and BIL's level scan minimizes finish time over one task's
+// row; before the engine each of them re-probed every pair from scratch at
+// every step, an O(ready·procs) rescan per commit even though one commit
+// only perturbs one processor's compute timeline, the ports/wires on the
+// committed communication paths, and the placed task's successors.
+//
+// The engine caches each pair's probe *scores* (start and finish time) and
+// invalidates them with fine granularity:
+//
+//   - a per-processor compute-timeline stamp and a per-processor port stamp
+//     (ports and incident wires), bumped for exactly the processors whose
+//     resources a commit reserved under the run's communication model;
+//   - a per-task predecessor stamp, bumped for every successor of the
+//     committed task (its probe inputs now include a new placed pred);
+//   - each cached entry records the stamp clock it was computed at and the
+//     exact processor sets its probe read: the candidate's compute timeline
+//     plus, model-dependent, the ports/wires (and for the no-overlap model
+//     the compute timelines) of every processor on the communication path
+//     from each remote predecessor.
+//
+// An entry is served only while none of the resources it read and the
+// task's pred set changed since it was computed. Probes are pure functions
+// of the committed timelines, so a cache hit is bit-for-bit the placement a
+// fresh probe would produce, and schedules are byte-identical to the
+// uncached sequential implementations. The remaining invalid pairs of a
+// step are fanned out across the shared probe worker pool (each worker owns
+// its probeBuf and writes disjoint entries), which is equally exact: every
+// pair is a pure function of the committed state and the reductions below
+// use total orders — (score, task id, proc id) — that do not depend on
+// evaluation order. See DESIGN.md, "Frontier engine".
+type frontier struct {
+	s  *state
+	np int // processor count
+
+	// wide marks platforms with more than 64 processors, where a per-entry
+	// read set no longer fits the bitmasks. Entries then record no read set
+	// and are invalidated by any commit (asOf must equal the clock): the
+	// engine degrades to the uncached pre-engine behaviour — plus the
+	// parallel fan-out — instead of risking a stale placement.
+	wide bool
+
+	// clock is the logical commit counter; stamps hold clock values. The
+	// three stamp arrays share one slab so the Exhaustive per-branch clone
+	// is a single allocation: computeStamp = stamps[:np] (compute
+	// timelines), portStamp = stamps[np:2np] (ports and incident wires),
+	// predStamp = stamps[2np:] (per task: last gained a placed pred).
+	clock  uint64
+	stamps []uint64
+
+	// entries is the flat probe matrix, entries[v*np+p] for pair (v, p).
+	entries []frontierEntry
+
+	// scan is the ensure/materialize scratch. The DFS of the Exhaustive
+	// search runs strictly sequentially, so every cloned state along one
+	// search shares its root's scratch instead of growing its own.
+	scan *frontierScan
+}
+
+// frontierEntry caches the scores of one (task, processor) probe. Scores are
+// enough for every reduction the heuristics need (dynamic level, earliest
+// finish, branch-and-bound pruning); only a winning pair's communication
+// placement is materialized, by re-running that single probe. ready is the
+// communication-determined earliest start, so an entry stale only in its
+// compute timeline is refreshed by a single gap search instead of a probe.
+type frontierEntry struct {
+	asOf          uint64 // clock the probe ran at; 0 = never probed
+	readsC        uint64 // bitmask: compute timelines the probe read
+	readsP        uint64 // bitmask: port/wire timelines the probe read
+	ready         float64
+	start, finish float64
+}
+
+// frontierScan is the reusable scratch of one engine scan, shared by every
+// clone along one Exhaustive search.
+type frontierScan struct {
+	pairs     []probePair
+	predArena []predInfo
+	jobs      []frontierJob
+	best      []sched.CommEvent // stash for bestInRow's running best
+	free      []*frontier       // recycled per-branch clones (Exhaustive)
+	one       [1]int
+	wg        sync.WaitGroup
+}
+
+// probePair is one invalid (task, processor) pair queued for re-probing;
+// the task's predecessors live at predArena[off : off+n].
+type probePair struct {
+	v, p   int32
+	off, n int32
+}
+
+// frontierJob is one worker's share of a parallel ensure, dispatched to the
+// shared probe pool.
+type frontierJob struct {
+	f     *frontier
+	wi, w int
+}
+
+func (j *frontierJob) run() {
+	j.f.probeSlice(j.wi, j.w)
+	j.f.scan.wg.Done()
+}
+
+// attachFrontier creates (or, when the state carries lent scratch, revives)
+// the frontier engine for st and hooks it into st.commit so every commit
+// bumps the invalidation stamps.
+func attachFrontier(st *state) *frontier {
+	f := st.fmem
+	st.fmem = nil
+	if f == nil {
+		f = &frontier{}
+	}
+	f.resetFor(st)
+	st.frontier = f
+	return f
+}
+
+// resetFor rebinds the engine to a state, resizing and zeroing every stamp
+// and entry. Reused (Scratch-lent) engines keep their slice capacity.
+func (f *frontier) resetFor(st *state) {
+	f.s = st
+	f.np = st.pl.NumProcs()
+	f.wide = f.np > 64
+	f.clock = 1
+	f.stamps = resizeZeroU64(f.stamps, 2*f.np+st.g.NumNodes())
+	n := st.g.NumNodes() * f.np
+	if cap(f.entries) < n {
+		f.entries = make([]frontierEntry, n)
+	} else {
+		f.entries = f.entries[:n]
+		for i := range f.entries {
+			f.entries[i] = frontierEntry{}
+		}
+	}
+	if f.scan == nil {
+		f.scan = &frontierScan{}
+	}
+}
+
+func resizeZeroU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (f *frontier) computeStamp() []uint64 { return f.stamps[:f.np] }
+func (f *frontier) portStamp() []uint64    { return f.stamps[f.np : 2*f.np] }
+func (f *frontier) predStamp() []uint64    { return f.stamps[2*f.np:] }
+
+// cloneFor deep-copies the engine for a cloned state (the Exhaustive search
+// clones the scheduler state per branch; inheriting the parent's cache lets
+// a child re-probe only the pairs its one extra commit invalidated). The
+// scan scratch is shared, not copied: the search is sequential, so at most
+// one scan is live at a time. Clones come from (and return to, via recycle)
+// the scan's freelist, so a deep DFS allocates a handful of clones total.
+func (f *frontier) cloneFor(c *state) *frontier {
+	var nf *frontier
+	if n := len(f.scan.free); n > 0 {
+		nf = f.scan.free[n-1]
+		f.scan.free = f.scan.free[:n-1]
+	} else {
+		nf = &frontier{}
+	}
+	nf.s = c
+	nf.np = f.np
+	nf.wide = f.wide
+	nf.clock = f.clock
+	nf.stamps = append(nf.stamps[:0], f.stamps...)
+	nf.entries = append(nf.entries[:0], f.entries...)
+	nf.scan = f.scan
+	return nf
+}
+
+// recycle returns a no-longer-referenced clone's storage to the freelist.
+// The caller must guarantee the clone's state is dead.
+func (sc *frontierScan) recycle(f *frontier) {
+	f.s = nil
+	sc.free = append(sc.free, f)
+}
+
+// onCommit is called by state.commit after the placement's reservations are
+// applied: it advances the clock and stamps exactly the resources the
+// commit reserved — the computing processor's compute timeline, the
+// port/wire stamps of both endpoints of every communication hop under the
+// port models (plus their compute stamps under the no-overlap model), and
+// the pred stamp of every successor of the placed task. MacroDataflow
+// communications reserve no timeline at all, so there only the compute
+// stamp moves.
+func (f *frontier) onCommit(v int, pl placement) {
+	f.clock++
+	c := f.clock
+	f.computeStamp()[pl.proc] = c
+	if f.s.model != sched.MacroDataflow {
+		ps := f.portStamp()
+		cs := f.computeStamp()
+		noOverlap := f.s.model == sched.OnePortNoOverlap
+		for i := range pl.comms {
+			for _, h := range pl.comms[i].Hops {
+				ps[h.FromProc] = c
+				ps[h.ToProc] = c
+				if noOverlap {
+					cs[h.FromProc] = c
+					cs[h.ToProc] = c
+				}
+			}
+		}
+	}
+	preds := f.predStamp()
+	for _, a := range f.s.g.Succ(v) {
+		preds[a.Node] = c
+	}
+}
+
+// Staleness classes of a cached entry.
+const (
+	staleNone    = iota // entry is valid as is
+	staleCompute        // only the candidate's compute timeline changed
+	staleFull           // a port/wire, a pred, or (no-overlap) a path compute changed
+)
+
+// staleKind classifies entry e of task v. staleNone entries are served
+// directly. staleCompute entries — the task's pred set and every port the
+// probe read are untouched, only the candidate processor's own compute
+// timeline moved — keep their communication layout: the probe's ready time
+// still holds, and a single compute-gap search restores the scores
+// (fastRefresh). Everything else needs a full re-probe. Under
+// OnePortNoOverlap communication placement itself reads compute timelines,
+// so there readsC beyond the candidate forces staleFull, never staleCompute.
+func (f *frontier) staleKind(v int, e *frontierEntry) int {
+	if e.asOf == 0 || f.predStamp()[v] > e.asOf {
+		return staleFull
+	}
+	if f.wide {
+		if e.asOf == f.clock {
+			return staleNone
+		}
+		return staleFull
+	}
+	ps := f.portStamp()
+	for m := e.readsP; m != 0; m &= m - 1 {
+		if ps[bits.TrailingZeros64(m)] > e.asOf {
+			return staleFull
+		}
+	}
+	cs := f.computeStamp()
+	kind := staleNone
+	for m := e.readsC; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		if cs[p] > e.asOf {
+			if e.readsC != e.readsC&-e.readsC {
+				// more than one compute timeline read (no-overlap model):
+				// the communication layout may shift, re-probe fully
+				return staleFull
+			}
+			kind = staleCompute
+		}
+	}
+	return kind
+}
+
+// valid reports whether entry e of task v may be served as is.
+func (f *frontier) valid(v int, e *frontierEntry) bool {
+	return f.staleKind(v, e) == staleNone
+}
+
+// fastRefresh restores a staleCompute entry: the communication layout (and
+// with it the ready time and the read sets) is untouched, so only the final
+// compute-gap search reruns against the candidate's current timeline —
+// exactly the tail of probeWith, at a fraction of a probe's cost.
+func (f *frontier) fastRefresh(v, p int, e *frontierEntry) {
+	s := f.s
+	after := e.ready
+	if s.appendOnly {
+		if le := s.compute[p].LastEnd(); le > after {
+			after = le
+		}
+	}
+	dur := s.pl.ExecTime(s.g.Weight(v), p)
+	start := s.compute[p].EarliestGap(after, dur)
+	e.start, e.finish = start, start+dur
+	e.asOf = f.clock
+}
+
+// ensure makes every (task, processor) entry of the given ready tasks valid,
+// re-probing the invalid pairs — in parallel across the shared worker pool
+// when the run allows it and the batch is large enough. Tasks must be ready
+// (all preds placed).
+func (f *frontier) ensure(tasks []int) { f.ensureFiltered(tasks, nil) }
+
+// ensureFiltered is ensure with a pair filter: pairs for which keep returns
+// false are left stale (the caller has proven, e.g. from the monotone lower
+// bound a stale score provides, that it will never read them fresh).
+func (f *frontier) ensureFiltered(tasks []int, keep func(v, p int, e *frontierEntry) bool) {
+	s := f.s
+	sc := f.scan
+	sc.pairs = sc.pairs[:0]
+	sc.predArena = sc.predArena[:0]
+	work := 0
+	for _, v := range tasks {
+		row := f.entries[v*f.np : (v+1)*f.np]
+		off, n := int32(-1), int32(0)
+		for p := range row {
+			switch f.staleKind(v, &row[p]) {
+			case staleNone:
+				continue
+			case staleCompute:
+				f.fastRefresh(v, p, &row[p])
+				continue
+			}
+			if keep != nil && !keep(v, p, &row[p]) {
+				continue
+			}
+			if off < 0 {
+				off = int32(len(sc.predArena))
+				sc.predArena = s.predsInto(sc.predArena, v)
+				n = int32(len(sc.predArena)) - off
+			}
+			sc.pairs = append(sc.pairs, probePair{v: int32(v), p: int32(p), off: off, n: n})
+			work += int(n) + 1
+		}
+	}
+	if len(sc.pairs) == 0 {
+		return
+	}
+	w := s.par
+	if w > len(sc.pairs) {
+		w = len(sc.pairs)
+	}
+	if w <= 1 || work < probeParallelGrain {
+		s.buf(0)
+		f.probeSlice(0, 1)
+		return
+	}
+	s.buf(w - 1) // materialize every worker buf before the fan-out
+	for len(sc.jobs) < w {
+		sc.jobs = append(sc.jobs, frontierJob{})
+	}
+	jobs := poolJobs()
+	sc.wg.Add(w - 1)
+	for wi := 1; wi < w; wi++ {
+		sc.jobs[wi] = frontierJob{f: f, wi: wi, w: w}
+		jobs <- &sc.jobs[wi]
+	}
+	f.probeSlice(0, w)
+	sc.wg.Wait()
+}
+
+// probeSlice re-probes pairs wi, wi+w, wi+2w, … with worker wi's probeBuf,
+// recording scores and read sets into the pairs' (disjoint) entries. During
+// a fan-out everything it reads — committed timelines, pairs, the pred
+// arena, routes — is frozen, so slices race with nothing.
+func (f *frontier) probeSlice(wi, w int) {
+	s := f.s
+	b := s.bufs[wi]
+	for k := wi; k < len(f.scan.pairs); k += w {
+		pr := &f.scan.pairs[k]
+		preds := f.scan.predArena[pr.off : pr.off+pr.n]
+		pl := s.probeWith(b, int(pr.v), int(pr.p), preds)
+		f.record(int(pr.v), int(pr.p), preds, pl)
+	}
+}
+
+// record refreshes the entry of pair (v, p) from a just-run probe.
+func (f *frontier) record(v, p int, preds []predInfo, pl placement) {
+	e := &f.entries[v*f.np+p]
+	e.ready = pl.ready
+	e.start, e.finish = pl.start, pl.finish
+	e.readsC, e.readsP = f.readsFor(p, preds)
+	e.asOf = f.clock
+}
+
+// refresh probes pair (v, p) with the sequential buf, records its entry and
+// returns the full placement (comms in probe scratch: commit or copy it
+// before the next probe on this state). It is the lazy, one-pair analogue
+// of ensure used by the branch-and-bound, which can often prune a pair on
+// cached scores without ever probing it.
+func (f *frontier) refresh(v, p int, preds []predInfo) placement {
+	pl := f.s.probeWith(f.s.buf(0), v, p, preds)
+	f.record(v, p, preds, pl)
+	return pl
+}
+
+// readsFor computes the resource sets a probe of (·, p) with the given
+// placed predecessors reads. The compute mask always holds the candidate
+// processor (the final gap search and the append-only horizon); remote
+// predecessors add, per communication model: nothing for MacroDataflow
+// (communications never consult a timeline), the ports of every processor
+// on the path for the port models and LinkContention (a wire maps to the
+// port stamps of its two endpoints), plus the path compute timelines for
+// OnePortNoOverlap, whose hops block computation on both endpoints.
+func (f *frontier) readsFor(p int, preds []predInfo) (readsC, readsP uint64) {
+	if f.wide {
+		return 0, 0
+	}
+	readsC = uint64(1) << uint(p)
+	if f.s.model == sched.MacroDataflow {
+		return readsC, 0
+	}
+	noOverlap := f.s.model == sched.OnePortNoOverlap
+	for i := range preds {
+		q := preds[i].proc
+		if q == p {
+			continue
+		}
+		for _, r := range f.s.path(q, p) {
+			readsP |= uint64(1) << uint(r)
+		}
+	}
+	if noOverlap {
+		readsC |= readsP
+	}
+	return readsC, readsP
+}
+
+// row returns task v's entry row; entries are only meaningful after ensure
+// (or per-pair refresh).
+func (f *frontier) row(v int) []frontierEntry {
+	return f.entries[v*f.np : (v+1)*f.np]
+}
+
+// placementFor materializes the full placement of one (typically winning)
+// pair by re-running its probe. Probes are pure, so the result carries
+// exactly the scores the cached entry holds. The placement's comms live in
+// the state's sequential probe scratch: commit (or copy) it before the next
+// probe on this state.
+func (f *frontier) placementFor(v, p int) placement {
+	s := f.s
+	return s.probeWith(s.buf(0), v, p, s.preds(v))
+}
+
+// bestInRow returns the earliest-finish placement of task v over every
+// processor, ties to the lowest processor index — the frontier-engine
+// equivalent of bestEFT(v, nil).
+//
+// With a sequential budget it walks the row directly: cached entries are
+// served, invalid ones probed exactly once, and the running best placement
+// is stashed as it goes (like bestEFT), so a fresh row costs not a single
+// probe more than the pre-engine scan. With a parallel budget it ensures
+// the row through the pool and materializes the winner.
+func (f *frontier) bestInRow(v int) placement {
+	if f.s.par > 1 {
+		f.scan.one[0] = v
+		f.ensure(f.scan.one[:])
+		row := f.row(v)
+		best := 0
+		for p := 1; p < len(row); p++ {
+			if row[p].finish < row[best].finish {
+				best = p
+			}
+		}
+		return f.placementFor(v, best)
+	}
+	s := f.s
+	b := s.buf(0)
+	preds := s.preds(v)
+	row := f.row(v)
+	best, cached := -1, false
+	var bestPl placement
+	for p := 0; p < f.np; p++ {
+		e := &row[p]
+		switch f.staleKind(v, e) {
+		case staleNone:
+		case staleCompute:
+			f.fastRefresh(v, p, e)
+		default:
+			pl := s.probeWith(b, v, p, preds)
+			f.record(v, p, preds, pl)
+			if best < 0 || e.finish < row[best].finish {
+				best, cached = p, false
+				bestPl = stashPlacement(&f.scan.best, pl)
+			}
+			continue
+		}
+		if best < 0 || e.finish < row[best].finish {
+			best, cached = p, true
+		}
+	}
+	if cached {
+		return f.placementFor(v, best)
+	}
+	return bestPl
+}

@@ -1,0 +1,136 @@
+package heuristics
+
+import (
+	"testing"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// Benchmarks for the frontier-probe engine at the fig7/fig8 benchmark
+// scales (FORK-JOIN 300, LU 60). The *_Reference variants run the preserved
+// pre-engine loops from reference_test.go, so the engine's win — cached
+// pairs plus parallel re-probing — stays measurable in one binary:
+//
+//	go test -bench 'DLS|BIL|Exhaustive' -benchtime 2x ./internal/heuristics
+func benchGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"lu60":        testbeds.LU(60, 10),        // fig8 scale
+		"forkjoin300": testbeds.ForkJoin(300, 10), // fig7 scale
+	}
+}
+
+func BenchmarkDLS(b *testing.B) {
+	pl := platform.Paper()
+	for name, g := range benchGraphs() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DLS(g, pl, sched.OnePort); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDLSReference(b *testing.B) {
+	pl := platform.Paper()
+	for name, g := range benchGraphs() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dlsReference(g, pl, sched.OnePort); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBIL(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(60, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BIL(g, pl, sched.OnePort); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBILReference(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(60, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bilReference(g, pl, sched.OnePort); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// exhaustiveBenchBudget caps the branch-and-bound benchmarks: the work per
+// op is exactly this many DFS expansions (the searches never complete), so
+// reference and engine run the identical tree.
+const exhaustiveBenchBudget = 4000
+
+func BenchmarkExhaustive(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(5, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Exhaustive(g, pl, sched.OnePort, exhaustiveBenchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveReference(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(5, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exhaustiveReference(g, pl, sched.OnePort, exhaustiveBenchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontierScanCached isolates the engine's steady-state frontier
+// scan: on a half-scheduled LU instance with a fully warm cache, one ensure
+// over the whole ready frontier is a pure validity sweep — the per-step cost
+// the caching saves compared to |ready| × procs probes.
+func BenchmarkFrontierScanCached(b *testing.B) {
+	pl := platform.Paper()
+	g := testbeds.LU(30, 10)
+	prio, err := priorities(g, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := newState(g, pl, sched.OnePort, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := attachFrontier(s)
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for rel.placed < g.NumNodes()/2 {
+		v := ready.pop()
+		s.commit(v, f.bestInRow(v))
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	f.ensure(ready.items()) // warm every pair
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ensure(ready.items())
+	}
+}

@@ -1,0 +1,365 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// frontierCases are the graph × platform instances the engine determinism
+// suites run on: dense paper platform plus the routed line topology, where
+// communications traverse multi-hop placeComm routes and invalidation must
+// track every intermediate processor.
+func frontierCases() []struct {
+	name string
+	g    *graph.Graph
+	pl   *platform.Platform
+} {
+	wide, err := platform.Homogeneous(65)
+	if err != nil {
+		panic(err)
+	}
+	return []struct {
+		name string
+		g    *graph.Graph
+		pl   *platform.Platform
+	}{
+		{"forkjoin40", testbeds.ForkJoin(40, 10), platform.Paper()},
+		{"lu12", testbeds.LU(12, 10), platform.Paper()},
+		{"stencil8", testbeds.Stencil(8, 10), platform.Paper()},
+		{"lu10-line4", testbeds.LU(10, 10), linePlatform(4)},
+		// 65 processors: read sets no longer fit the 64-bit masks, so this
+		// exercises the wide invalidate-on-any-commit fallback
+		{"lu6-wide65", testbeds.LU(6, 10), wide},
+	}
+}
+
+// TestDLSFrontierDeterminism pins the tentpole guarantee: the engine-backed
+// DLS — cached scores, fine-grained invalidation, parallel re-probing —
+// produces schedules byte-identical to the pre-engine reference loop, for
+// every communication model, on dense and routed platforms, sequential and
+// parallel. Run under -race this also exercises the fan-out's data-sharing
+// argument.
+func TestDLSFrontierDeterminism(t *testing.T) {
+	oldGrain := probeParallelGrain
+	probeParallelGrain = 2 // force the parallel path onto nearly every step
+	defer func() { probeParallelGrain = oldGrain }()
+
+	for _, c := range frontierCases() {
+		for _, model := range sched.Models() {
+			t.Run(fmt.Sprintf("%s/%s", c.name, model), func(t *testing.T) {
+				ref, err := dlsReference(c.g, c.pl, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 8} {
+					got, err := dlsRun(c.g, c.pl, model, &Tuning{ProbeParallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sameSchedule(ref, got); err != nil {
+						t.Fatalf("par %d: %v", par, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBILFrontierDeterminism is the same pin for BIL's level scan.
+func TestBILFrontierDeterminism(t *testing.T) {
+	oldGrain := probeParallelGrain
+	probeParallelGrain = 2
+	defer func() { probeParallelGrain = oldGrain }()
+
+	for _, c := range frontierCases() {
+		for _, model := range sched.Models() {
+			t.Run(fmt.Sprintf("%s/%s", c.name, model), func(t *testing.T) {
+				ref, err := bilReference(c.g, c.pl, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 8} {
+					got, err := bilRun(c.g, c.pl, model, &Tuning{ProbeParallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sameSchedule(ref, got); err != nil {
+						t.Fatalf("par %d: %v", par, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExhaustiveFrontierDeterminism pins the branch-and-bound: with the
+// engine (inherited caches, parallel probing) the search must visit the same
+// tree — same best schedule, byte for byte, and the same completion flag —
+// as the reference, exhaustively on small instances and under a budget
+// cutoff.
+func TestExhaustiveFrontierDeterminism(t *testing.T) {
+	oldGrain := probeParallelGrain
+	probeParallelGrain = 2
+	defer func() { probeParallelGrain = oldGrain }()
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomLayeredDAG(r, 6)
+		pl, err := platform.Uniform([]float64{1, 2, 1}, float64(1+r.Intn(2)))
+		if err != nil {
+			return false
+		}
+		budgets := []int{300000, 400} // complete search and a mid-search cutoff
+		for _, model := range sched.Models() {
+			for _, budget := range budgets {
+				ref, refDone, err := exhaustiveReference(g, pl, model, budget)
+				if err != nil {
+					continue // tiny budget found nothing: also true for the engine
+				}
+				for _, par := range []int{1, 8} {
+					got, gotDone, err := ExhaustiveTuned(g, pl, model, budget, &Tuning{ProbeParallelism: par})
+					if err != nil {
+						t.Logf("seed %d %v budget %d: %v", seed, model, budget, err)
+						return false
+					}
+					if gotDone != refDone {
+						t.Logf("seed %d %v budget %d: complete=%v, reference %v", seed, model, budget, gotDone, refDone)
+						return false
+					}
+					if err := sameSchedule(ref, got); err != nil {
+						t.Logf("seed %d %v budget %d par %d: %v", seed, model, budget, par, err)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierNeverServesStale is the adversarial invalidation property: on
+// a routed line platform every remote message crosses intermediate wires, so
+// a commit can perturb a communication path shared by a cached pair whose
+// task and processor are both unrelated to the committed task. After every
+// commit, every cached (ready task, processor) score must equal a probe
+// recomputed from scratch. The commit choice deliberately maximizes the
+// start time so messages are forced across the longest routes.
+func TestFrontierNeverServesStale(t *testing.T) {
+	wide, err := platform.Homogeneous(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		pl   *platform.Platform
+	}{
+		{"lu8-line5", testbeds.LU(8, 10), linePlatform(5)},
+		{"stencil6-line4", testbeds.Stencil(6, 10), linePlatform(4)},
+		{"forkjoin20-paper", testbeds.ForkJoin(20, 10), platform.Paper()},
+		{"lu5-wide65", testbeds.LU(5, 10), wide},
+	}
+	for _, c := range cases {
+		for _, model := range sched.Models() {
+			t.Run(fmt.Sprintf("%s/%s", c.name, model), func(t *testing.T) {
+				g, pl := c.g, c.pl
+				prio, err := priorities(g, pl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := newState(g, pl, model, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := attachFrontier(s)
+				check := newProbeBuf(pl.NumProcs())
+				ready := newReadyList(prio)
+				rel := newReleaser(g)
+				for _, v := range rel.initial() {
+					ready.push(v)
+				}
+				np := pl.NumProcs()
+				for !ready.empty() {
+					f.ensure(ready.items())
+					for _, v := range ready.items() {
+						preds := s.preds(v)
+						row := f.row(v)
+						for p := 0; p < np; p++ {
+							fresh := s.probeWith(check, v, p, preds)
+							if row[p].start != fresh.start || row[p].finish != fresh.finish {
+								t.Fatalf("stale cache for task %d proc %d: cached (%g,%g), fresh (%g,%g)",
+									v, p, row[p].start, row[p].finish, fresh.start, fresh.finish)
+							}
+						}
+					}
+					// commit the pair with the LATEST start among the top
+					// task's row: maximizes remote traffic and route length
+					v := ready.pop()
+					worst := 0
+					row := f.row(v)
+					for p := 1; p < np; p++ {
+						if row[p].start > row[worst].start {
+							worst = p
+						}
+					}
+					s.commit(v, f.placementFor(v, worst))
+					for _, nv := range rel.release(v) {
+						ready.push(nv)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFrontierSharedPathInvalidation is the hand-built multi-hop case: two
+// independent chains pinned to the opposite ends of a 4-processor line. The
+// cached probe of (u, P3) reads every processor on the route P0→P1→P2→P3;
+// committing the unrelated task y onto P1 routes its message across the
+// shared wires {3,2} and {2,1}, so the cache must drop (u, P3) — while
+// (u, P0), whose probe read only P0, survives.
+func TestFrontierSharedPathInvalidation(t *testing.T) {
+	g := graph.New(4)
+	a := g.AddNode(1, "a") // source of u's data, pinned to P0
+	b := g.AddNode(1, "b") // source of y's data, pinned to P3
+	u := g.AddNode(1, "u")
+	y := g.AddNode(1, "y")
+	g.MustEdge(a, u, 5)
+	g.MustEdge(b, y, 5)
+	pl := linePlatform(4)
+
+	s, err := newState(g, pl, sched.OnePort, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := attachFrontier(s)
+	s.commit(a, s.probe(a, 0, s.preds(a)))
+	s.commit(b, s.probe(b, 3, s.preds(b)))
+
+	f.ensure([]int{u, y})
+	uFar := f.row(u)[3]   // read P0,P1,P2,P3 (full route from a on P0)
+	uLocal := f.row(u)[0] // read P0 only (no communication)
+	if !f.valid(u, &uFar) || !f.valid(u, &uLocal) {
+		t.Fatal("fresh entries must be valid")
+	}
+
+	// y's message b→y travels P3→P2→P1: wires {3,2}, {2,1}
+	s.commit(y, f.placementFor(y, 1))
+
+	if f.valid(u, &uFar) {
+		t.Fatal("(u,P3) read the perturbed route P1..P3 and must be invalidated")
+	}
+	if !f.valid(u, &uLocal) {
+		t.Fatal("(u,P0) read only P0, which the commit left untouched; it must survive")
+	}
+
+	// after revalidation the refreshed entry must match a from-scratch probe
+	// that sees y's port traffic
+	f.ensure([]int{u})
+	check := newProbeBuf(pl.NumProcs())
+	fresh := s.probeWith(check, u, 3, s.preds(u))
+	if got := f.row(u)[3]; got.start != fresh.start || got.finish != fresh.finish {
+		t.Fatalf("revalidated entry (%g,%g) differs from fresh probe (%g,%g)",
+			got.start, got.finish, fresh.start, fresh.finish)
+	}
+}
+
+// TestFrontierScratchReuse pins the engine's recycling path: a Scratch now
+// carries the frontier across runs, so a reused engine must behave exactly
+// like a fresh one — including across graph- and platform-size changes,
+// where every stamp and entry must be resized and zeroed, and across
+// heuristics sharing one Scratch.
+func TestFrontierScratchReuse(t *testing.T) {
+	paper := platform.Paper()
+	small, err := platform.Homogeneous(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := testbeds.LU(12, 10)
+	fj := testbeds.ForkJoin(15, 10)
+
+	wantLU, err := dlsReference(lu, paper, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFJ, err := dlsReference(fj, small, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBIL, err := bilReference(lu, paper, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEx, wantDone, err := exhaustiveReference(fj, small, sched.OnePort, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tune := &Tuning{ProbeParallelism: 1, Scratch: NewScratch()}
+	for rep := 0; rep < 3; rep++ {
+		got, err := dlsRun(lu, paper, sched.OnePort, tune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(wantLU, got); err != nil {
+			t.Fatalf("rep %d DLS lu: %v", rep, err)
+		}
+		got, err = dlsRun(fj, small, sched.OnePort, tune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(wantFJ, got); err != nil {
+			t.Fatalf("rep %d DLS fj/small: %v", rep, err)
+		}
+		got, err = bilRun(lu, paper, sched.OnePort, tune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(wantBIL, got); err != nil {
+			t.Fatalf("rep %d BIL: %v", rep, err)
+		}
+		gotEx, gotDone, err := ExhaustiveTuned(fj, small, sched.OnePort, 2000, tune)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDone != wantDone {
+			t.Fatalf("rep %d Exhaustive: complete=%v, reference %v", rep, gotDone, wantDone)
+		}
+		if err := sameSchedule(wantEx, gotEx); err != nil {
+			t.Fatalf("rep %d Exhaustive: %v", rep, err)
+		}
+	}
+}
+
+// TestSetProbeParallelismDelegates pins the deprecation contract: the global
+// knob only feeds the default Tuning, and any per-run setting wins over it.
+func TestSetProbeParallelismDelegates(t *testing.T) {
+	old := SetProbeParallelism(3)
+	defer SetProbeParallelism(old)
+
+	if got := (*Tuning)(nil).par(); got != 3 {
+		t.Fatalf("nil Tuning par = %d, want the delegated default 3", got)
+	}
+	if got := (&Tuning{}).par(); got != 3 {
+		t.Fatalf("zero Tuning par = %d, want the delegated default 3", got)
+	}
+	if got := (&Tuning{ProbeParallelism: 5}).par(); got != 5 {
+		t.Fatalf("per-run par = %d, want 5 (global must not override)", got)
+	}
+	if prev := SetProbeParallelism(0); prev != 3 {
+		t.Fatalf("previous value = %d, want 3", prev)
+	}
+	if got := (*Tuning)(nil).par(); got != 1 {
+		t.Fatalf("par after clamped set = %d, want 1", got)
+	}
+}

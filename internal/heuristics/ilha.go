@@ -190,15 +190,27 @@ func dominantPredProc(s *state, v int) (proc, comms int) {
 	if len(adj) == 0 {
 		return -1, 0
 	}
-	counts := make(map[int]int, len(adj))
-	for _, a := range adj {
-		counts[s.sch.Tasks[a.Node].Proc]++
+	// processor-indexed counting on state scratch: O(preds + touched procs),
+	// allocation-free after the first call, and safe for wide fan-ins (the
+	// fork-join join task has hundreds of predecessors)
+	counts := s.predCount
+	if len(counts) < s.pl.NumProcs() {
+		counts = make([]int, s.pl.NumProcs())
+		s.predCount = counts
 	}
+	// incremental argmax: a processor wins the moment it reaches a higher
+	// count, ties to the lower index — the same (max count, lowest proc)
+	// winner the counting map produced
 	best, bestCount := -1, -1
-	for q, c := range counts {
-		if c > bestCount || (c == bestCount && q < best) {
+	for _, a := range adj {
+		q := s.sch.Tasks[a.Node].Proc
+		counts[q]++
+		if c := counts[q]; c > bestCount || (c == bestCount && q < best) {
 			best, bestCount = q, c
 		}
+	}
+	for _, a := range adj {
+		counts[s.sch.Tasks[a.Node].Proc] = 0
 	}
 	return best, len(adj) - bestCount
 }

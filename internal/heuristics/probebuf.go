@@ -12,9 +12,13 @@ import (
 // probes, so the steady-state probe path performs no allocation.
 //
 // A probeBuf is owned by exactly one goroutine at a time. During parallel
-// bestEFT probing each worker uses its own buf; everything a probe reads
-// from the shared state (committed timelines, routes, the graph) is
-// read-only for the duration of the fan-out.
+// bestEFT probing (and the frontier engine's pair fan-out) each worker uses
+// its own buf; everything a probe reads from the shared state (committed
+// timelines, routes, the graph) is read-only for the duration of the
+// fan-out. A buf is not otherwise tied to the state that grew it: a probe
+// fully resets the buf, so strictly sequential users may share one set
+// across many states — the Exhaustive search points every cloned state at
+// its root's buffers instead of lazily growing thousands of copies.
 type probeBuf struct {
 	// tentative overlay reservations by processor index, each kept sorted
 	// by start (sched.AddExtra); emptied via the touched lists below

@@ -1,0 +1,138 @@
+package heuristics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortedReadyList is the pre-heap readyList kept verbatim as the ordering
+// oracle: a slice sorted by (priority desc, task id asc) with O(n) insertion
+// and front pops.
+type sortedReadyList struct {
+	prio  []float64
+	tasks []int
+}
+
+func (r *sortedReadyList) less(a, b int) bool {
+	if r.prio[a] != r.prio[b] {
+		return r.prio[a] > r.prio[b]
+	}
+	return a < b
+}
+
+func (r *sortedReadyList) push(v int) {
+	pos := sort.Search(len(r.tasks), func(i int) bool { return r.less(v, r.tasks[i]) })
+	r.tasks = append(r.tasks, 0)
+	copy(r.tasks[pos+1:], r.tasks[pos:])
+	r.tasks[pos] = v
+}
+
+func (r *sortedReadyList) pop() int {
+	v := r.tasks[0]
+	r.tasks = r.tasks[1:]
+	return v
+}
+
+func (r *sortedReadyList) popN(n int) []int {
+	if n > len(r.tasks) {
+		n = len(r.tasks)
+	}
+	out := append([]int(nil), r.tasks[:n]...)
+	r.tasks = r.tasks[n:]
+	return out
+}
+
+// TestReadyListMatchesSortedReference drives the indexed heap and the old
+// sorted-slice implementation through identical random push/pop/popN
+// sequences — with heavy priority ties, the case where only the task-id
+// tie-break keeps the order total — and requires identical pops throughout.
+func TestReadyListMatchesSortedReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(60)
+		prio := make([]float64, n)
+		for i := range prio {
+			prio[i] = float64(r.Intn(5)) // few distinct values: many ties
+		}
+		heap := newReadyList(prio)
+		ref := &sortedReadyList{prio: prio}
+		next := 0
+		for op := 0; op < 4*n; op++ {
+			switch {
+			case heap.len() == 0 && next >= n:
+				// nothing left to push or pop
+			case next < n && (heap.len() == 0 || r.Intn(3) > 0):
+				heap.push(next)
+				ref.push(next)
+				next++
+			case r.Intn(4) == 0:
+				k := 1 + r.Intn(3)
+				got, want := heap.popN(k), ref.popN(k)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: popN(%d) lengths %d vs %d", trial, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d: popN(%d)[%d] = %d, reference %d", trial, k, i, got[i], want[i])
+					}
+				}
+			default:
+				if got, want := heap.pop(), ref.pop(); got != want {
+					t.Fatalf("trial %d: pop = %d, reference %d", trial, got, want)
+				}
+			}
+			if heap.len() != len(ref.tasks) {
+				t.Fatalf("trial %d: len %d vs reference %d", trial, heap.len(), len(ref.tasks))
+			}
+		}
+		// drain: the tails must agree too
+		for heap.len() > 0 {
+			if got, want := heap.pop(), ref.pop(); got != want {
+				t.Fatalf("trial %d drain: pop = %d, reference %d", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestReadyListRemove checks the indexed removal DLS relies on: removing an
+// arbitrary subset must leave exactly the remaining tasks, still popping in
+// (priority desc, id asc) order.
+func TestReadyListRemove(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(40)
+		prio := make([]float64, n)
+		for i := range prio {
+			prio[i] = float64(r.Intn(4))
+		}
+		heap := newReadyList(prio)
+		for v := 0; v < n; v++ {
+			heap.push(v)
+		}
+		keep := map[int]bool{}
+		for v := 0; v < n; v++ {
+			keep[v] = true
+		}
+		for _, v := range r.Perm(n)[:n/2] {
+			heap.remove(v)
+			delete(keep, v)
+		}
+		ref := &sortedReadyList{prio: prio}
+		for v := 0; v < n; v++ {
+			if keep[v] {
+				ref.push(v)
+			}
+		}
+		if heap.len() != len(ref.tasks) {
+			t.Fatalf("trial %d: %d tasks left, want %d", trial, heap.len(), len(ref.tasks))
+		}
+		for ref.len() > 0 {
+			if got, want := heap.pop(), ref.pop(); got != want {
+				t.Fatalf("trial %d: pop = %d, reference %d", trial, got, want)
+			}
+		}
+	}
+}
+
+func (r *sortedReadyList) len() int { return len(r.tasks) }

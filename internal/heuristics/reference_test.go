@@ -1,0 +1,230 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+)
+
+// This file preserves the pre-frontier-engine implementations of DLS, BIL
+// and the Exhaustive search verbatim (modulo renamed ready-list plumbing) as
+// test oracles: the engine-backed implementations must produce byte-identical
+// schedules, and the *_Reference benchmarks in frontier_bench_test.go keep
+// the before/after performance ratio visible. One deliberate deviation: the
+// pre-engine Exhaustive could report completion after a mid-search budget
+// cutoff (the post-recursion return never set the exhausted flag); that bug
+// fix is mirrored here — it moves the budget check to the top of each
+// expansion without changing the traversal — so the determinism suites can
+// still compare the flag.
+
+// dlsReference is the original DLS loop: at every step it re-probes every
+// (ready task, processor) pair from scratch with the sequential probe path.
+func dlsReference(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, &Tuning{ProbeParallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	sl, err := priorities(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	ef := pl.AvgExecFactor()
+	rel := newReleaser(g)
+	readySet := map[int]bool{}
+	for _, v := range rel.initial() {
+		readySet[v] = true
+	}
+	for len(readySet) > 0 {
+		bestV, bestDL := -1, math.Inf(-1)
+		var bestPl placement
+		// deterministic iteration: ascending task id
+		ids := make([]int, 0, len(readySet))
+		for v := range readySet {
+			ids = append(ids, v)
+		}
+		sort.Ints(ids)
+		for _, v := range ids {
+			preds := s.preds(v)
+			for q := 0; q < pl.NumProcs(); q++ {
+				cand := s.probe(v, q, preds)
+				delta := g.Weight(v)*ef - pl.ExecTime(g.Weight(v), q)
+				dl := sl[v] - cand.start + delta
+				if dl > bestDL {
+					bestV, bestDL, bestPl = v, dl, s.stash(cand)
+				}
+			}
+		}
+		s.commit(bestV, bestPl)
+		delete(readySet, bestV)
+		for _, nv := range rel.release(bestV) {
+			readySet[nv] = true
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// bilReference is the original BIL loop: level computation plus a plain
+// sequential bestEFT per popped task.
+func bilReference(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, &Tuning{ProbeParallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := pl.NumProcs()
+	lbar := pl.AvgLinkFactor()
+	bil := make([][]float64, g.NumNodes())
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		bil[v] = make([]float64, p)
+		for q := 0; q < p; q++ {
+			maxSucc := 0.0
+			for _, a := range g.Succ(v) {
+				stay := bil[a.Node][q]
+				move := math.Inf(1)
+				for r := 0; r < p; r++ {
+					if r == q {
+						continue
+					}
+					if c := bil[a.Node][r] + a.Data*lbar; c < move {
+						move = c
+					}
+				}
+				best := stay
+				if move < best {
+					best = move
+				}
+				if best > maxSucc {
+					maxSucc = best
+				}
+			}
+			bil[v][q] = pl.ExecTime(g.Weight(v), q) + maxSucc
+		}
+	}
+	prio := make([]float64, g.NumNodes())
+	for v := range prio {
+		m := math.Inf(-1)
+		for q := 0; q < p; q++ {
+			if bil[v][q] > m {
+				m = bil[v][q]
+			}
+		}
+		prio[v] = m
+	}
+
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		best := s.bestEFT(v, nil)
+		s.commit(v, best)
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// exhaustiveReference is the original branch-and-bound: every (ready, proc)
+// pair is probed from scratch at every DFS node.
+func exhaustiveReference(g *graph.Graph, pl *platform.Platform, model sched.Model, nodeBudget int) (*sched.Schedule, bool, error) {
+	if nodeBudget <= 0 {
+		nodeBudget = 200000
+	}
+	s, err := newState(g, pl, model, &Tuning{ProbeParallelism: 1})
+	if err != nil {
+		return nil, false, err
+	}
+	tmin := pl.CycleTime(pl.FastestProc())
+	blw, err := g.BottomLevels(tmin, 0)
+	if err != nil {
+		return nil, false, err
+	}
+
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	var ready []int
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(v)
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+
+	var best *sched.Schedule
+	bestSpan := math.Inf(1)
+	nodes := 0
+	exhausted := false
+
+	var dfs func(st *state, ready []int, placed int, curMax float64)
+	dfs = func(st *state, ready []int, placed int, curMax float64) {
+		if nodes >= nodeBudget {
+			exhausted = true
+			return
+		}
+		nodes++
+		if placed == n {
+			if curMax < bestSpan {
+				bestSpan = curMax
+				cp := *st.sch
+				cp.Tasks = append([]sched.TaskEvent(nil), st.sch.Tasks...)
+				cp.Comms = append([]sched.CommEvent(nil), st.sch.Comms...)
+				best = &cp
+			}
+			return
+		}
+		for ri, v := range ready {
+			preds := st.preds(v)
+			for q := 0; q < pl.NumProcs(); q++ {
+				plc := st.probe(v, q, preds)
+				if plc.start+blw[v] >= bestSpan {
+					continue
+				}
+				if nodes >= nodeBudget {
+					exhausted = true
+					return
+				}
+				child := st.clone()
+				child.commit(v, plc)
+				nm := curMax
+				if plc.finish > nm {
+					nm = plc.finish
+				}
+				next := make([]int, 0, len(ready)+2)
+				next = append(next, ready[:ri]...)
+				next = append(next, ready[ri+1:]...)
+				for _, a := range g.Succ(v) {
+					indeg[a.Node]--
+					if indeg[a.Node] == 0 {
+						next = append(next, a.Node)
+					}
+				}
+				dfs(child, next, placed+1, nm)
+				for _, a := range g.Succ(v) {
+					indeg[a.Node]++
+				}
+			}
+		}
+	}
+	dfs(s, ready, 0, 0)
+	if best == nil {
+		return nil, false, fmt.Errorf("heuristics: exhaustive search found no schedule within budget %d", nodeBudget)
+	}
+	return best, !exhausted, nil
+}

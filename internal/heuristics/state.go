@@ -14,45 +14,19 @@ package heuristics
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
-	"sync/atomic"
 
 	"oneport/internal/graph"
 	"oneport/internal/platform"
 	"oneport/internal/sched"
 )
 
-// probeWorkers is the number of goroutines bestEFT fans candidate probes out
-// to; 1 disables parallel probing. It is sampled when a state is created.
-var probeWorkers atomic.Int64
-
 // probeParallelGrain is the minimum probe work — len(preds) × candidate
-// count — below which bestEFT stays on the sequential path: for small tasks
-// the goroutine fan-out costs more than the probes themselves. Probes are
-// deterministic either way, so the cut-over is invisible in the output.
+// count — below which bestEFT (and the frontier engine's ensure) stays on
+// the sequential path: for small batches the goroutine fan-out costs more
+// than the probes themselves. Probes are deterministic either way, so the
+// cut-over is invisible in the output.
 var probeParallelGrain = 64
-
-func init() {
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
-	probeWorkers.Store(int64(w))
-}
-
-// SetProbeParallelism sets the process-wide default number of concurrent
-// probe workers bestEFT uses (clamped to at least 1; n = 1 forces the
-// sequential reference path) and returns the previous value. It applies to
-// states created afterwards that do not carry their own Tuning; concurrent
-// schedulers should prefer the per-run Tuning.ProbeParallelism, which this
-// global only provides the default for.
-func SetProbeParallelism(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(probeWorkers.Swap(int64(n)))
-}
 
 // state carries the incremental resource timelines during list scheduling.
 type state struct {
@@ -75,12 +49,22 @@ type state struct {
 
 	// probe scratch, all lazily created and reused across probes: one buf
 	// per worker (bufs[0] doubles as the sequential buf), the predecessor
-	// buffer, and the per-worker reduction slots of a parallel bestEFT.
-	par     int // max probe workers for this state
-	bufs    []*probeBuf
-	wg      sync.WaitGroup
-	predBuf []predInfo
-	results []workerBest
+	// buffer, the per-worker reduction slots and job records of a parallel
+	// bestEFT.
+	par       int // max probe workers for this state
+	bufs      []*probeBuf
+	wg        sync.WaitGroup
+	predBuf   []predInfo
+	results   []workerBest
+	jobs      []probeJob
+	predCount []int // per-proc counting scratch (ILHA Step 1)
+
+	// frontier, when non-nil, is the frontier-probe engine attached by the
+	// whole-frontier heuristics (DLS, Exhaustive, BIL); commit notifies it
+	// so cached probe entries are invalidated. fmem parks an engine lent by
+	// a Scratch until (unless) the run attaches it.
+	frontier *frontier
+	fmem     *frontier
 
 	// hopArena chunks the committed hop copies handed to the schedule, so a
 	// commit costs one allocation per arena chunk instead of one per comm
@@ -95,6 +79,11 @@ type workerBest struct {
 	pos int // candidate position of pl, -1 when the worker saw none
 }
 
+// poolJob is one unit of probe work dispatched to the shared worker pool.
+// Implementations are reused structs owned by the dispatching state or
+// engine, sent by pointer so dispatch allocates nothing.
+type poolJob interface{ run() }
+
 // probeJob is one stripe of a parallel bestEFT, dispatched to a pool worker.
 type probeJob struct {
 	s          *state
@@ -106,20 +95,26 @@ type probeJob struct {
 	done       *sync.WaitGroup
 }
 
+func (j *probeJob) run() {
+	j.res[j.wi] = j.s.probeStripe(j.v, j.candidates, j.preds, j.n, j.w, j.wi)
+	j.done.Done()
+}
+
 // The probe worker pool is shared by every state in the process: workers are
 // stateless (each job carries the state, stripe and result slot it needs),
 // so one bounded set of goroutines serves any number of concurrent
 // schedulers without per-state spawn cost or lifecycle management. It is
-// started lazily by the first bestEFT that crosses the parallel grain and
+// started lazily by the first fan-out that crosses the parallel grain and
 // sized to the machine, not to any state's par setting — a state asking for
-// more stripes than there are workers just queues; the reduction is
-// positional, so worker count never affects the schedule.
+// more stripes than there are workers just queues; the reductions are
+// positional, so worker count never affects the schedule. Both bestEFT's
+// candidate stripes and the frontier engine's pair slices run on it.
 var (
 	probePoolOnce sync.Once
-	probeJobs     chan probeJob
+	probeJobs     chan poolJob
 )
 
-func poolJobs() chan probeJob {
+func poolJobs() chan poolJob {
 	probePoolOnce.Do(func() {
 		workers := runtime.GOMAXPROCS(0) - 1
 		if workers < 1 {
@@ -128,12 +123,11 @@ func poolJobs() chan probeJob {
 		if workers > 8 {
 			workers = 8
 		}
-		probeJobs = make(chan probeJob, 4*workers)
+		probeJobs = make(chan poolJob, 4*workers)
 		for i := 0; i < workers; i++ {
 			go func() {
 				for j := range probeJobs {
-					j.res[j.wi] = j.s.probeStripe(j.v, j.candidates, j.preds, j.n, j.w, j.wi)
-					j.done.Done()
+					j.run()
 				}
 			}()
 		}
@@ -141,9 +135,10 @@ func poolJobs() chan probeJob {
 	return probeJobs
 }
 
-// wire returns the timeline of the undirected wire {a,b}, creating it on
-// first use. Only commit may call it: probes must use wireBase, which never
-// mutates the map and is therefore safe under parallel probing.
+// wire returns the timeline of the undirected wire {a,b}, creating it (and
+// the wire map itself) on first use. Only commit may call it: probes must
+// use wireBase, which never mutates the map and is therefore safe under
+// parallel probing (reads of a nil map are fine).
 func (s *state) wire(a, b int) *sched.Intervals {
 	if a > b {
 		a, b = b, a
@@ -151,6 +146,9 @@ func (s *state) wire(a, b int) *sched.Intervals {
 	k := [2]int{a, b}
 	w := s.wires[k]
 	if w == nil {
+		if s.wires == nil {
+			s.wires = make(map[[2]int]*sched.Intervals)
+		}
 		w = &sched.Intervals{}
 		s.wires[k] = w
 	}
@@ -185,7 +183,6 @@ func newState(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tu
 		compute: make([]*sched.Intervals, pl.NumProcs()),
 		send:    make([]*sched.Intervals, pl.NumProcs()),
 		recv:    make([]*sched.Intervals, pl.NumProcs()),
-		wires:   make(map[[2]int]*sched.Intervals),
 		sch:     sched.NewSchedule(g.NumNodes(), pl.NumProcs()),
 		par:     tune.par(),
 	}
@@ -208,9 +205,14 @@ func newState(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tu
 }
 
 // clone deep-copies the state (used by the ILHA communication-rescheduling
-// variant, which needs to undo a chunk's tentative placement). Probe scratch
-// is not shared: the clone lazily grows its own buffers.
+// variant to undo a chunk's tentative placement, and by the Exhaustive
+// search per branch). Probe scratch is not shared: the clone lazily grows
+// its own buffers. Timeline storage is slab-allocated — one Intervals array
+// and one busy-interval arena for all 3·procs (+ wires) timelines — because
+// the branch-and-bound clones thousands of states and per-timeline clones
+// dominated its profile.
 func (s *state) clone() *state {
+	n := len(s.compute)
 	c := &state{
 		g:          s.g,
 		pl:         s.pl,
@@ -218,23 +220,43 @@ func (s *state) clone() *state {
 		routes:     s.routes,
 		appendOnly: s.appendOnly,
 		par:        s.par,
-		compute:    make([]*sched.Intervals, len(s.compute)),
-		send:       make([]*sched.Intervals, len(s.send)),
-		recv:       make([]*sched.Intervals, len(s.recv)),
-		wires:      make(map[[2]int]*sched.Intervals, len(s.wires)),
+		compute:    make([]*sched.Intervals, n),
+		send:       make([]*sched.Intervals, n),
+		recv:       make([]*sched.Intervals, n),
 		sch: &sched.Schedule{
 			Tasks: append([]sched.TaskEvent(nil), s.sch.Tasks...),
 			Comms: append([]sched.CommEvent(nil), s.sch.Comms...),
 			Procs: s.sch.Procs,
 		},
 	}
-	for i := range s.compute {
-		c.compute[i] = s.compute[i].Clone()
-		c.send[i] = s.send[i].Clone()
-		c.recv[i] = s.recv[i].Clone()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.compute[i].Len() + s.send[i].Len() + s.recv[i].Len()
 	}
-	for k, w := range s.wires {
-		c.wires[k] = w.Clone()
+	for _, w := range s.wires {
+		total += w.Len()
+	}
+	arena := make([]sched.Interval, 0, total)
+	base := make([]sched.Intervals, 3*n+len(s.wires))
+	for i := 0; i < n; i++ {
+		base[3*i] = s.compute[i].CloneUsing(&arena)
+		base[3*i+1] = s.send[i].CloneUsing(&arena)
+		base[3*i+2] = s.recv[i].CloneUsing(&arena)
+		c.compute[i] = &base[3*i]
+		c.send[i] = &base[3*i+1]
+		c.recv[i] = &base[3*i+2]
+	}
+	if len(s.wires) > 0 {
+		c.wires = make(map[[2]int]*sched.Intervals, len(s.wires))
+		wi := 3 * n
+		for k, w := range s.wires {
+			base[wi] = w.CloneUsing(&arena)
+			c.wires[k] = &base[wi]
+			wi++
+		}
+	}
+	if s.frontier != nil {
+		c.frontier = s.frontier.cloneFor(c)
 	}
 	return c
 }
@@ -242,9 +264,13 @@ func (s *state) clone() *state {
 // placement is the result of probing one candidate processor for one task.
 // comms points into scratch storage owned by the state: it stays valid until
 // the next probe cycle, so callers must commit (or stash) a placement before
-// probing again.
+// probing again. ready is the earliest start the incoming communications
+// allow, before the compute-gap search (the frontier engine caches it: while
+// the ports a probe read stay untouched, a changed compute timeline only
+// requires redoing the final gap search from ready).
 type placement struct {
 	proc          int
+	ready         float64
 	start, finish float64
 	comms         []sched.CommEvent
 }
@@ -330,24 +356,34 @@ type predInfo struct {
 // messages are serialized. The returned slice is scratch owned by the state
 // and stays valid until the next preds call.
 func (s *state) preds(v int) []predInfo {
-	adj := s.g.Pred(v)
-	out := s.predBuf[:0]
-	for _, a := range adj {
+	out := s.predsInto(s.predBuf[:0], v)
+	s.predBuf = out
+	return out
+}
+
+// predsInto appends v's placed predecessors to buf, sorted by ascending
+// finish time (ties by node id), and returns the extended slice. It is the
+// arena-friendly form of preds: the frontier engine packs the pred lists of
+// a whole scan batch back to back so parallel workers can read them without
+// touching the state's shared predBuf.
+func (s *state) predsInto(buf []predInfo, v int) []predInfo {
+	base := len(buf)
+	for _, a := range s.g.Pred(v) {
 		ev := &s.sch.Tasks[a.Node]
 		if !ev.Done {
 			panic(fmt.Sprintf("heuristics: task %d probed before predecessor %d", v, a.Node))
 		}
-		out = append(out, predInfo{node: a.Node, data: a.Data, proc: ev.Proc, finish: ev.Finish})
+		buf = append(buf, predInfo{node: a.Node, data: a.Data, proc: ev.Proc, finish: ev.Finish})
 	}
 	// insertion sort: pred lists are short and often nearly sorted, and this
 	// avoids the sort.Slice closure allocation on the hot path
+	out := buf[base:]
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && predLess(out[j], out[j-1]); j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	s.predBuf = out
-	return out
+	return buf
 }
 
 func predLess(a, b predInfo) bool {
@@ -384,6 +420,7 @@ func (s *state) probeWith(b *probeBuf, v, proc int, preds []predInfo) placement 
 			ready = arrival
 		}
 	}
+	commReady := ready
 	dur := s.pl.ExecTime(s.g.Weight(v), proc)
 	if s.appendOnly && s.compute[proc].LastEnd() > ready {
 		ready = s.compute[proc].LastEnd()
@@ -392,7 +429,7 @@ func (s *state) probeWith(b *probeBuf, v, proc int, preds []predInfo) placement 
 	// the processor's compute timeline (b.compute), so include the overlay
 	start := sched.EarliestGap(ready, dur,
 		sched.View{Base: s.compute[proc], Extra: b.compute[proc], Cur: b.cur(b.computeCur, proc)})
-	return placement{proc: proc, start: start, finish: start + dur, comms: b.comms}
+	return placement{proc: proc, ready: commReady, start: start, finish: start + dur, comms: b.comms}
 }
 
 // stash copies a placement's comm events out of the probe scratch into the
@@ -430,13 +467,26 @@ func (s *state) commit(v int, pl placement) {
 	}
 	s.compute[pl.proc].Add(pl.start, pl.finish)
 	s.sch.SetTask(v, pl.proc, pl.start, pl.finish)
+	if s.frontier != nil {
+		s.frontier.onCommit(v, pl)
+	}
 }
 
 // ownHops copies probe-scratch hops into the state's arena and returns a
-// stable, capacity-limited slice the schedule can own.
+// stable, capacity-limited slice the schedule can own. Chunks grow
+// geometrically (64 up to 1024): a long list-scheduling run converges on
+// one allocation per ~1024 hops, while the branch-and-bound's short-lived
+// clones, which commit a single task each, no longer pay a 1024-hop chunk
+// for a handful of hops.
 func (s *state) ownHops(hops []sched.Hop) []sched.Hop {
 	if cap(s.hopArena)-len(s.hopArena) < len(hops) {
-		n := 1024
+		n := 2 * cap(s.hopArena)
+		if n < 64 {
+			n = 64
+		}
+		if n > 1024 {
+			n = 1024
+		}
 		if len(hops) > n {
 			n = len(hops)
 		}
@@ -499,13 +549,17 @@ func (s *state) bestEFTParallel(v int, candidates []int, preds []predInfo, n, w 
 	}
 	res := s.results[:w]
 	s.buf(w - 1) // materialize every worker buf before the fan-out
+	for len(s.jobs) < w {
+		s.jobs = append(s.jobs, probeJob{})
+	}
 	jobs := poolJobs()
 	s.wg.Add(w - 1)
 	for wi := 1; wi < w; wi++ {
-		jobs <- probeJob{
+		s.jobs[wi] = probeJob{
 			s: s, v: v, candidates: candidates, preds: preds,
 			n: n, w: w, wi: wi, res: res, done: &s.wg,
 		}
+		jobs <- &s.jobs[wi]
 	}
 	res[0] = s.probeStripe(v, candidates, preds, n, w, 0)
 	s.wg.Wait()
@@ -549,14 +603,26 @@ func priorities(g *graph.Graph, pl *platform.Platform) ([]float64, error) {
 }
 
 // readyList maintains the set of ready tasks ordered by decreasing priority
-// (ties by increasing node id). It is a simple ordered slice: every use in
-// the package pops from the front; insertion keeps the order.
+// (ties by increasing node id). It is an indexed binary max-heap: push, pop
+// and remove are O(log n) instead of the former sorted slice's O(n)
+// insertion shuffle, and the position index lets the frontier heuristics
+// (DLS) remove an arbitrary selected task. The comparison is a total order
+// — priority desc, task id asc — so the pop sequence is exactly the sorted
+// order the old implementation produced, whatever the heap's internal
+// layout (TestReadyListMatchesSortedReference pins this).
 type readyList struct {
-	prio  []float64
-	tasks []int // sorted: prio desc, id asc
+	prio []float64
+	heap []int
+	pos  []int // task id -> heap index, -1 when absent
 }
 
-func newReadyList(prio []float64) *readyList { return &readyList{prio: prio} }
+func newReadyList(prio []float64) *readyList {
+	pos := make([]int, len(prio))
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &readyList{prio: prio, pos: pos}
+}
 
 func (r *readyList) less(a, b int) bool {
 	if r.prio[a] != r.prio[b] {
@@ -565,33 +631,93 @@ func (r *readyList) less(a, b int) bool {
 	return a < b
 }
 
-// push inserts a task keeping the order.
+// push inserts a task.
 func (r *readyList) push(v int) {
-	pos := sort.Search(len(r.tasks), func(i int) bool { return r.less(v, r.tasks[i]) })
-	r.tasks = append(r.tasks, 0)
-	copy(r.tasks[pos+1:], r.tasks[pos:])
-	r.tasks[pos] = v
+	r.heap = append(r.heap, v)
+	r.pos[v] = len(r.heap) - 1
+	r.up(len(r.heap) - 1)
 }
 
 // pop removes and returns the highest-priority task.
 func (r *readyList) pop() int {
-	v := r.tasks[0]
-	r.tasks = r.tasks[1:]
+	v := r.heap[0]
+	r.removeAt(0)
 	return v
 }
 
-// popN removes and returns up to n highest-priority tasks.
+// popN removes and returns up to n highest-priority tasks, in order.
 func (r *readyList) popN(n int) []int {
-	if n > len(r.tasks) {
-		n = len(r.tasks)
+	if n > len(r.heap) {
+		n = len(r.heap)
 	}
-	out := append([]int(nil), r.tasks[:n]...)
-	r.tasks = r.tasks[n:]
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.pop())
+	}
 	return out
 }
 
-func (r *readyList) empty() bool { return len(r.tasks) == 0 }
-func (r *readyList) len() int    { return len(r.tasks) }
+// remove deletes task v (which must be present) from the set.
+func (r *readyList) remove(v int) { r.removeAt(r.pos[v]) }
+
+// items returns the live tasks in unspecified (heap) order. The slice is the
+// heap's own storage: read-only, valid until the next mutation.
+func (r *readyList) items() []int { return r.heap }
+
+func (r *readyList) empty() bool { return len(r.heap) == 0 }
+func (r *readyList) len() int    { return len(r.heap) }
+
+func (r *readyList) removeAt(i int) {
+	n := len(r.heap) - 1
+	r.pos[r.heap[i]] = -1
+	if i != n {
+		moved := r.heap[n]
+		r.heap[i] = moved
+		r.pos[moved] = i
+		r.heap = r.heap[:n]
+		if !r.down(i) {
+			r.up(i)
+		}
+	} else {
+		r.heap = r.heap[:n]
+	}
+}
+
+func (r *readyList) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.less(r.heap[i], r.heap[parent]) {
+			return
+		}
+		r.swap(i, parent)
+		i = parent
+	}
+}
+
+func (r *readyList) down(i int) bool {
+	moved := false
+	for {
+		c := 2*i + 1
+		if c >= len(r.heap) {
+			return moved
+		}
+		if rc := c + 1; rc < len(r.heap) && r.less(r.heap[rc], r.heap[c]) {
+			c = rc
+		}
+		if !r.less(r.heap[c], r.heap[i]) {
+			return moved
+		}
+		r.swap(i, c)
+		i = c
+		moved = true
+	}
+}
+
+func (r *readyList) swap(i, j int) {
+	r.heap[i], r.heap[j] = r.heap[j], r.heap[i]
+	r.pos[r.heap[i]] = i
+	r.pos[r.heap[j]] = j
+}
 
 // releaser tracks remaining in-degrees and reports which tasks become ready
 // once a task completes.

@@ -1,5 +1,41 @@
 package heuristics
 
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// defaultProbePar is the probe parallelism of the process-wide default
+// Tuning: the fan-out used by runs that neither carry their own Tuning nor
+// set ProbeParallelism. It exists only as the delegation target of the
+// deprecated SetProbeParallelism; new code should pass a Tuning instead.
+var defaultProbePar atomic.Int64
+
+func init() {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	defaultProbePar.Store(int64(w))
+}
+
+// SetProbeParallelism sets the process-wide default number of concurrent
+// probe workers (clamped to at least 1; n = 1 forces the sequential
+// reference path) and returns the previous value.
+//
+// Deprecated: SetProbeParallelism mutates state shared by every scheduler in
+// the process, so one caller flipping it changes the fan-out of every
+// concurrent run that relies on the default. It is kept as a delegate that
+// sets the default Tuning's ProbeParallelism; concurrent schedulers should
+// pass a per-run Tuning{ProbeParallelism: n} instead, which this global can
+// never override.
+func SetProbeParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(defaultProbePar.Swap(int64(n)))
+}
+
 // Tuning carries per-run scheduler settings. Every heuristic historically
 // read the process-wide SetProbeParallelism knob, which is a hazard once
 // several schedulers run concurrently (a long-running service): one caller
@@ -25,15 +61,17 @@ type Tuning struct {
 }
 
 // Scratch owns the probe scratch memory (per-worker probe buffers, the
-// predecessor buffer and the parallel-reduction slots) that a scheduler
-// state grows during a run. Reusing one Scratch across successive runs on
-// platforms of the same size avoids re-allocating all of it every time.
+// predecessor buffer, the parallel-reduction slots and, for the heuristics
+// that use one, the frontier-probe engine) that a scheduler state grows
+// during a run. Reusing one Scratch across successive runs on platforms of
+// the same size avoids re-allocating all of it every time.
 // A Scratch may only feed one run at a time; see Tuning.
 type Scratch struct {
-	procs   int // processor count the buffers are sized for
-	bufs    []*probeBuf
-	predBuf []predInfo
-	results []workerBest
+	procs    int // processor count the buffers are sized for
+	bufs     []*probeBuf
+	predBuf  []predInfo
+	results  []workerBest
+	frontier *frontier
 }
 
 // NewScratch returns an empty Scratch; buffers are grown by the first run
@@ -44,14 +82,16 @@ func NewScratch() *Scratch { return &Scratch{} }
 // transfers: the Scratch is emptied so that a second state created while
 // the first is still running can never alias the same buffers (it simply
 // grows fresh ones). Buffers sized for a different processor count are
-// dropped — probeBuf slices are indexed by processor.
+// dropped — probeBuf slices are indexed by processor. The frontier engine
+// sizes itself to any (graph, platform) pair, so it is always handed over.
 func (sc *Scratch) lend(s *state) {
 	if sc.procs == s.pl.NumProcs() && sc.bufs != nil {
 		s.bufs = sc.bufs
 		s.predBuf = sc.predBuf[:0]
 		s.results = sc.results[:0]
 	}
-	sc.bufs, sc.predBuf, sc.results = nil, nil, nil
+	s.fmem = sc.frontier
+	sc.bufs, sc.predBuf, sc.results, sc.frontier = nil, nil, nil, nil
 }
 
 // reclaim returns a finished state's (possibly grown) scratch buffers to
@@ -68,6 +108,17 @@ func (t *Tuning) reclaim(s *state) {
 	sc.bufs = s.bufs
 	sc.predBuf = s.predBuf
 	sc.results = s.results
+	// the run either attached the lent engine (s.frontier) or never touched
+	// it (still parked in s.fmem); recover whichever is live, unbinding the
+	// dead state so a pooled Scratch does not pin its timelines and schedule
+	if s.frontier != nil {
+		sc.frontier = s.frontier
+	} else {
+		sc.frontier = s.fmem
+	}
+	if sc.frontier != nil {
+		sc.frontier.s = nil
+	}
 }
 
 // par returns the run's probe parallelism: the Tuning's setting when
@@ -76,5 +127,5 @@ func (t *Tuning) par() int {
 	if t != nil && t.ProbeParallelism > 0 {
 		return t.ProbeParallelism
 	}
-	return int(probeWorkers.Load())
+	return int(defaultProbePar.Load())
 }

@@ -113,6 +113,47 @@ func Specs() []Spec {
 			return nil, err
 		},
 	})
+	// frontier-engine heuristics: the whole-frontier scanners (DLS at the
+	// fig8 and fig7 scales, BIL, the budgeted branch-and-bound) whose inner
+	// loops run on the cached + parallel (ready task × processor) engine
+	specs = append(specs, Spec{
+		Name:      "dls-throughput-lu60",
+		perOp:     float64(lu.NumNodes()),
+		perOpUnit: "tasks",
+		work: func() (map[string]float64, error) {
+			_, err := heuristics.DLS(lu, pl, sched.OnePort)
+			return nil, err
+		},
+	})
+	fj := testbeds.ForkJoin(300, exp.CommRatio)
+	specs = append(specs, Spec{
+		Name:      "dls-throughput-forkjoin300",
+		perOp:     float64(fj.NumNodes()),
+		perOpUnit: "tasks",
+		work: func() (map[string]float64, error) {
+			_, err := heuristics.DLS(fj, pl, sched.OnePort)
+			return nil, err
+		},
+	})
+	specs = append(specs, Spec{
+		Name:      "bil-throughput-lu60",
+		perOp:     float64(lu.NumNodes()),
+		perOpUnit: "tasks",
+		work: func() (map[string]float64, error) {
+			_, err := heuristics.BIL(lu, pl, sched.OnePort)
+			return nil, err
+		},
+	})
+	lu5 := testbeds.LU(5, exp.CommRatio)
+	specs = append(specs, Spec{
+		Name:      "exhaustive-lu5-b4000",
+		perOp:     4000, // DFS expansions per op: the budget always cuts off
+		perOpUnit: "nodes",
+		work: func() (map[string]float64, error) {
+			_, _, err := heuristics.Exhaustive(lu5, pl, sched.OnePort, 4000)
+			return nil, err
+		},
+	})
 	specs = append(specs, serviceSpecs()...)
 	return specs
 }

@@ -112,6 +112,19 @@ func (s *Intervals) Clone() *Intervals {
 	return &Intervals{iv: append([]Interval(nil), s.iv...)}
 }
 
+// CloneUsing returns a copy of s whose storage is carved from *arena. The
+// carved slice is capacity-limited, so a later Add on the copy reallocates
+// instead of writing into a neighbour's carve. Cloning a whole scheduler
+// state this way (one arena sized to the total busy count) costs one
+// allocation instead of one per timeline — the branch-and-bound search
+// clones thousands of states, which made per-timeline clones its hot spot.
+func (s *Intervals) CloneUsing(arena *[]Interval) Intervals {
+	n0 := len(*arena)
+	*arena = append(*arena, s.iv...)
+	a := *arena
+	return Intervals{iv: a[n0:len(a):len(a)]}
+}
+
 // Reset empties the timeline, retaining capacity.
 func (s *Intervals) Reset() { s.iv = s.iv[:0] }
 
