@@ -10,9 +10,17 @@
 //	experiments -spectrum lu    # all five communication models side by side
 //	experiments -compare 10     # every heuristic on a mixed workload suite
 //	experiments -csv            # figure output as CSV for plotting
+//
+// With -server the figure runs are driven through a running schedserve's
+// POST /batch endpoint instead of in-process calls — same tables, same CSV,
+// byte for byte — so one warm server (result cache, pooled scratch) can
+// serve many figure regenerations:
+//
+//	experiments -server http://localhost:8642 -fig fig8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +29,7 @@ import (
 	"oneport/internal/exp"
 	"oneport/internal/heuristics"
 	"oneport/internal/platform"
+	"oneport/internal/service"
 )
 
 func main() {
@@ -35,8 +44,17 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit figure series as CSV instead of tables")
 		csweep    = flag.String("csweep", "", "sweep the communication ratio on this testbed")
 		hetsweep  = flag.String("het", "", "sweep platform heterogeneity on this testbed")
+		server    = flag.String("server", "", "drive figure runs through this schedserve base URL (POST /batch) instead of in-process")
 	)
 	flag.Parse()
+
+	// -server only drives the figure tables (the /batch path); the other
+	// modes run in-process. Reject the combination instead of silently
+	// ignoring the flag.
+	if *server != "" && (*csweep != "" || *hetsweep != "" || *compare > 0 || *spectrum != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -server applies only to figure runs (not -csweep/-het/-compare/-spectrum)")
+		os.Exit(1)
+	}
 
 	if *csweep != "" {
 		pts, err := exp.CSweep(*csweep, *size, *b, platform.Paper(), []float64{1, 2, 5, 10, 20})
@@ -88,13 +106,13 @@ func main() {
 		return
 	}
 
-	if err := run(*figID, *sizesSpec, *modelName, *csv); err != nil {
+	if err := run(*figID, *sizesSpec, *modelName, *csv, *server); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figID, sizesSpec, modelName string, csv bool) error {
+func run(figID, sizesSpec, modelName string, csv bool, server string) error {
 	model, err := cli.ParseModel(modelName)
 	if err != nil {
 		return err
@@ -125,8 +143,17 @@ func run(figID, sizesSpec, modelName string, csv bool) error {
 			exp.SpeedupBound(pl))
 		fmt.Printf("FORK-JOIN analytic speedup cap: %.4g\n\n", exp.ForkJoinSpeedupCap(1, 6, exp.CommRatio))
 	}
+	var client *service.Client
+	if server != "" {
+		client = &service.Client{BaseURL: server}
+	}
 	for _, fig := range figs {
-		s, err := exp.Run(fig, pl, model, sizes)
+		var s *exp.Series
+		if client != nil {
+			s, err = exp.RunViaService(context.Background(), client, fig, pl, modelName, sizes)
+		} else {
+			s, err = exp.Run(fig, pl, model, sizes)
+		}
 		if err != nil {
 			return err
 		}

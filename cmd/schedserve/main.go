@@ -8,9 +8,11 @@
 //	schedserve -addr :8642 -pool 8 -cache 1024
 //	schedserve -addr :8643 -worker
 //
-// Coordinator mode shards a figure sweep or a B-sweep across running
-// workers and prints the merged result — the same numbers, in the same
-// table, as the single-process cmd/experiments and cmd/bsweep runs:
+// Coordinator mode feeds a figure sweep or a B-sweep to running workers
+// with work-stealing dispatch (each worker pulls the next job as it
+// finishes the last; failed jobs requeue onto the survivors) and prints the
+// merged result — the same numbers, in the same table, as the
+// single-process cmd/experiments and cmd/bsweep runs:
 //
 //	schedserve -sweep fig8 -sizes quick -shards http://h1:8642,http://h2:8642
 //	schedserve -bsweep lu -size 60 -bs 1,2,4,38 -shards http://h1:8642
@@ -147,7 +149,9 @@ func coordinateFigure(figID, sizesSpec, modelName, shards string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sharded across %d workers in %v\n", len(workers), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("sharded across %d workers in %v (%d chunks, %d requeued, %d worker cache hits)\n",
+		len(workers), time.Since(start).Round(time.Millisecond),
+		co.Stats.Chunks, co.Stats.Requeues, co.Stats.CacheHits)
 	fmt.Print(series.Table())
 	return nil
 }

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"oneport/internal/cli"
+	"oneport/internal/platform"
+	"oneport/internal/service"
+	"oneport/internal/testbeds"
+)
+
+// RunViaService regenerates one figure through a running scheduling service
+// instead of in-process calls: every (size, heuristic) pair becomes one
+// request of a single POST /batch payload, and the summary fields of the
+// responses reassemble into the Series. The server computes speedup and
+// makespan with the same formulas RunPoint uses on the same (JSON
+// round-tripped, hence bit-identical) graph and platform, so the resulting
+// series — tables and CSV — is byte-identical to the in-process Run. A
+// sweep re-POSTed to a warm server is answered from its result cache
+// without re-entering a scheduler.
+func RunViaService(ctx context.Context, cl *service.Client, fig Figure, pl *platform.Platform, modelName string, sizes []int) (*Series, error) {
+	model, err := cli.ParseModel(modelName)
+	if err != nil {
+		return nil, err
+	}
+	var b service.Batch
+	for _, n := range sizes {
+		g, err := testbeds.ByName(fig.Testbed, n, CommRatio)
+		if err != nil {
+			return nil, err
+		}
+		b.Requests = append(b.Requests,
+			service.Request{Graph: g, Platform: pl, Heuristic: "heft", Model: modelName},
+			service.Request{Graph: g, Platform: pl, Heuristic: "ilha", Model: modelName,
+				Options: service.Options{B: fig.B}},
+		)
+	}
+	resp, err := cl.Batch(ctx, &b)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, len(sizes))
+	for i, n := range sizes {
+		heft, ilha := &resp.Responses[2*i], &resp.Responses[2*i+1]
+		for _, r := range []*service.Response{heft, ilha} {
+			if r.Error != "" {
+				return nil, fmt.Errorf("exp: %s size %d (%s): %s", fig.ID, n, r.Heuristic, r.Error)
+			}
+		}
+		points = append(points, Point{
+			Size:         n,
+			Tasks:        heft.Tasks,
+			HEFTSpeedup:  heft.Speedup,
+			ILHASpeedup:  ilha.Speedup,
+			HEFTMakespan: heft.Makespan,
+			ILHAMakespan: ilha.Makespan,
+			HEFTComms:    heft.Comms,
+			ILHAComms:    ilha.Comms,
+		})
+	}
+	return AssembleSeries(fig, model, points)
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/service"
+)
+
+// TestRunViaServiceMatchesInProcess is the diff-clean pin for the /batch
+// figure path: a figure regenerated through a live scheduling service must
+// render — table and CSV — byte-identical to the in-process exp.Run, and a
+// re-POSTed sweep must be answered from the server's result cache.
+func TestRunViaServiceMatchesInProcess(t *testing.T) {
+	srv := service.New(service.Config{PoolSize: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &service.Client{BaseURL: ts.URL, HTTP: ts.Client()}
+
+	pl := platform.Paper()
+	sizes := []int{10, 20, 30}
+	for _, figID := range []string{"fig7", "fig8"} {
+		fig, err := FigureByID(figID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(fig, pl, sched.OnePort, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunViaService(context.Background(), cl, fig, pl, "oneport", sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Table() != want.Table() {
+			t.Fatalf("%s: served table differs from in-process:\n got:\n%s\nwant:\n%s", figID, got.Table(), want.Table())
+		}
+		if got.CSV() != want.CSV() {
+			t.Fatalf("%s: served CSV differs from in-process", figID)
+		}
+	}
+
+	// the repeated sweep is a cache-served no-op for the schedulers
+	missesBefore := srv.StatsSnapshot().CacheMisses
+	fig, _ := FigureByID("fig8")
+	if _, err := RunViaService(context.Background(), cl, fig, pl, "oneport", sizes); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.StatsSnapshot()
+	if st.CacheMisses != missesBefore {
+		t.Fatalf("repeated sweep re-entered the scheduler: misses %d -> %d", missesBefore, st.CacheMisses)
+	}
+}

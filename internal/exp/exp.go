@@ -108,12 +108,29 @@ func Run(fig Figure, pl *platform.Platform, model sched.Model, sizes []int) (*Se
 // RunPoint schedules one graph with both heuristics and returns the
 // comparison.
 func RunPoint(g *graph.Graph, pl *platform.Platform, model sched.Model, b int) (Point, error) {
+	return RunPointTuned(g, pl, model, b, nil)
+}
+
+// RunPointTuned is RunPoint with a per-run heuristics.Tuning threaded into
+// both scheduler runs, so a worker lane feeding many points through one
+// Tuning (sweep workers, the service job feed) reuses its grown probe
+// scratch instead of reallocating it per point. A Tuning never changes a
+// schedule, so the Point is byte-identical to RunPoint's.
+func RunPointTuned(g *graph.Graph, pl *platform.Platform, model sched.Model, b int, tune *heuristics.Tuning) (Point, error) {
 	seq := pl.SequentialTime(g.TotalWeight())
-	heft, err := heuristics.HEFT(g, pl, model)
+	heftFn, err := heuristics.ByNameTuned("heft", heuristics.ILHAOptions{}, tune)
 	if err != nil {
 		return Point{}, err
 	}
-	ilha, err := heuristics.ILHA(g, pl, model, heuristics.ILHAOptions{B: b})
+	heft, err := heftFn(g, pl, model)
+	if err != nil {
+		return Point{}, err
+	}
+	ilhaFn, err := heuristics.ByNameTuned("ilha", heuristics.ILHAOptions{B: b}, tune)
+	if err != nil {
+		return Point{}, err
+	}
+	ilha, err := ilhaFn(g, pl, model)
 	if err != nil {
 		return Point{}, err
 	}

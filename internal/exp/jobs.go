@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"oneport/internal/heuristics"
 	"oneport/internal/platform"
 	"oneport/internal/sched"
 	"oneport/internal/testbeds"
@@ -35,11 +36,18 @@ func (f Figure) PointSpecs(sizes []int) []PointSpec {
 // and schedules it with both heuristics. The result depends only on the
 // spec, the platform and the model — never on which process runs it.
 func RunPointSpec(ps PointSpec, pl *platform.Platform, model sched.Model) (Point, error) {
+	return RunPointSpecTuned(ps, pl, model, nil)
+}
+
+// RunPointSpecTuned is RunPointSpec with a per-run heuristics.Tuning: the
+// form the sweep workers' job feed uses, so a lane draining many specs
+// through one Tuning keeps its probe scratch warm across jobs.
+func RunPointSpecTuned(ps PointSpec, pl *platform.Platform, model sched.Model, tune *heuristics.Tuning) (Point, error) {
 	g, err := testbeds.ByName(ps.Figure.Testbed, ps.Size, CommRatio)
 	if err != nil {
 		return Point{}, err
 	}
-	p, err := RunPoint(g, pl, model, ps.Figure.B)
+	p, err := RunPointTuned(g, pl, model, ps.Figure.B, tune)
 	if err != nil {
 		return Point{}, fmt.Errorf("exp: %s size %d: %w", ps.Figure.ID, ps.Size, err)
 	}

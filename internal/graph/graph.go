@@ -135,13 +135,19 @@ func (g *Graph) EdgeData(u, v int) (float64, bool) {
 
 // Edges enumerates every edge in node order.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.edges)
+	return g.EdgesAppend(make([]Edge, 0, g.edges))
+}
+
+// EdgesAppend appends every edge in node order to dst and returns the
+// extended slice. It is the allocation-free form of Edges for callers that
+// recycle an edge buffer (the service's canonical request hashing).
+func (g *Graph) EdgesAppend(dst []Edge) []Edge {
 	for u := range g.succ {
 		for _, a := range g.succ[u] {
-			out = append(out, Edge{From: u, To: a.Node, Data: a.Data})
+			dst = append(dst, Edge{From: u, To: a.Node, Data: a.Data})
 		}
 	}
-	return out
+	return dst
 }
 
 // Sources returns all nodes with no predecessors, in id order.

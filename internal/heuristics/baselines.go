@@ -82,6 +82,14 @@ func cpopRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tun
 		}
 	}
 
+	// CPOP's processor scan runs on the frontier engine like BIL's: each
+	// popped off-path task's row goes through the cached scan with the
+	// monotone-bound stale-skip (stale finishes lower-bound true finishes,
+	// so most pairs a commit invalidated are disposed of without a probe),
+	// and critical-path tasks probe only their pinned processor. The
+	// engine-backed scan is byte-identical to the pre-engine bestEFT loop
+	// (cpopReference; TestCPOPFrontierDeterminism).
+	f := attachFrontier(s)
 	ready := newReadyList(prio)
 	rel := newReleaser(g)
 	for _, v := range rel.initial() {
@@ -93,7 +101,7 @@ func cpopRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tun
 		if onCP[v] {
 			best = s.probe(v, cpProc, s.preds(v))
 		} else {
-			best = s.bestEFT(v, nil)
+			best = f.bestInRow(v)
 		}
 		s.commit(v, best)
 		for _, nv := range rel.release(v) {
@@ -174,7 +182,7 @@ func dlsRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 			for q := 0; q < np; q++ {
 				e := &row[q]
 				if lazy {
-					switch f.staleKind(v, e) {
+					switch f.staleKind(v, q, e) {
 					case staleCompute:
 						f.fastRefresh(v, q, e)
 					case staleFull:
@@ -210,12 +218,12 @@ func dlsRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 				havePreds := false
 				for q := 0; q < np; q++ {
 					e := &row[q]
-					if f.staleKind(v, e) != staleFull {
+					if f.staleKind(v, q, e) != staleFull {
 						continue
 					}
 					cand++
 					delta := w*ef - pl.ExecTime(w, q)
-					if bound := sl[v] - e.start + delta; !better(bound, v, q) {
+					if bound := sl[v] - f.boundStart(e) + delta; !better(bound, v, q) {
 						continue
 					}
 					if !havePreds {

@@ -99,8 +99,9 @@ func ExhaustiveTuned(g *graph.Graph, pl *platform.Platform, model sched.Model, n
 		// placement).
 		batch := st.par > 1
 		if batch {
-			st.frontier.ensureFiltered(ready, func(v, p int, e *frontierEntry) bool {
-				return e.start+blw[v] < bestSpan
+			f := st.frontier
+			f.ensureFiltered(ready, func(v, p int, e *frontierEntry) bool {
+				return f.boundStart(e)+blw[v] < bestSpan
 			})
 		}
 		for ri, v := range ready {
@@ -112,13 +113,13 @@ func ExhaustiveTuned(g *graph.Graph, pl *platform.Platform, model sched.Model, n
 			for q := 0; q < np; q++ {
 				e := &row[q]
 				// prune on the (possibly stale, hence lower-bound) score
-				if e.start+blw[v] >= bestSpan {
+				if st.frontier.boundStart(e)+blw[v] >= bestSpan {
 					continue
 				}
 				var plc placement
 				haveComms := false
 				if !batch {
-					switch st.frontier.staleKind(v, e) {
+					switch st.frontier.staleKind(v, q, e) {
 					case staleCompute:
 						st.frontier.fastRefresh(v, q, e)
 					case staleFull:

@@ -45,23 +45,36 @@ type frontier struct {
 	s  *state
 	np int // processor count
 
-	// wide marks platforms with more than 64 processors, where a per-entry
-	// read set no longer fits the bitmasks. Entries then record no read set
-	// and are invalidated by any commit (asOf must equal the clock): the
-	// engine degrades to the uncached pre-engine behaviour — plus the
-	// parallel fan-out — instead of risking a stale placement.
-	wide bool
+	// maskW is the word count of one read-set mask: ceil(np/64). Platforms
+	// with at most 64 processors use one word — the same single-mask walk as
+	// before — and larger platforms get as many words as they need, so a
+	// 100-proc frontier keeps fine-grained invalidation instead of the old
+	// degrade-to-invalidate-on-any-commit fallback.
+	maskW int
 
 	// clock is the logical commit counter; stamps hold clock values. The
-	// three stamp arrays share one slab so the Exhaustive per-branch clone
-	// is a single allocation: computeStamp = stamps[:np] (compute
+	// clock is monotone across runs of a reused (Scratch-lent) engine:
+	// epoch is the clock value this run started at, and any entry or stamp
+	// written before it — asOf < epoch — is dead history. That makes the
+	// warm reset O(1): bumping the epoch invalidates every old entry and
+	// outdates every old stamp at once, with no zeroing sweep over the
+	// nodes×procs matrix.
+	//
+	// The three stamp arrays share one slab so the Exhaustive per-branch
+	// clone is a single allocation: computeStamp = stamps[:np] (compute
 	// timelines), portStamp = stamps[np:2np] (ports and incident wires),
 	// predStamp = stamps[2np:] (per task: last gained a placed pred).
 	clock  uint64
+	epoch  uint64
 	stamps []uint64
 
 	// entries is the flat probe matrix, entries[v*np+p] for pair (v, p).
-	entries []frontierEntry
+	// readsC/readsP hold the per-entry read-set masks, maskW words each, at
+	// word offset (v*np+p)*maskW. Mask words are only read for entries
+	// probed in the current run (asOf >= epoch), so stale words from a
+	// previous run never need clearing.
+	entries        []frontierEntry
+	readsC, readsP []uint64
 
 	// scan is the ensure/materialize scratch. The DFS of the Exhaustive
 	// search runs strictly sequentially, so every cloned state along one
@@ -75,10 +88,9 @@ type frontier struct {
 // placement is materialized, by re-running that single probe. ready is the
 // communication-determined earliest start, so an entry stale only in its
 // compute timeline is refreshed by a single gap search instead of a probe.
+// The read-set masks live in the engine's readsC/readsP arenas.
 type frontierEntry struct {
-	asOf          uint64 // clock the probe ran at; 0 = never probed
-	readsC        uint64 // bitmask: compute timelines the probe read
-	readsP        uint64 // bitmask: port/wire timelines the probe read
+	asOf          uint64 // clock the probe ran at; < epoch = never probed this run
 	ready         float64
 	start, finish float64
 }
@@ -128,37 +140,41 @@ func attachFrontier(st *state) *frontier {
 	return f
 }
 
-// resetFor rebinds the engine to a state, resizing and zeroing every stamp
-// and entry. Reused (Scratch-lent) engines keep their slice capacity.
+// resetFor rebinds the engine to a state. A reused (Scratch-lent) engine
+// whose arrays still fit resets in O(1): the clock keeps counting across
+// runs, so advancing the epoch past every previously written clock value
+// invalidates all old entries and outdates all old stamps without touching
+// them — the per-request cost of warming an engine across service requests
+// is a few slice reslices, not a nodes×procs zeroing sweep. Arrays that no
+// longer fit are reallocated (fresh zeroes sit below the epoch too).
 func (f *frontier) resetFor(st *state) {
 	f.s = st
 	f.np = st.pl.NumProcs()
-	f.wide = f.np > 64
-	f.clock = 1
-	f.stamps = resizeZeroU64(f.stamps, 2*f.np+st.g.NumNodes())
+	f.maskW = (f.np + 63) / 64
+	f.epoch = f.clock + 1
+	f.clock = f.epoch
+	f.stamps = resizeU64(f.stamps, 2*f.np+st.g.NumNodes())
 	n := st.g.NumNodes() * f.np
 	if cap(f.entries) < n {
 		f.entries = make([]frontierEntry, n)
 	} else {
 		f.entries = f.entries[:n]
-		for i := range f.entries {
-			f.entries[i] = frontierEntry{}
-		}
 	}
+	f.readsC = resizeU64(f.readsC, n*f.maskW)
+	f.readsP = resizeU64(f.readsP, n*f.maskW)
 	if f.scan == nil {
 		f.scan = &frontierScan{}
 	}
 }
 
-func resizeZeroU64(s []uint64, n int) []uint64 {
+// resizeU64 reslices s to n words, reallocating only when the capacity is
+// exceeded. Contents are NOT zeroed: every consumer treats values written
+// before the engine's epoch as absent.
+func resizeU64(s []uint64, n int) []uint64 {
 	if cap(s) < n {
 		return make([]uint64, n)
 	}
-	s = s[:n]
-	for i := range s {
-		s[i] = 0
-	}
-	return s
+	return s[:n]
 }
 
 func (f *frontier) computeStamp() []uint64 { return f.stamps[:f.np] }
@@ -181,10 +197,13 @@ func (f *frontier) cloneFor(c *state) *frontier {
 	}
 	nf.s = c
 	nf.np = f.np
-	nf.wide = f.wide
+	nf.maskW = f.maskW
 	nf.clock = f.clock
+	nf.epoch = f.epoch
 	nf.stamps = append(nf.stamps[:0], f.stamps...)
 	nf.entries = append(nf.entries[:0], f.entries...)
+	nf.readsC = append(nf.readsC[:0], f.readsC...)
+	nf.readsP = append(nf.readsP[:0], f.readsP...)
 	nf.scan = f.scan
 	return nf
 }
@@ -236,49 +255,81 @@ const (
 	staleFull           // a port/wire, a pred, or (no-overlap) a path compute changed
 )
 
-// staleKind classifies entry e of task v. staleNone entries are served
-// directly. staleCompute entries — the task's pred set and every port the
-// probe read are untouched, only the candidate processor's own compute
+// staleKind classifies the entry of pair (v, p). staleNone entries are
+// served directly. staleCompute entries — the task's pred set and every port
+// the probe read are untouched, only the candidate processor's own compute
 // timeline moved — keep their communication layout: the probe's ready time
 // still holds, and a single compute-gap search restores the scores
 // (fastRefresh). Everything else needs a full re-probe. Under
 // OnePortNoOverlap communication placement itself reads compute timelines,
 // so there readsC beyond the candidate forces staleFull, never staleCompute.
-func (f *frontier) staleKind(v int, e *frontierEntry) int {
-	if e.asOf == 0 || f.predStamp()[v] > e.asOf {
+func (f *frontier) staleKind(v, p int, e *frontierEntry) int {
+	if e.asOf < f.epoch || f.predStamp()[v] > e.asOf {
 		return staleFull
 	}
-	if f.wide {
-		if e.asOf == f.clock {
-			return staleNone
-		}
-		return staleFull
-	}
+	base := (v*f.np + p) * f.maskW
 	ps := f.portStamp()
-	for m := e.readsP; m != 0; m &= m - 1 {
-		if ps[bits.TrailingZeros64(m)] > e.asOf {
-			return staleFull
+	for wi := 0; wi < f.maskW; wi++ {
+		for m := f.readsP[base+wi]; m != 0; m &= m - 1 {
+			if ps[wi<<6+bits.TrailingZeros64(m)] > e.asOf {
+				return staleFull
+			}
 		}
 	}
 	cs := f.computeStamp()
 	kind := staleNone
-	for m := e.readsC; m != 0; m &= m - 1 {
-		p := bits.TrailingZeros64(m)
-		if cs[p] > e.asOf {
-			if e.readsC != e.readsC&-e.readsC {
-				// more than one compute timeline read (no-overlap model):
-				// the communication layout may shift, re-probe fully
-				return staleFull
+	multi := -1 // lazily computed: does readsC hold more than one processor?
+	for wi := 0; wi < f.maskW; wi++ {
+		for m := f.readsC[base+wi]; m != 0; m &= m - 1 {
+			q := wi<<6 + bits.TrailingZeros64(m)
+			if cs[q] > e.asOf {
+				if multi < 0 {
+					multi = 0
+					total := 0
+					for wj := 0; wj < f.maskW; wj++ {
+						total += bits.OnesCount64(f.readsC[base+wj])
+					}
+					if total > 1 {
+						multi = 1
+					}
+				}
+				if multi == 1 {
+					// more than one compute timeline read (no-overlap model):
+					// the communication layout may shift, re-probe fully
+					return staleFull
+				}
+				kind = staleCompute
 			}
-			kind = staleCompute
 		}
 	}
 	return kind
 }
 
-// valid reports whether entry e of task v may be served as is.
-func (f *frontier) valid(v int, e *frontierEntry) bool {
-	return f.staleKind(v, e) == staleNone
+// valid reports whether the entry of pair (v, p) may be served as is.
+func (f *frontier) valid(v, p int) bool {
+	return f.staleKind(v, p, &f.entries[v*f.np+p]) == staleNone
+}
+
+// boundStart returns a sound lower bound on the true start of the pair
+// backing e: the cached start when e was probed in this run (committed
+// reservations only grow the timelines, so stale starts lower-bound true
+// starts), else 0 — an entry from before the epoch scored a different run
+// and bounds nothing, and 0 lower-bounds every start. Every monotone-bound
+// consumer (the DLS bound pass, the Exhaustive prune, bestInRow's skip)
+// must read stale scores through these helpers, never e.start directly.
+func (f *frontier) boundStart(e *frontierEntry) float64 {
+	if e.asOf >= f.epoch {
+		return e.start
+	}
+	return 0
+}
+
+// boundFinish is boundStart for the finish score.
+func (f *frontier) boundFinish(e *frontierEntry) float64 {
+	if e.asOf >= f.epoch {
+		return e.finish
+	}
+	return 0
 }
 
 // fastRefresh restores a staleCompute entry: the communication layout (and
@@ -318,7 +369,7 @@ func (f *frontier) ensureFiltered(tasks []int, keep func(v, p int, e *frontierEn
 		row := f.entries[v*f.np : (v+1)*f.np]
 		off, n := int32(-1), int32(0)
 		for p := range row {
-			switch f.staleKind(v, &row[p]) {
+			switch f.staleKind(v, p, &row[p]) {
 			case staleNone:
 				continue
 			case staleCompute:
@@ -380,10 +431,11 @@ func (f *frontier) probeSlice(wi, w int) {
 
 // record refreshes the entry of pair (v, p) from a just-run probe.
 func (f *frontier) record(v, p int, preds []predInfo, pl placement) {
-	e := &f.entries[v*f.np+p]
+	idx := v*f.np + p
+	e := &f.entries[idx]
 	e.ready = pl.ready
 	e.start, e.finish = pl.start, pl.finish
-	e.readsC, e.readsP = f.readsFor(p, preds)
+	f.recordReads(idx*f.maskW, p, preds)
 	e.asOf = f.clock
 }
 
@@ -398,36 +450,39 @@ func (f *frontier) refresh(v, p int, preds []predInfo) placement {
 	return pl
 }
 
-// readsFor computes the resource sets a probe of (·, p) with the given
-// placed predecessors reads. The compute mask always holds the candidate
-// processor (the final gap search and the append-only horizon); remote
-// predecessors add, per communication model: nothing for MacroDataflow
-// (communications never consult a timeline), the ports of every processor
-// on the path for the port models and LinkContention (a wire maps to the
-// port stamps of its two endpoints), plus the path compute timelines for
-// OnePortNoOverlap, whose hops block computation on both endpoints.
-func (f *frontier) readsFor(p int, preds []predInfo) (readsC, readsP uint64) {
-	if f.wide {
-		return 0, 0
+// recordReads writes the resource sets a probe of (·, p) with the given
+// placed predecessors read into the mask slot at word offset base. The
+// compute mask always holds the candidate processor (the final gap search
+// and the append-only horizon); remote predecessors add, per communication
+// model: nothing for MacroDataflow (communications never consult a
+// timeline), the ports of every processor on the path for the port models
+// and LinkContention (a wire maps to the port stamps of its two endpoints),
+// plus the path compute timelines for OnePortNoOverlap, whose hops block
+// computation on both endpoints.
+func (f *frontier) recordReads(base, p int, preds []predInfo) {
+	rc := f.readsC[base : base+f.maskW]
+	rp := f.readsP[base : base+f.maskW]
+	for wi := range rp {
+		rc[wi], rp[wi] = 0, 0
 	}
-	readsC = uint64(1) << uint(p)
+	rc[p>>6] = uint64(1) << uint(p&63)
 	if f.s.model == sched.MacroDataflow {
-		return readsC, 0
+		return
 	}
-	noOverlap := f.s.model == sched.OnePortNoOverlap
 	for i := range preds {
 		q := preds[i].proc
 		if q == p {
 			continue
 		}
 		for _, r := range f.s.path(q, p) {
-			readsP |= uint64(1) << uint(r)
+			rp[r>>6] |= uint64(1) << uint(r&63)
 		}
 	}
-	if noOverlap {
-		readsC |= readsP
+	if f.s.model == sched.OnePortNoOverlap {
+		for wi := range rc {
+			rc[wi] |= rp[wi]
+		}
 	}
-	return readsC, readsP
 }
 
 // row returns task v's entry row; entries are only meaningful after ensure
@@ -476,11 +531,19 @@ func (f *frontier) bestInRow(v int) placement {
 	var bestPl placement
 	for p := 0; p < f.np; p++ {
 		e := &row[p]
-		switch f.staleKind(v, e) {
+		switch f.staleKind(v, p, e) {
 		case staleNone:
 		case staleCompute:
 			f.fastRefresh(v, p, e)
 		default:
+			// monotone-bound stale-skip: committed reservations only ever
+			// grow the timelines, so a stale cached finish lower-bounds the
+			// true finish. A stale pair whose bound cannot strictly beat the
+			// incumbent (ties go to the lower index, which the incumbent
+			// holds) can never win the row and is skipped probe-free.
+			if best >= 0 && f.boundFinish(e) >= row[best].finish {
+				continue
+			}
 			pl := s.probeWith(b, v, p, preds)
 			f.record(v, p, preds, pl)
 			if best < 0 || e.finish < row[best].finish {

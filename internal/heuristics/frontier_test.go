@@ -25,6 +25,10 @@ func frontierCases() []struct {
 	if err != nil {
 		panic(err)
 	}
+	wide100, err := platform.Homogeneous(100)
+	if err != nil {
+		panic(err)
+	}
 	return []struct {
 		name string
 		g    *graph.Graph
@@ -34,9 +38,12 @@ func frontierCases() []struct {
 		{"lu12", testbeds.LU(12, 10), platform.Paper()},
 		{"stencil8", testbeds.Stencil(8, 10), platform.Paper()},
 		{"lu10-line4", testbeds.LU(10, 10), linePlatform(4)},
-		// 65 processors: read sets no longer fit the 64-bit masks, so this
-		// exercises the wide invalidate-on-any-commit fallback
+		// more than 64 processors: read sets span multiple mask words, so
+		// these exercise the multi-word staleness walk (the old engine
+		// degraded to invalidate-on-any-commit here) at the word boundary
+		// (65) and well past it (100)
 		{"lu6-wide65", testbeds.LU(6, 10), wide},
+		{"lu6-wide100", testbeds.LU(6, 10), wide100},
 	}
 }
 
@@ -87,6 +94,36 @@ func TestBILFrontierDeterminism(t *testing.T) {
 				}
 				for _, par := range []int{1, 8} {
 					got, err := bilRun(c.g, c.pl, model, &Tuning{ProbeParallelism: par})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sameSchedule(ref, got); err != nil {
+						t.Fatalf("par %d: %v", par, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCPOPFrontierDeterminism is the same pin for CPOP, whose off-path
+// processor scan now runs on the engine with the monotone-bound stale-skip
+// (a stale cached finish lower-bounds the true finish, so a pair that
+// cannot beat the incumbent is disposed of probe-free).
+func TestCPOPFrontierDeterminism(t *testing.T) {
+	oldGrain := probeParallelGrain
+	probeParallelGrain = 2
+	defer func() { probeParallelGrain = oldGrain }()
+
+	for _, c := range frontierCases() {
+		for _, model := range sched.Models() {
+			t.Run(fmt.Sprintf("%s/%s", c.name, model), func(t *testing.T) {
+				ref, err := cpopReference(c.g, c.pl, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{1, 8} {
+					got, err := cpopRun(c.g, c.pl, model, &Tuning{ProbeParallelism: par})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -159,6 +196,10 @@ func TestFrontierNeverServesStale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	wide100, err := platform.Homogeneous(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		g    *graph.Graph
@@ -168,6 +209,7 @@ func TestFrontierNeverServesStale(t *testing.T) {
 		{"stencil6-line4", testbeds.Stencil(6, 10), linePlatform(4)},
 		{"forkjoin20-paper", testbeds.ForkJoin(20, 10), platform.Paper()},
 		{"lu5-wide65", testbeds.LU(5, 10), wide},
+		{"lu5-wide100", testbeds.LU(5, 10), wide100},
 	}
 	for _, c := range cases {
 		for _, model := range sched.Models() {
@@ -247,19 +289,19 @@ func TestFrontierSharedPathInvalidation(t *testing.T) {
 	s.commit(b, s.probe(b, 3, s.preds(b)))
 
 	f.ensure([]int{u, y})
-	uFar := f.row(u)[3]   // read P0,P1,P2,P3 (full route from a on P0)
-	uLocal := f.row(u)[0] // read P0 only (no communication)
-	if !f.valid(u, &uFar) || !f.valid(u, &uLocal) {
+	// (u, P3) read P0,P1,P2,P3 (full route from a on P0); (u, P0) read P0
+	// only (no communication)
+	if !f.valid(u, 3) || !f.valid(u, 0) {
 		t.Fatal("fresh entries must be valid")
 	}
 
 	// y's message b→y travels P3→P2→P1: wires {3,2}, {2,1}
 	s.commit(y, f.placementFor(y, 1))
 
-	if f.valid(u, &uFar) {
+	if f.valid(u, 3) {
 		t.Fatal("(u,P3) read the perturbed route P1..P3 and must be invalidated")
 	}
-	if !f.valid(u, &uLocal) {
+	if !f.valid(u, 0) {
 		t.Fatal("(u,P0) read only P0, which the commit left untouched; it must survive")
 	}
 
@@ -276,9 +318,11 @@ func TestFrontierSharedPathInvalidation(t *testing.T) {
 
 // TestFrontierScratchReuse pins the engine's recycling path: a Scratch now
 // carries the frontier across runs, so a reused engine must behave exactly
-// like a fresh one — including across graph- and platform-size changes,
-// where every stamp and entry must be resized and zeroed, and across
-// heuristics sharing one Scratch.
+// like a fresh one — including across graph- and platform-size changes and
+// across heuristics sharing one Scratch. The warm reset is O(1): old
+// entries and stamps are not zeroed, they are invalidated wholesale by the
+// epoch bump, so a reused engine serving a pre-epoch score (or using one as
+// a monotone bound) would show up here as a schedule diff.
 func TestFrontierScratchReuse(t *testing.T) {
 	paper := platform.Paper()
 	small, err := platform.Homogeneous(3)

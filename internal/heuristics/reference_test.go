@@ -228,3 +228,82 @@ func exhaustiveReference(g *graph.Graph, pl *platform.Platform, model sched.Mode
 	}
 	return best, !exhausted, nil
 }
+
+// cpopReference is the original CPOP loop: critical-path tasks probe their
+// pinned processor, every other popped task runs a plain sequential bestEFT
+// over all processors — no caching, no bound skipping.
+func cpopReference(g *graph.Graph, pl *platform.Platform, model sched.Model) (*sched.Schedule, error) {
+	s, err := newState(g, pl, model, &Tuning{ProbeParallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	ef, cf := pl.AvgExecFactor(), pl.AvgLinkFactor()
+	bl, err := g.BottomLevels(ef, cf)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := g.TopLevels(ef, cf)
+	if err != nil {
+		return nil, err
+	}
+	prio := make([]float64, g.NumNodes())
+	cpLen := 0.0
+	for v := range prio {
+		prio[v] = tl[v] + bl[v]
+		if prio[v] > cpLen {
+			cpLen = prio[v]
+		}
+	}
+	onCP := make([]bool, g.NumNodes())
+	cur := -1
+	for _, v := range g.Sources() {
+		if almost(prio[v], cpLen) && (cur == -1 || prio[v] > prio[cur]) {
+			cur = v
+		}
+	}
+	var cpTasks []int
+	for cur >= 0 {
+		onCP[cur] = true
+		cpTasks = append(cpTasks, cur)
+		next := -1
+		for _, a := range g.Succ(cur) {
+			if almost(prio[a.Node], cpLen) && (next == -1 || prio[a.Node] > prio[next]) {
+				next = a.Node
+			}
+		}
+		cur = next
+	}
+	cpProc, best := 0, math.Inf(1)
+	for q := 0; q < pl.NumProcs(); q++ {
+		var sum float64
+		for _, v := range cpTasks {
+			sum += pl.ExecTime(g.Weight(v), q)
+		}
+		if sum < best {
+			cpProc, best = q, sum
+		}
+	}
+
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		var pl0 placement
+		if onCP[v] {
+			pl0 = s.probe(v, cpProc, s.preds(v))
+		} else {
+			pl0 = s.bestEFT(v, nil)
+		}
+		s.commit(v, pl0)
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}

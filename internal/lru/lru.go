@@ -1,0 +1,85 @@
+// Package lru provides the unlocked core of a fixed-capacity LRU: the
+// list-plus-map mechanics shared by the scheduling service's result cache
+// and the sweep workers' job cache. It is deliberately lock-free — both
+// callers compose multi-step operations (alias indexes, attach-if-absent)
+// that need their own mutex around several core calls, so locking here
+// would only double the cost.
+package lru
+
+import "container/list"
+
+// Core is an unlocked LRU over comparable keys. The zero value is unusable;
+// construct with New. Not safe for concurrent use: callers hold their own
+// lock across every call.
+type Core[K comparable, V any] struct {
+	max   int
+	ll    *list.List // front = most recent
+	items map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a core holding up to max entries; max <= 0 disables it
+// (every Get misses, every Add is dropped).
+func New[K comparable, V any](max int) *Core[K, V] {
+	return &Core[K, V]{max: max, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Get returns the value under k, promoting it to most recent.
+func (c *Core[K, V]) Get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value under k without promoting it.
+func (c *Core[K, V]) Peek(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts k (most recent) or refreshes an existing entry's value,
+// promoting it. It never evicts — callers drain EvictOver afterwards so
+// they can unhook per-entry state (alias indexes) as entries fall out.
+func (c *Core[K, V]) Add(k K, v V) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+}
+
+// EvictOver removes and returns the least recently used entry while the
+// core is over capacity; ok is false once within bounds.
+func (c *Core[K, V]) EvictOver() (k K, v V, ok bool) {
+	if c.max <= 0 || c.ll.Len() <= c.max {
+		return k, v, false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	e := oldest.Value.(*entry[K, V])
+	delete(c.items, e.key)
+	return e.key, e.val, true
+}
+
+// Len reports the current number of entries.
+func (c *Core[K, V]) Len() int { return c.ll.Len() }
+
+// Reset empties the core, retaining capacity settings.
+func (c *Core[K, V]) Reset() {
+	c.ll.Init()
+	clear(c.items)
+}

@@ -1,0 +1,77 @@
+package lru
+
+import "testing"
+
+func TestCoreEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Add("c", 3) // over capacity; "b" is now least recent
+	k, v, ok := c.EvictOver()
+	if !ok || k != "b" || v != 2 {
+		t.Fatalf("EvictOver = %q, %d, %v; want b, 2", k, v, ok)
+	}
+	if _, _, ok := c.EvictOver(); ok {
+		t.Fatal("second EvictOver should report within bounds")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("evicted key still present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCorePeekDoesNotPromote(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Peek("a"); !ok || v != 1 {
+		t.Fatalf("Peek(a) = %d, %v", v, ok)
+	}
+	c.Add("c", 3)
+	if k, _, ok := c.EvictOver(); !ok || k != "a" {
+		t.Fatalf("evicted %q; Peek must not have promoted a", k)
+	}
+}
+
+func TestCoreAddRefreshesAndPromotes(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // refresh promotes
+	if v, _ := c.Peek("a"); v != 10 {
+		t.Fatalf("refreshed value = %d, want 10", v)
+	}
+	c.Add("c", 3)
+	if k, _, ok := c.EvictOver(); !ok || k != "b" {
+		t.Fatalf("evicted %q, want b", k)
+	}
+}
+
+func TestCoreDisabled(t *testing.T) {
+	c := New[string, int](0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled core cached a value")
+	}
+	if _, _, ok := c.EvictOver(); ok {
+		t.Fatal("disabled core evicted")
+	}
+}
+
+func TestCoreReset(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("reset core still serves entries")
+	}
+}

@@ -21,7 +21,9 @@ import (
 //     scheduler — allocs/op is the steady-state allocation cost of one
 //     served request;
 //   - service-lu30-cachehit: default cache, every op after the first is a
-//     hit — the floor a repeated sweep-shaped workload pays.
+//     hit — the floor a repeated sweep-shaped workload pays. Since the
+//     encoded-response cache this is the byte-index fast path: hash the
+//     body, Write the pre-encoded bytes, no JSON decode or encode at all.
 func serviceSpecs() []Spec {
 	lu := testbeds.LU(30, exp.CommRatio)
 	payload, err := json.Marshal(service.Request{

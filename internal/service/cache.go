@@ -1,75 +1,159 @@
 package service
 
 import (
-	"container/list"
+	"crypto/sha256"
 	"sync"
+
+	"oneport/internal/lru"
 )
 
-// resultCache is a fixed-capacity LRU over computed responses, keyed by the
-// canonical request hash. Stored responses are immutable once inserted —
-// readers receive a shallow copy with the Cached flag set, sharing the
-// (read-only) *sched.Schedule — so a hit costs one map lookup and one list
-// splice under a single mutex.
+// maxBodyAliases caps how many raw-body hashes one cache entry may be
+// reachable through. Equivalent requests can be spelled in unboundedly many
+// JSON byte forms (field order, whitespace, model aliases); the cap keeps a
+// hostile or sloppy client from growing the alias index without bound while
+// still covering every realistic client, which sends one byte form.
+const maxBodyAliases = 4
+
+// resultCache is a fixed-capacity LRU over computed responses with two
+// indexes: the canonical content hash (CanonicalKey) and the SHA-256 of the
+// raw request body bytes. Entries carry both the decoded Response and the
+// pre-encoded JSON bytes of its cache-hit form (Cached:true, trailing
+// newline), so the serving hot path can answer a repeated request with one
+// body hash, one map lookup and one Write — no JSON decode, no
+// re-canonicalization, no re-encode. Stored responses and encoded bytes are
+// immutable once inserted; readers receive the shared storage read-only.
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recent; values are *cacheEntry
-	items map[string]*list.Element
+	mu     sync.Mutex
+	core   *lru.Core[string, *cacheEntry]
+	bodies map[[sha256.Size]byte]string // raw-body hash -> canonical key
 }
 
 type cacheEntry struct {
-	key  string
-	resp *Response
+	key    string
+	resp   *Response
+	enc    []byte              // encoded cache-hit response; nil until attached
+	bodies [][sha256.Size]byte // raw-body aliases pointing at this entry
+	gen    uint64              // bumped when resp is replaced; guards late attaches
 }
 
 // newResultCache returns an LRU holding up to max entries; max <= 0
 // disables caching (every lookup misses, every insert is dropped).
 func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	return &resultCache{
+		core:   lru.New[string, *cacheEntry](max),
+		bodies: make(map[[sha256.Size]byte]string),
+	}
 }
 
 // get returns a copy of the cached response with Cached set, or false.
 func (c *resultCache) get(key string) (Response, bool) {
-	if c.max <= 0 {
-		return Response{}, false
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	e, ok := c.core.Get(key)
 	if !ok {
 		return Response{}, false
 	}
-	c.ll.MoveToFront(el)
-	resp := *el.Value.(*cacheEntry).resp
+	resp := *e.resp
 	resp.Cached = true
 	return resp, true
 }
 
-// add inserts (or refreshes) a computed response, evicting the least
-// recently used entry when full. The caller must not mutate resp or its
-// schedule afterwards.
-func (c *resultCache) add(key string, resp *Response) {
-	if c.max <= 0 {
-		return
-	}
+// getByBody returns the pre-encoded cache-hit bytes of the entry aliased by
+// the given raw-body hash. The returned slice is shared, immutable storage:
+// write it, never mutate it.
+func (c *resultCache) getByBody(body [sha256.Size]byte) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).resp = resp
+	key, ok := c.bodies[body]
+	if !ok {
+		return nil, false
+	}
+	e, ok := c.core.Get(key)
+	if !ok || e.enc == nil {
+		return nil, false
+	}
+	return e.enc, true
+}
+
+// add inserts (or refreshes) a computed response, evicting the least
+// recently used entry when full. The caller must not mutate resp or its
+// schedule afterwards. A refreshed entry drops its encoded bytes and body
+// aliases: they described the replaced response.
+func (c *resultCache) add(key string, resp *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.core.Peek(key); ok {
+		e.resp = resp
+		e.enc = nil
+		e.gen++
+		c.dropAliases(e)
+		c.core.Add(key, e) // promote
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+	c.core.Add(key, &cacheEntry{key: key, resp: resp})
+	for {
+		_, e, ok := c.core.EvictOver()
+		if !ok {
+			break
+		}
+		c.dropAliases(e)
 	}
+}
+
+// attachEncoded registers the raw-body alias for key's entry and, when the
+// entry has no encoded bytes yet, attaches the bytes produced by enc. The
+// closure — a full response JSON encode, potentially milliseconds for a
+// large schedule — runs OUTSIDE the cache lock so it never stalls
+// concurrent cache traffic; the entry's generation counter makes a late
+// attach against a refreshed or re-inserted entry a no-op instead of
+// pairing old bytes with a new response.
+func (c *resultCache) attachEncoded(key string, body [sha256.Size]byte, enc func() []byte) {
+	c.mu.Lock()
+	e0, ok := c.core.Peek(key)
+	if !ok {
+		c.mu.Unlock()
+		return // evicted between compute and attach; nothing to index
+	}
+	gen, need := e0.gen, e0.enc == nil
+	c.mu.Unlock()
+
+	var encoded []byte
+	if need {
+		if encoded = enc(); encoded == nil {
+			return // response not serializable; leave the entry byte-less
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.core.Peek(key)
+	if !ok || e != e0 || e.gen != gen {
+		return // evicted, re-inserted or refreshed while encoding
+	}
+	if e.enc == nil && encoded != nil {
+		e.enc = encoded
+	}
+	if e.enc == nil {
+		return // lost the need-race to a refresh; next request re-attaches
+	}
+	if _, aliased := c.bodies[body]; aliased || len(e.bodies) >= maxBodyAliases {
+		return
+	}
+	e.bodies = append(e.bodies, body)
+	c.bodies[body] = key
+}
+
+// dropAliases removes an entry's raw-body index entries; call with c.mu held.
+func (c *resultCache) dropAliases(e *cacheEntry) {
+	for _, b := range e.bodies {
+		delete(c.bodies, b)
+	}
+	e.bodies = nil
 }
 
 // len reports the current number of cached entries.
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.core.Len()
 }

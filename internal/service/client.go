@@ -1,0 +1,80 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client drives a running scheduling service over HTTP: the programmatic
+// counterpart of `curl -d @req.json host/schedule`. The zero value is
+// unusable; set BaseURL to the server's base (e.g. "http://host:8642").
+type Client struct {
+	BaseURL string
+	// HTTP defaults to a client with a batch-scale timeout.
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Minute}
+}
+
+// Schedule runs one request through POST /schedule. Job-level failures come
+// back in Response.Error, transport- and server-level ones as an error.
+func (c *Client) Schedule(ctx context.Context, req *Request) (*Response, error) {
+	var resp Response
+	if err := c.post(ctx, "/schedule", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch runs a batch through POST /batch; Responses[i] answers Requests[i]
+// with per-job errors isolated in Response.Error.
+func (c *Client) Batch(ctx context.Context, b *Batch) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.post(ctx, "/batch", b, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Responses) != len(b.Requests) {
+		return nil, fmt.Errorf("service: server answered %d responses for %d requests", len(resp.Responses), len(b.Requests))
+	}
+	return &resp, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(c.BaseURL, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e Response
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("service: %s: %s", url, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: %s: bad response: %w", url, err)
+	}
+	return nil
+}

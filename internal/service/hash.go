@@ -5,17 +5,32 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"math"
-	"sort"
+	"slices"
+	"sync"
+
+	"oneport/internal/graph"
 )
 
 // keySchema versions the canonical encoding; bump on incompatible change so
 // stale cache entries (or cross-version worker fleets) can never collide.
 const keySchema = "oneport-schedreq/v1"
 
-// CanonicalKey returns the content hash identifying a request's result: the
-// hex SHA-256 of a canonical binary encoding of (graph, platform,
-// heuristic, model, options). Two requests get the same key iff they
-// describe the same scheduling problem:
+// keyScratch is the pooled canonicalization state of one CanonicalSum call:
+// the canonical byte encoding under construction and the edge buffer it
+// sorts. Pooling both keeps the steady-state key computation free of
+// per-request allocations — the encoding is rebuilt in place and hashed
+// with a one-shot sha256.Sum256.
+type keyScratch struct {
+	buf   []byte
+	edges []graph.Edge
+}
+
+var keyPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// CanonicalSum returns the content hash identifying a request's result: the
+// SHA-256 of a canonical binary encoding of (graph, platform, heuristic,
+// model, options). Two requests get the same sum iff they describe the same
+// scheduling problem:
 //
 //   - graph edges are sorted by (from, to), so edge insertion order — a
 //     construction artifact — does not split the cache;
@@ -26,17 +41,16 @@ const keySchema = "oneport-schedreq/v1"
 //
 // The model string is normalized through Request.normalize before hashing,
 // so aliases ("macro" / "macrodataflow") share a key.
-func CanonicalKey(r *Request) string {
-	h := sha256.New()
-	var scratch [8]byte
+func CanonicalSum(r *Request) [sha256.Size]byte {
+	ks := keyPool.Get().(*keyScratch)
+	b := ks.buf[:0]
 	u64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(scratch[:], v)
-		h.Write(scratch[:])
+		b = binary.LittleEndian.AppendUint64(b, v)
 	}
 	f64 := func(v float64) { u64(math.Float64bits(v)) }
 	str := func(s string) {
 		u64(uint64(len(s)))
-		h.Write([]byte(s))
+		b = append(b, s...)
 	}
 
 	str(keySchema)
@@ -51,12 +65,12 @@ func CanonicalKey(r *Request) string {
 		f64(g.Weight(v))
 		str(g.Label(v))
 	}
-	edges := g.Edges()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
+	edges := g.EdgesAppend(ks.edges[:0])
+	slices.SortFunc(edges, func(a, e graph.Edge) int {
+		if a.From != e.From {
+			return a.From - e.From
 		}
-		return edges[i].To < edges[j].To
+		return a.To - e.To
 	})
 	u64(uint64(len(edges)))
 	for _, e := range edges {
@@ -76,5 +90,16 @@ func CanonicalKey(r *Request) string {
 		}
 	}
 
-	return hex.EncodeToString(h.Sum(nil))
+	sum := sha256.Sum256(b)
+	ks.buf = b
+	ks.edges = edges
+	keyPool.Put(ks)
+	return sum
+}
+
+// CanonicalKey is the hex form of CanonicalSum — the cache key exposed in
+// Response.Key and used by the result cache's canonical index.
+func CanonicalKey(r *Request) string {
+	sum := CanonicalSum(r)
+	return hex.EncodeToString(sum[:])
 }

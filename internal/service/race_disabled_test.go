@@ -1,0 +1,7 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports that this test binary was built with -race, where
+// allocation counts are inflated by the instrumentation.
+const raceEnabled = false

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -40,7 +42,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	sem     chan struct{}
-	scratch sync.Pool // *heuristics.Scratch, one borrowed per in-flight run
+	scratch sync.Map // procs int -> *sync.Pool of *heuristics.Scratch
 	cache   *resultCache
 	start   time.Time
 
@@ -48,6 +50,7 @@ type Server struct {
 	batches   atomic.Int64 // /batch payloads accepted
 	batchJobs atomic.Int64 // jobs inside batch payloads
 	hits      atomic.Int64
+	bodyHits  atomic.Int64 // subset of hits served from the raw-body byte index
 	misses    atomic.Int64
 	errors    atomic.Int64
 	inFlight  atomic.Int64 // scheduler runs currently executing
@@ -64,14 +67,28 @@ func New(cfg Config) *Server {
 	if cfg.ProbeParallelism <= 0 {
 		cfg.ProbeParallelism = 1
 	}
-	s := &Server{
+	return &Server{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.PoolSize),
 		cache: newResultCache(cfg.CacheSize),
 		start: time.Now(),
 	}
-	s.scratch.New = func() any { return heuristics.NewScratch() }
-	return s
+}
+
+// scratchPool returns the Scratch pool for platforms with the given
+// processor count. Pools are keyed by shape because Scratch.lend drops
+// probe buffers sized for a different processor count: one shared pool
+// would let a mixed workload (10-proc paper requests interleaved with
+// 4-proc cluster requests) thrash every borrowed Scratch back to empty,
+// while per-shape pools keep each platform family's buffers — and the
+// frontier engine they carry, which now warm-resets in O(1) — hot across
+// requests.
+func (s *Server) scratchPool(procs int) *sync.Pool {
+	if p, ok := s.scratch.Load(procs); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := s.scratch.LoadOrStore(procs, &sync.Pool{New: func() any { return heuristics.NewScratch() }})
+	return p.(*sync.Pool)
 }
 
 // Run executes one request: cache lookup, then a pooled scheduler run. It
@@ -102,19 +119,20 @@ func (s *Server) Run(req *Request) Response {
 	if req.Options.ProbeParallelism > 0 {
 		par = req.Options.ProbeParallelism
 	}
-	sc := s.scratch.Get().(*heuristics.Scratch)
+	pool := s.scratchPool(req.Platform.NumProcs())
+	sc := pool.Get().(*heuristics.Scratch)
 	tune := &heuristics.Tuning{ProbeParallelism: par, Scratch: sc}
 	fn, err := heuristics.ByNameTuned(req.Heuristic,
 		heuristics.ILHAOptions{B: req.Options.B, ScanDepth: req.Options.ScanDepth}, tune)
 	if err != nil {
-		s.scratch.Put(sc)
+		pool.Put(sc)
 		s.errors.Add(1)
 		return Response{Key: key, Error: err.Error()}
 	}
 	began := time.Now()
 	schedule, err := fn(req.Graph, req.Platform, model)
 	elapsed := time.Since(began)
-	s.scratch.Put(sc)
+	pool.Put(sc)
 	if err != nil {
 		s.errors.Add(1)
 		return Response{Key: key, Error: err.Error()}
@@ -188,11 +206,37 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// handleSchedule is the serving hot path. The fast path never touches JSON:
+// the raw body bytes are hashed and looked up in the cache's byte index, so
+// a repeated request costs one pooled body read, one SHA-256 and one Write
+// of the pre-encoded response. Only requests that miss the byte index are
+// decoded; after a successful run (or a canonical-index hit under a new
+// byte spelling) the encoded response is attached to the cache and the body
+// hash registered, so the next repeat stays on the fast path.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	var req Request
-	if err := decodeJSON(w, r, &req); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
 		s.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
+		return
+	}
+	body := sha256.Sum256(buf.Bytes())
+	if enc, ok := s.cache.getByBody(body); ok {
+		s.requests.Add(1)
+		s.hits.Add(1)
+		s.bodyHits.Add(1)
+		writeRaw(w, http.StatusOK, enc)
+		return
+	}
+
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
 		return
 	}
 	s.requests.Add(1)
@@ -205,6 +249,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, resp)
+	if resp.Error == "" {
+		// index this byte spelling; the encode closure only runs if the
+		// entry has no encoded bytes yet (once per cache entry lifetime)
+		s.cache.attachEncoded(resp.Key, body, func() []byte {
+			enc := resp
+			enc.Cached = true
+			b, err := json.Marshal(enc)
+			if err != nil {
+				return nil
+			}
+			return append(b, '\n')
+		})
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -233,33 +290,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // Stats is the counters snapshot served by GET /stats.
 type Stats struct {
-	UptimeS     float64 `json:"uptime_s"`
-	PoolSize    int     `json:"pool_size"`
-	Requests    int64   `json:"requests"`
-	Batches     int64   `json:"batches"`
-	BatchJobs   int64   `json:"batch_jobs"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-	CacheLen    int     `json:"cache_len"`
-	CacheSize   int     `json:"cache_size"`
-	Errors      int64   `json:"errors"`
-	InFlight    int64   `json:"in_flight"`
+	UptimeS   float64 `json:"uptime_s"`
+	PoolSize  int     `json:"pool_size"`
+	Requests  int64   `json:"requests"`
+	Batches   int64   `json:"batches"`
+	BatchJobs int64   `json:"batch_jobs"`
+	CacheHits int64   `json:"cache_hits"`
+	// CacheBodyHits is the subset of CacheHits served straight from the
+	// raw-body byte index (hash + Write, no JSON work at all).
+	CacheBodyHits int64 `json:"cache_body_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheLen      int   `json:"cache_len"`
+	CacheSize     int   `json:"cache_size"`
+	Errors        int64 `json:"errors"`
+	InFlight      int64 `json:"in_flight"`
 }
 
 // StatsSnapshot returns the current counters.
 func (s *Server) StatsSnapshot() Stats {
 	return Stats{
-		UptimeS:     time.Since(s.start).Seconds(),
-		PoolSize:    s.cfg.PoolSize,
-		Requests:    s.requests.Load(),
-		Batches:     s.batches.Load(),
-		BatchJobs:   s.batchJobs.Load(),
-		CacheHits:   s.hits.Load(),
-		CacheMisses: s.misses.Load(),
-		CacheLen:    s.cache.len(),
-		CacheSize:   s.cfg.CacheSize,
-		Errors:      s.errors.Load(),
-		InFlight:    s.inFlight.Load(),
+		UptimeS:       time.Since(s.start).Seconds(),
+		PoolSize:      s.cfg.PoolSize,
+		Requests:      s.requests.Load(),
+		Batches:       s.batches.Load(),
+		BatchJobs:     s.batchJobs.Load(),
+		CacheHits:     s.hits.Load(),
+		CacheBodyHits: s.bodyHits.Load(),
+		CacheMisses:   s.misses.Load(),
+		CacheLen:      s.cache.len(),
+		CacheSize:     s.cfg.CacheSize,
+		Errors:        s.errors.Load(),
+		InFlight:      s.inFlight.Load(),
 	}
 }
 
@@ -277,15 +338,28 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-// writeJSON marshals before writing the status line, so a value that fails
-// to encode becomes an honest 500 instead of a 200 with a truncated body.
+// bufPool recycles the request-body and response-encode buffers of the
+// serving path, so steady-state requests reuse grown buffers instead of
+// reallocating them per request.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes into a pooled buffer before writing the status line, so
+// a value that fails to encode becomes an honest 500 instead of a 200 with
+// a truncated body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, `{"error":"service: response not serializable"}`, http.StatusInternalServerError)
 		return
 	}
+	writeRaw(w, status, buf.Bytes())
+}
+
+// writeRaw writes pre-encoded JSON bytes.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	w.Write(body)
 }

@@ -10,6 +10,9 @@
 // Results are cached in an LRU keyed by a canonical content hash of
 // (graph, platform, heuristic, model, options) — see CanonicalKey — so a
 // repeated request is a cache hit that never re-enters the scheduler.
+// Entries also carry the pre-encoded response bytes indexed by the SHA-256
+// of the raw request body, so the repeat of an identical request is served
+// as a hash + Write without any JSON work at all.
 // Sweep-shaped payloads can be batched (POST /batch) through the same pool.
 // The sharded sweep protocol built on top lives in the sweep subpackage.
 //

@@ -53,13 +53,29 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// Coordinator shards jobs across worker processes and gathers the partial
-// results. The zero value is unusable; set Workers to the workers' base
-// URLs (e.g. "http://host:8642").
+// Coordinator feeds jobs to worker processes with work-stealing dispatch
+// and gathers the results. The zero value is unusable; set Workers to the
+// workers' base URLs (e.g. "http://host:8642").
 type Coordinator struct {
 	Workers []string
 	// Client defaults to a client with a generous sweep-scale timeout.
 	Client *http.Client
+	// ChunkSize is the number of jobs per dispatch (default 1). Small
+	// chunks maximize stealing — a worker that finishes early immediately
+	// pulls more work — at one HTTP round-trip per chunk; raise it when
+	// jobs are tiny relative to the round-trip.
+	ChunkSize int
+
+	// Stats describes the last Run: populated on return, read-only
+	// afterwards. Not synchronized — one Run per Coordinator at a time.
+	Stats RunStats
+}
+
+// RunStats summarizes one coordinator Run.
+type RunStats struct {
+	Chunks    int // dispatched units of work
+	Requeues  int // chunks re-fed to the queue after a worker failure
+	CacheHits int // jobs the workers served from their result caches
 }
 
 func (c *Coordinator) client() *http.Client {
@@ -69,12 +85,48 @@ func (c *Coordinator) client() *http.Client {
 	return &http.Client{Timeout: 10 * time.Minute}
 }
 
-// Run partitions jobs round-robin into one shard per worker, dispatches the
-// shards concurrently, and returns every job's result (order unspecified;
-// the Merge* helpers sort by job id). pl selects the shard platform (nil:
-// the paper platform). A shard whose worker fails is retried on the
-// remaining workers, so the sweep survives losing all but one worker; it
-// fails only when a shard is rejected by every worker.
+// wsChunk is one dispatchable unit of a work-stealing run.
+type wsChunk struct {
+	jobs   []Job
+	failed int // distinct workers this chunk has failed on
+}
+
+// wsRun is the shared state of one work-stealing Run.
+type wsRun struct {
+	mu      sync.Mutex
+	queue   chan *wsChunk
+	pending int  // chunks not yet completed
+	live    int  // workers still pulling
+	closed  bool // queue closed (done or fatal)
+	err     error
+	all     []Result
+	stats   RunStats
+}
+
+// finish closes the queue exactly once; call with r.mu held.
+func (r *wsRun) finish(err error) {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.err = err
+	close(r.queue)
+}
+
+// Run feeds the jobs to the workers as they finish — work-stealing dispatch:
+// every worker pulls the next chunk the moment it completes the last, so a
+// fast worker takes more of the sweep and a slow one never holds jobs it
+// has not started — and returns every job's result (order unspecified; the
+// Merge* helpers sort by job id). pl selects the shard platform (nil: the
+// paper platform).
+//
+// Failover: a chunk whose worker fails is requeued for the remaining
+// workers and the failing worker retires from this run, so the sweep
+// survives losing all but one worker mid-sweep; it fails only when a chunk
+// has been rejected by every worker (equivalently: when every worker has
+// retired). Requeued jobs are re-executed from their job description —
+// results are pure functions of (job, platform) — so the merged output is
+// byte-identical whatever the dispatch or failure interleaving.
 func (c *Coordinator) Run(ctx context.Context, pl *platform.Platform, jobs []Job) ([]Result, error) {
 	if len(c.Workers) == 0 {
 		return nil, fmt.Errorf("sweep: coordinator has no workers")
@@ -82,54 +134,88 @@ func (c *Coordinator) Run(ctx context.Context, pl *platform.Platform, jobs []Job
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sweep: no jobs")
 	}
-	shards := Partition(jobs, len(c.Workers))
+	chunk := c.ChunkSize
+	if chunk < 1 {
+		chunk = 1
+	}
+	var chunks []*wsChunk
+	for off := 0; off < len(jobs); off += chunk {
+		end := off + chunk
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		chunks = append(chunks, &wsChunk{jobs: jobs[off:end]})
+	}
 
-	var mu sync.Mutex
-	var all []Result
+	r := &wsRun{
+		// every requeue retires a worker, so at most len(chunks) +
+		// len(Workers) sends ever happen: the buffer makes requeues
+		// non-blocking under the mutex
+		queue:   make(chan *wsChunk, len(chunks)+len(c.Workers)),
+		pending: len(chunks),
+		live:    len(c.Workers),
+	}
+	r.stats.Chunks = len(chunks)
+	for _, ch := range chunks {
+		r.queue <- ch
+	}
+
 	var wg sync.WaitGroup
-	errs := make([]error, len(shards))
-	for i, shardJobs := range shards {
+	for _, worker := range c.Workers {
 		wg.Add(1)
-		go func(i int, shardJobs []Job) {
+		go func(worker string) {
 			defer wg.Done()
-			sh := Shard{Platform: pl, Jobs: shardJobs}
-			res, err := c.runShardWithFailover(ctx, i, &sh)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			mu.Lock()
-			all = append(all, res.Results...)
-			mu.Unlock()
-		}(i, shardJobs)
+			c.pullChunks(ctx, worker, pl, r)
+		}(worker)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+
+	c.Stats = r.stats
+	if r.err != nil {
+		return nil, r.err
 	}
-	return all, nil
+	return r.all, nil
 }
 
-// runShardWithFailover tries the shard's home worker first (shard index
-// round-robins onto the worker list), then every other worker.
-func (c *Coordinator) runShardWithFailover(ctx context.Context, shard int, sh *Shard) (*ShardResult, error) {
-	var firstErr error
-	for attempt := 0; attempt < len(c.Workers); attempt++ {
-		worker := c.Workers[(shard+attempt)%len(c.Workers)]
-		res, err := c.postShard(ctx, worker, sh)
+// pullChunks is one worker's dispatch loop: pull, post, collect; on failure
+// requeue the chunk and retire.
+func (c *Coordinator) pullChunks(ctx context.Context, worker string, pl *platform.Platform, r *wsRun) {
+	for ch := range r.queue {
+		res, err := c.postShard(ctx, worker, &Shard{Platform: pl, Jobs: ch.jobs})
 		if err == nil {
-			return res, nil
+			r.mu.Lock()
+			r.all = append(r.all, res.Results...)
+			r.stats.CacheHits += res.CacheHits
+			r.pending--
+			if r.pending == 0 {
+				r.finish(nil)
+			}
+			r.mu.Unlock()
+			continue
 		}
-		if firstErr == nil {
-			firstErr = err
+		r.mu.Lock()
+		if r.closed {
+			// another worker already ended the run (fatal error or ctx
+			// cancel); never send on the closed queue
+			r.mu.Unlock()
+			return
 		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		ch.failed++
+		r.live--
+		switch {
+		case ctx.Err() != nil:
+			r.finish(ctx.Err())
+		case ch.failed >= len(c.Workers):
+			r.finish(fmt.Errorf("sweep: chunk of %d jobs failed on every worker: %w", len(ch.jobs), err))
+		case r.live == 0:
+			r.finish(fmt.Errorf("sweep: every worker retired with %d chunks pending: %w", r.pending, err))
+		default:
+			r.stats.Requeues++
+			r.queue <- ch // buffered; never blocks (see Run)
 		}
+		r.mu.Unlock()
+		return // retire this worker for the rest of the run
 	}
-	return nil, fmt.Errorf("sweep: shard %d failed on every worker: %w", shard, firstErr)
 }
 
 func (c *Coordinator) postShard(ctx context.Context, worker string, sh *Shard) (*ShardResult, error) {

@@ -1,12 +1,17 @@
 // Package sweep shards the experiment harness across worker processes: the
 // first multi-machine scaling path. A figure sweep (internal/exp, Figures
-// 7–12) or a B-sweep (cmd/bsweep) is decomposed into independent jobs, the
-// jobs are partitioned round-robin into shards, each shard is POSTed to a
-// worker process (schedserve -worker, endpoint /sweep/run), and the partial
-// results are merged deterministically — sorted by job id with completeness
-// checked — so a sharded sweep reproduces the single-process numbers
-// exactly, regardless of worker count, scheduling order or which worker ran
-// which job.
+// 7–12) or a B-sweep (cmd/bsweep) is decomposed into independent jobs; a
+// coordinator feeds the jobs to worker processes (schedserve -worker,
+// endpoint /sweep/run) with work-stealing dispatch — each worker pulls the
+// next chunk as it finishes the last, so fast workers take more of the
+// sweep instead of waiting on a static partition — and the partial results
+// are merged deterministically — sorted by job id with completeness checked
+// — so a sharded sweep reproduces the single-process numbers exactly,
+// regardless of worker count, scheduling order or which worker ran which
+// job. Workers cache job results keyed by a content hash of (job fields,
+// platform), so repeated or overlapping sweeps skip recomputation; cached
+// results are the stored values of earlier runs of the same pure job, so
+// the merge stays byte-identical.
 package sweep
 
 import (
@@ -14,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"oneport/internal/cli"
 	"oneport/internal/exp"
@@ -66,9 +72,12 @@ type Shard struct {
 	Jobs     []Job              `json:"jobs"`
 }
 
-// ShardResult answers a Shard, one Result per job.
+// ShardResult answers a Shard, one Result per job. CacheHits reports how
+// many of the jobs were served from the worker's result cache instead of
+// being recomputed.
 type ShardResult struct {
-	Results []Result `json:"results"`
+	Results   []Result `json:"results"`
+	CacheHits int      `json:"cache_hits,omitempty"`
 }
 
 // FigureJobs decomposes a figure sweep into jobs, one per problem size.
@@ -91,7 +100,10 @@ func BSweepJobs(testbed string, size int, model string, scan int, bs []int) []Jo
 
 // Partition splits jobs round-robin into n shards (some possibly empty
 // shards are dropped). Round-robin keeps shards balanced when job cost
-// grows with the problem size, which it does for every figure sweep.
+// grows with the problem size, which it does for every figure sweep. The
+// coordinator no longer partitions up front — it feeds jobs to workers as
+// they finish (work-stealing; see Coordinator.Run) — but Partition remains
+// for callers that want static shards, e.g. to POST /sweep/run directly.
 func Partition(jobs []Job, n int) [][]Job {
 	if n < 1 {
 		n = 1
@@ -110,9 +122,11 @@ func Partition(jobs []Job, n int) [][]Job {
 }
 
 // RunShard executes a shard's jobs on this process, fanning them out across
-// the CPUs with one pooled scheduler scratch per lane. Per-job failures are
-// reported in Result.Err; the shard itself only fails on a malformed
-// platform (which poisons every job anyway).
+// the CPUs with one pooled scheduler scratch per lane. Jobs whose content
+// hash is in the worker result cache are served from it (counted in
+// ShardResult.CacheHits); the rest are computed and inserted. Per-job
+// failures are reported in Result.Err; the shard itself only fails on a
+// malformed platform (which poisons every job anyway).
 func RunShard(sh *Shard) (*ShardResult, error) {
 	pl := sh.Platform
 	if pl == nil {
@@ -124,6 +138,7 @@ func RunShard(sh *Shard) (*ShardResult, error) {
 		lanes = len(sh.Jobs)
 	}
 	var next int
+	var hits atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for l := 0; l < lanes; l++ {
@@ -143,12 +158,30 @@ func RunShard(sh *Shard) (*ShardResult, error) {
 				if i >= len(sh.Jobs) {
 					return
 				}
-				out.Results[i] = runJob(sh.Jobs[i], pl, tune)
+				out.Results[i] = runJobCached(sh.Jobs[i], pl, tune, &hits)
 			}
 		}()
 	}
 	wg.Wait()
+	out.CacheHits = int(hits.Load())
 	return out, nil
+}
+
+// runJobCached serves a job from the worker result cache when its content
+// hash is present, else computes and inserts it. Jobs are pure functions of
+// (job fields, platform) — Result.Job.ID excluded — so a cached value is
+// the byte-identical outcome of re-running the job.
+func runJobCached(job Job, pl *platform.Platform, tune *heuristics.Tuning, hits *atomic.Int64) Result {
+	key := jobKey(job, pl)
+	if res, ok := workerCache.get(key, job); ok {
+		hits.Add(1)
+		return res
+	}
+	res := runJob(job, pl, tune)
+	if res.Err == "" {
+		workerCache.add(key, res)
+	}
+	return res
 }
 
 func runJob(job Job, pl *platform.Platform, tune *heuristics.Tuning) Result {
@@ -169,7 +202,7 @@ func runJob(job Job, pl *platform.Platform, tune *heuristics.Tuning) Result {
 			res.Err = err.Error()
 			return res
 		}
-		p, err := exp.RunPointSpec(exp.PointSpec{Figure: fig, Size: job.Size}, pl, model)
+		p, err := exp.RunPointSpecTuned(exp.PointSpec{Figure: fig, Size: job.Size}, pl, model, tune)
 		if err != nil {
 			res.Err = err.Error()
 			return res

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"oneport/internal/exp"
@@ -197,5 +198,149 @@ func TestShardPlatformRoundTrip(t *testing.T) {
 		if got.Points[i] != want.Points[i] {
 			t.Fatalf("point %d differs on custom platform", i)
 		}
+	}
+}
+
+// TestWorkStealingMidSweepFailure kills a worker mid-sweep: it serves its
+// first chunk, then starts failing. The failed chunk must be requeued onto
+// the surviving worker and the merged series must stay byte-identical to
+// the single-process run — the failover acceptance criterion under
+// work-stealing dispatch.
+func TestWorkStealingMidSweepFailure(t *testing.T) {
+	fig, err := exp.FigureByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{10, 20, 30, 40, 50}
+	pl := platform.Paper()
+	want, err := exp.Run(fig, pl, sched.OnePort, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := httptest.NewServer(Handler())
+	defer live.Close()
+	real := Handler()
+	var served atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 1 {
+			http.Error(w, "worker crashed mid-sweep", http.StatusInternalServerError)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	co := &Coordinator{Workers: []string{flaky.URL, live.URL}}
+	jobs := FigureJobs(fig, "oneport", sizes)
+	results, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() < 2 {
+		t.Fatal("flaky worker never got a second chunk; the failure path did not run")
+	}
+	if co.Stats.Requeues == 0 {
+		t.Fatal("no chunk was requeued after the mid-sweep failure")
+	}
+	got, err := MergeFigure(fig, sched.OnePort, results, len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Points {
+		if got.Points[i] != want.Points[i] {
+			t.Fatalf("point %d differs after mid-sweep failover:\n got %+v\nwant %+v", i, got.Points[i], want.Points[i])
+		}
+	}
+	if got.Table() != want.Table() {
+		t.Fatal("rendered tables differ after mid-sweep failover")
+	}
+}
+
+// TestRepeatedSweepWorkerCacheHits runs the same sweep twice against the
+// same workers: the second run must be served from the worker result caches
+// (every job a hit) and still merge to the identical series.
+func TestRepeatedSweepWorkerCacheHits(t *testing.T) {
+	ResetWorkerCache()
+	defer ResetWorkerCache()
+
+	fig, err := exp.FigureByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{8, 12, 16}
+	co := twoWorkers(t)
+	jobs := FigureJobs(fig, "oneport", sizes)
+
+	first, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Stats.CacheHits != 0 {
+		t.Fatalf("cold sweep reported %d cache hits", co.Stats.CacheHits)
+	}
+	wantSeries, err := MergeFigure(fig, sched.OnePort, first, len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := co.Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Stats.CacheHits != len(jobs) {
+		t.Fatalf("repeated sweep: %d cache hits, want %d", co.Stats.CacheHits, len(jobs))
+	}
+	gotSeries, err := MergeFigure(fig, sched.OnePort, second, len(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeries.Table() != wantSeries.Table() {
+		t.Fatal("cached sweep merged to a different series")
+	}
+
+	// overlapping sweep: one shared size, one new — only the shared one hits
+	overlap := FigureJobs(fig, "oneport", []int{12, 24})
+	if _, err := co.Run(context.Background(), nil, overlap); err != nil {
+		t.Fatal(err)
+	}
+	if co.Stats.CacheHits != 1 {
+		t.Fatalf("overlapping sweep: %d cache hits, want 1", co.Stats.CacheHits)
+	}
+}
+
+// TestWorkerCacheKeyedByContent pins the cache key: the job ID is excluded
+// (the same point under a different ID hits) while every content field and
+// the platform split it.
+func TestWorkerCacheKeyedByContent(t *testing.T) {
+	pl := platform.Paper()
+	base := Job{ID: 0, Kind: KindFigure, Model: "oneport", Figure: "fig8", Size: 20}
+	key := jobKey(base, pl)
+
+	renumbered := base
+	renumbered.ID = 7
+	if jobKey(renumbered, pl) != key {
+		t.Fatal("job ID changed the key")
+	}
+	for name, mut := range map[string]func(*Job){
+		"kind":   func(j *Job) { j.Kind = KindBSweep },
+		"model":  func(j *Job) { j.Model = "macro" },
+		"figure": func(j *Job) { j.Figure = "fig9" },
+		"size":   func(j *Job) { j.Size = 30 },
+		"b":      func(j *Job) { j.B = 4 },
+		"scan":   func(j *Job) { j.Scan = 2 },
+	} {
+		alt := base
+		mut(&alt)
+		if jobKey(alt, pl) == key {
+			t.Fatalf("changing %s did not change the key", name)
+		}
+	}
+	small, err := platform.Homogeneous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobKey(base, small) == key {
+		t.Fatal("changing the platform did not change the key")
 	}
 }
