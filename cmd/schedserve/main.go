@@ -8,6 +8,21 @@
 //	schedserve -addr :8642 -pool 8 -cache 1024
 //	schedserve -addr :8643 -worker
 //
+// -peers joins the replica into a distributed encoded-response cache: a
+// consistent-hash ring maps each canonical request key to one owner
+// replica, and a replica that misses locally on a key it does not own asks
+// the owner (POST /cache/peer) before computing, so the fleet runs each
+// distinct request once. Every replica must be started with the SAME -peers
+// list (it may include the replica itself) plus -self naming its own URL in
+// that list; a replica whose owner peer is down computes locally until the
+// peer recovers:
+//
+//	schedserve -addr :8642 -self http://h1:8642 -peers http://h1:8642,http://h2:8642
+//	schedserve -addr :8642 -self http://h2:8642 -peers http://h1:8642,http://h2:8642
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight runs for up to -drain before exiting.
+//
 // Coordinator mode feeds a figure sweep or a B-sweep to running workers
 // with work-stealing dispatch (each worker pulls the next job as it
 // finishes the last; failed jobs requeue onto the survivors) and prints the
@@ -31,9 +46,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"oneport/internal/cli"
@@ -51,6 +68,9 @@ func main() {
 		cacheSz  = flag.Int("cache", 256, "LRU result-cache entries (negative disables)")
 		probePar = flag.Int("probe-par", 1, "per-run probe parallelism")
 		worker   = flag.Bool("worker", false, "also serve the sweep worker endpoint /sweep/run")
+		peers    = flag.String("peers", "", "comma list of ALL replica base URLs forming the distributed cache ring (same list on every replica)")
+		self     = flag.String("self", "", "this replica's base URL within -peers")
+		drain    = flag.Duration("drain", 30*time.Second, "in-flight drain timeout on SIGINT/SIGTERM")
 
 		sweepFig  = flag.String("sweep", "", "coordinator mode: shard this figure (fig7..fig12) across -shards")
 		bsweepTb  = flag.String("bsweep", "", "coordinator mode: shard a B-sweep on this testbed across -shards")
@@ -74,7 +94,7 @@ func main() {
 	case *bsweepTb != "":
 		err = coordinateBSweep(*bsweepTb, *size, *bsSpec, *scanDepth, *modelName, *shards)
 	default:
-		err = serve(*addr, *pool, *cacheSz, *probePar, *worker)
+		err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *drain)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedserve:", err)
@@ -82,8 +102,21 @@ func main() {
 	}
 }
 
-func serve(addr string, pool, cacheSz, probePar int, worker bool) error {
-	srv := service.New(service.Config{PoolSize: pool, CacheSize: cacheSz, ProbeParallelism: probePar})
+func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers string, drain time.Duration) error {
+	var peerList []string
+	if peers != "" {
+		if self == "" {
+			return fmt.Errorf("-peers needs -self (this replica's URL within the peer list)")
+		}
+		var err error
+		if peerList, err = parseList(peers); err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+	}
+	srv := service.New(service.Config{
+		PoolSize: pool, CacheSize: cacheSz, ProbeParallelism: probePar,
+		Self: self, Peers: peerList,
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	role := "scheduler"
@@ -91,16 +124,41 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool) error {
 		mux.Handle("/sweep/", sweep.Handler())
 		role = "scheduler+sweep-worker"
 	}
+	if n := srv.StatsSnapshot().Peers; n > 0 {
+		role = fmt.Sprintf("%s, cache ring of %d replicas", role, n)
+	}
 	log.Printf("schedserve: %s listening on %s", role, addr)
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return hs.ListenAndServe()
+
+	// drain on SIGINT/SIGTERM: stop accepting, let in-flight scheduler runs
+	// finish writing instead of dying mid-response
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		log.Printf("schedserve: shutdown signal; draining %d in-flight runs (timeout %v)",
+			srv.StatsSnapshot().InFlight, drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		log.Printf("schedserve: drained cleanly")
+		return nil
+	}
 }
 
-func parseShards(spec string) ([]string, error) {
+// parseList splits a comma list of base URLs, dropping empty items.
+func parseList(spec string) ([]string, error) {
 	var out []string
 	for _, s := range strings.Split(spec, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -108,6 +166,14 @@ func parseShards(spec string) ([]string, error) {
 		}
 	}
 	if len(out) == 0 {
+		return nil, fmt.Errorf("empty URL list %q", spec)
+	}
+	return out, nil
+}
+
+func parseShards(spec string) ([]string, error) {
+	out, err := parseList(spec)
+	if err != nil {
 		return nil, fmt.Errorf("coordinator mode needs -shards url1,url2,...")
 	}
 	return out, nil

@@ -18,9 +18,13 @@
 //   - schedule validators for both models, a decision-replay simulator, and
 //     ASCII Gantt rendering;
 //   - a scheduling service (internal/service, cmd/schedserve): a concurrent
-//     HTTP/JSON server with a bounded worker pool, pooled scheduler scratch
-//     and an LRU result cache, plus a sharded sweep coordinator that spreads
-//     the experiment harness across worker processes.
+//     HTTP/JSON server with a bounded worker pool, pooled scheduler scratch,
+//     singleflight request coalescing and an LRU result cache that can be
+//     replicated across processes (a consistent-hash ring assigns each
+//     canonical request key an owner replica; non-owners fill from the owner
+//     instead of recomputing — see the -peers flag), plus a sharded sweep
+//     coordinator that spreads the experiment harness across worker
+//     processes.
 //
 // # Service quickstart
 //
@@ -31,7 +35,13 @@
 //
 // The response carries the validated schedule, its makespan/speedup and the
 // canonical cache key; posting the identical request again is a cache hit
-// ("cached":true). Shard a figure sweep across two workers and get exactly
+// ("cached":true). Run two replicas as one distributed cache — each request
+// is computed once fleet-wide, whichever replica receives it:
+//
+//	go run ./cmd/schedserve -addr :8642 -self http://h1:8642 \
+//	    -peers http://h1:8642,http://h2:8642
+//
+// Shard a figure sweep across two workers and get exactly
 // the single-process cmd/experiments numbers:
 //
 //	go run ./cmd/schedserve -sweep fig8 -sizes quick \

@@ -126,6 +126,13 @@ func (j *frontierJob) run() {
 	j.f.scan.wg.Done()
 }
 
+// abort releases the scan latch after run panicked, recording the fault on
+// the engine's bound state for the dispatcher to re-raise.
+func (j *frontierJob) abort(fault any) {
+	j.f.s.noteFault(fault)
+	j.f.scan.wg.Done()
+}
+
 // attachFrontier creates (or, when the state carries lent scratch, revives)
 // the frontier engine for st and hooks it into st.commit so every commit
 // bumps the invalidation stamps.
@@ -412,6 +419,7 @@ func (f *frontier) ensureFiltered(tasks []int, keep func(v, p int, e *frontierEn
 	}
 	f.probeSlice(0, w)
 	sc.wg.Wait()
+	s.refault()
 }
 
 // probeSlice re-probes pairs wi, wi+w, wi+2w, … with worker wi's probeBuf,

@@ -1,0 +1,89 @@
+package heuristics
+
+import (
+	"sync"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+// boomJob is a poolJob whose run panics, standing in for a probe-code bug.
+type boomJob struct {
+	mu      sync.Mutex
+	faults  []any
+	done    sync.WaitGroup
+	payload string
+}
+
+func (b *boomJob) run() { panic(b.payload) }
+func (b *boomJob) abort(fault any) {
+	b.mu.Lock()
+	b.faults = append(b.faults, fault)
+	b.mu.Unlock()
+	b.done.Done()
+}
+
+// TestPoolWorkerPanicContained pins the pool's fault contract: a job that
+// panics must release its completion latch through abort (no deadlocked
+// dispatcher), must not kill the worker goroutine — the shared pool keeps
+// serving every scheduler in the process — and must hand the dispatcher
+// the panic value to re-raise.
+func TestPoolWorkerPanicContained(t *testing.T) {
+	jobs := poolJobs()
+	b := &boomJob{payload: "probe bug"}
+	const n = 4
+	b.done.Add(n)
+	for i := 0; i < n; i++ {
+		jobs <- b
+	}
+	b.done.Wait() // deadlocks here if abort is not called on panic
+	if len(b.faults) != n {
+		t.Fatalf("abort ran %d times for %d panicking jobs", len(b.faults), n)
+	}
+	for _, f := range b.faults {
+		if f != "probe bug" {
+			t.Fatalf("abort received %v, want the panic value", f)
+		}
+	}
+
+	// the pool must still be fully operational: run a join-heavy graph with
+	// forced fan-out through the same workers and match the sequential run
+	g := testbeds.ForkJoin(120, 10)
+	pl := platform.Paper()
+	run := func(par int) *sched.Schedule {
+		t.Helper()
+		fn, err := ByNameTuned("heft", ILHAOptions{}, &Tuning{ProbeParallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := fn(g, pl, sched.OnePort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	seq, par := run(1), run(4)
+	if seq.Makespan() != par.Makespan() || seq.CommCount() != par.CommCount() {
+		t.Fatalf("pool damaged after worker panics: seq %v/%d vs par %v/%d",
+			seq.Makespan(), seq.CommCount(), par.Makespan(), par.CommCount())
+	}
+}
+
+// TestRefaultSurfacesWorkerPanic pins the dispatcher half: a fault noted by
+// abort re-raises on the goroutine that owns the state, exactly once.
+func TestRefaultSurfacesWorkerPanic(t *testing.T) {
+	s := &state{}
+	s.noteFault("first")
+	s.noteFault("second") // loses the race; one fault is enough to fail a run
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		s.refault()
+		return nil
+	}()
+	if recovered != "first" {
+		t.Fatalf("refault raised %v, want the first recorded fault", recovered)
+	}
+	s.refault() // cleared: must not panic again
+}

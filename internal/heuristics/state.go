@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"oneport/internal/graph"
 	"oneport/internal/platform"
@@ -54,6 +55,7 @@ type state struct {
 	par       int // max probe workers for this state
 	bufs      []*probeBuf
 	wg        sync.WaitGroup
+	fault     atomic.Pointer[poolFault] // first panic from a pool worker, re-raised by refault
 	predBuf   []predInfo
 	results   []workerBest
 	jobs      []probeJob
@@ -81,8 +83,18 @@ type workerBest struct {
 
 // poolJob is one unit of probe work dispatched to the shared worker pool.
 // Implementations are reused structs owned by the dispatching state or
-// engine, sent by pointer so dispatch allocates nothing.
-type poolJob interface{ run() }
+// engine, sent by pointer so dispatch allocates nothing. abort is called
+// instead of normal completion when run panics: it must release the job's
+// completion latch (so the dispatcher's Wait never deadlocks) and record
+// the fault for the dispatcher to re-raise.
+type poolJob interface {
+	run()
+	abort(fault any)
+}
+
+// poolFault boxes a panic value recovered on a pool worker so the
+// dispatching goroutine can re-raise it after the fan-out barrier.
+type poolFault struct{ val any }
 
 // probeJob is one stripe of a parallel bestEFT, dispatched to a pool worker.
 type probeJob struct {
@@ -97,6 +109,13 @@ type probeJob struct {
 
 func (j *probeJob) run() {
 	j.res[j.wi] = j.s.probeStripe(j.v, j.candidates, j.preds, j.n, j.w, j.wi)
+	j.done.Done()
+}
+
+// abort releases the completion latch after run panicked, recording the
+// fault on the dispatching state.
+func (j *probeJob) abort(fault any) {
+	j.s.noteFault(fault)
 	j.done.Done()
 }
 
@@ -127,12 +146,46 @@ func poolJobs() chan poolJob {
 		for i := 0; i < workers; i++ {
 			go func() {
 				for j := range probeJobs {
-					j.run()
+					runPoolJob(j)
 				}
 			}()
 		}
 	})
 	return probeJobs
+}
+
+// runPoolJob executes one job, converting a panic in probe code into a
+// recorded fault: the job's completion latch still releases (the
+// dispatcher's Wait never deadlocks), the worker goroutine survives for
+// the next job, and the dispatcher re-raises the fault after its barrier
+// (state.refault) — so a probe bug fails that one scheduler run, whose
+// caller may recover (the scheduling service does), instead of killing
+// the whole process.
+func runPoolJob(j poolJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.abort(r)
+		}
+	}()
+	j.run()
+}
+
+// noteFault records the first panic recovered on a pool worker running
+// this state's jobs; later faults lose the swap and are dropped (one is
+// enough to fail the run).
+func (s *state) noteFault(fault any) {
+	s.fault.CompareAndSwap(nil, &poolFault{val: fault})
+}
+
+// refault re-raises a recorded worker fault on the dispatching goroutine.
+// It runs after wg.Wait, so every worker touching this state's buffers has
+// finished: the run fails quiescently, and unwinding (including the
+// Tuning.reclaim defer) sees buffers no goroutine still writes.
+func (s *state) refault() {
+	if f := s.fault.Load(); f != nil {
+		s.fault.Store(nil)
+		panic(f.val)
+	}
 }
 
 // wire returns the timeline of the undirected wire {a,b}, creating it (and
@@ -563,6 +616,7 @@ func (s *state) bestEFTParallel(v int, candidates []int, preds []predInfo, n, w 
 	}
 	res[0] = s.probeStripe(v, candidates, preds, n, w, 0)
 	s.wg.Wait()
+	s.refault()
 	best := workerBest{pos: -1}
 	for _, r := range res {
 		if r.pos < 0 {

@@ -5,9 +5,20 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
+)
+
+// Response bodies are read through LimitReader: the client trusts the
+// remote end for content, not for size — a compromised or misbehaving
+// server must not be able to balloon this process's memory. Success bodies
+// carry whole encoded schedules (large but bounded); error bodies are
+// one-line JSON.
+const (
+	maxClientRespBytes  = 1 << 30
+	maxClientErrorBytes = 1 << 20
 )
 
 // Client drives a running scheduling service over HTTP: the programmatic
@@ -67,13 +78,13 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var e Response
-		_ = json.NewDecoder(resp.Body).Decode(&e)
+		_ = json.NewDecoder(io.LimitReader(resp.Body, maxClientErrorBytes)).Decode(&e)
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
 		return fmt.Errorf("service: %s: %s", url, e.Error)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxClientRespBytes)).Decode(out); err != nil {
 		return fmt.Errorf("service: %s: bad response: %w", url, err)
 	}
 	return nil

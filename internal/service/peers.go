@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"oneport/internal/service/ring"
+)
+
+// peerCooldown is how long a replica that failed a fill request is skipped
+// before the next forwarding attempt. During the cooldown every key that
+// replica owns is computed locally (degraded mode), so a dead peer costs
+// one failed round-trip per cooldown window instead of one per request.
+const peerCooldown = 5 * time.Second
+
+// maxPeerBodyBytes caps how much of a peer's response a fill will read: a
+// compromised or confused replica must not be able to balloon this one's
+// memory. Far above any real encoded schedule, far below "unbounded".
+const maxPeerBodyBytes = 256 << 20
+
+// peerSet is the requester-side half of the distributed cache: the ring
+// that assigns each canonical key an owner replica, the HTTP client that
+// asks owners to fill, and the per-peer health state that degrades the
+// server to local-only compute while an owner is down. nil (no peers
+// configured, or alone in the ring) means single-replica operation.
+type peerSet struct {
+	self   string
+	ring   *ring.Ring
+	client *http.Client
+
+	mu   sync.Mutex
+	down map[string]time.Time // member -> retry-not-before
+}
+
+// newPeerSet builds the peer layer from Config.Self and Config.Peers. The
+// ring is built over peers ∪ {self} — every replica must be handed the same
+// full replica list for the fleet to agree on ownership — and self is
+// excluded from forwarding by identity. Returns nil when the configuration
+// leaves nothing to forward to.
+func newPeerSet(self string, peers []string, client *http.Client) *peerSet {
+	self = ring.Normalize(self)
+	if self == "" || len(peers) == 0 {
+		return nil
+	}
+	r := ring.New(append([]string{self}, peers...), 0)
+	if r.Size() < 2 {
+		return nil // alone in the ring: plain single-replica serving
+	}
+	if client == nil {
+		// failure detection must be much faster than the compute-scale
+		// total timeout, or a hung owner stalls every cold request for its
+		// keyspace share until the full timeout: a dead or black-holed host
+		// fails at dial (5 s), a connected-but-silent owner at the response
+		// header (2 min — fills whose legitimate compute exceeds it degrade
+		// to a duplicate local run, which beats minutes of stalling; pass
+		// Config.PeerClient to retune for slower heuristics).
+		client = &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+				TLSHandshakeTimeout:   5 * time.Second,
+				ResponseHeaderTimeout: 2 * time.Minute,
+				MaxIdleConnsPerHost:   16,
+			},
+		}
+	}
+	return &peerSet{self: self, ring: r, client: client, down: make(map[string]time.Time)}
+}
+
+// owner maps a canonical sum to its owning replica and reports whether that
+// replica is this one.
+func (p *peerSet) owner(sum [sha256.Size]byte) (member string, isSelf bool) {
+	member = p.ring.Owner(sum)
+	return member, member == p.self
+}
+
+// available reports whether a member is currently worth forwarding to,
+// clearing its down mark once the cooldown has passed.
+func (p *peerSet) available(member string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	until, marked := p.down[member]
+	if !marked {
+		return true
+	}
+	if time.Now().After(until) {
+		delete(p.down, member)
+		return true
+	}
+	return false
+}
+
+// markDown records a fill failure: member is skipped until the cooldown
+// elapses.
+func (p *peerSet) markDown(member string) {
+	p.mu.Lock()
+	p.down[member] = time.Now().Add(peerCooldown)
+	p.mu.Unlock()
+}
+
+// fetch relays one raw request body to the owner's internal fill endpoint.
+// On a 200 it returns the owner's encoded response bytes; on any other
+// status it returns (nil, status, nil) — the caller decides whether that is
+// the peer's fault — and errors are reserved for transport and read
+// failures (including an oversized body).
+func (p *peerSet) fetch(ctx context.Context, owner string, body []byte) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/cache/peer", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// drain a bounded slice of the error body so the connection is
+		// reusable; its content does not matter — local compute reproduces
+		// any owner-side verdict
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, resp.StatusCode, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBodyBytes+1))
+	if err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("service: peer %s: %w", owner, err)
+	}
+	if len(data) > maxPeerBodyBytes {
+		return nil, resp.StatusCode, fmt.Errorf("service: peer %s: response exceeds %d bytes", owner, maxPeerBodyBytes)
+	}
+	return data, resp.StatusCode, nil
+}

@@ -1,0 +1,125 @@
+// Package ring maps cache keys to owner replicas with a consistent-hash
+// ring: the placement layer of the scheduling service's distributed
+// encoded-response cache. Every replica builds the ring from the same
+// member list (order-insensitive, duplicate-tolerant) and therefore agrees
+// on which replica owns which canonical key, with no coordination traffic;
+// adding or removing a replica remaps only the keys adjacent to its virtual
+// nodes instead of reshuffling the whole key space.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"slices"
+	"strings"
+)
+
+// ringSchema versions the placement hash; bump on incompatible change so a
+// mixed-version fleet can never half-agree on ownership.
+const ringSchema = "oneport-ring/v1"
+
+// DefaultVirtualNodes is the per-member virtual-node count used when New is
+// given a non-positive count. 64 points per member keeps the ownership split
+// of a small replica set within a few percent of even.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over replica base URLs. It is
+// safe for concurrent use; construct with New.
+type Ring struct {
+	points  []point
+	members []string
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	pos    uint64
+	member int // index into members
+}
+
+// Normalize canonicalizes one member URL the way New does (trailing
+// slashes stripped), so callers can compare their own URL against ring
+// members. Replicas must otherwise spell each URL identically across the
+// fleet — the ring hashes the string, not the resolved address.
+func Normalize(member string) string {
+	return strings.TrimRight(strings.TrimSpace(member), "/")
+}
+
+// New builds a ring over the given members with vnodes virtual nodes each
+// (non-positive: DefaultVirtualNodes). Members are normalized, deduplicated
+// and sorted first, so every replica handed the same set — in any order,
+// with or without itself listed twice — builds the identical ring. Empty
+// member strings are dropped; an empty set yields a ring that owns nothing.
+func New(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	norm := make([]string, 0, len(members))
+	for _, m := range members {
+		if m = Normalize(m); m != "" {
+			norm = append(norm, m)
+		}
+	}
+	slices.Sort(norm)
+	norm = slices.Compact(norm)
+
+	r := &Ring{members: norm, points: make([]point, 0, len(norm)*vnodes)}
+	var buf []byte
+	for i, m := range norm {
+		for v := 0; v < vnodes; v++ {
+			buf = buf[:0]
+			buf = append(buf, ringSchema...)
+			buf = append(buf, 0)
+			buf = append(buf, m...)
+			buf = append(buf, 0)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+			sum := sha256.Sum256(buf)
+			r.points = append(r.points, point{pos: binary.BigEndian.Uint64(sum[:8]), member: i})
+		}
+	}
+	// ties (astronomically unlikely) break by member order so the walk is
+	// still deterministic across replicas
+	slices.SortFunc(r.points, func(a, b point) int {
+		switch {
+		case a.pos != b.pos:
+			if a.pos < b.pos {
+				return -1
+			}
+			return 1
+		default:
+			return a.member - b.member
+		}
+	})
+	return r
+}
+
+// Members returns the normalized, deduplicated member list in ring order.
+// The returned slice is shared; callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Size reports the number of distinct members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Owner returns the member owning the given key sum — the first virtual
+// node at or clockwise-after the key's position, wrapping at the top — or
+// "" for an empty ring. The key is expected to be a content hash (the
+// service passes CanonicalSum); only its first 8 bytes position it.
+func (r *Ring) Owner(sum [sha256.Size]byte) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	pos := binary.BigEndian.Uint64(sum[:8])
+	i, _ := slices.BinarySearchFunc(r.points, pos, func(p point, target uint64) int {
+		switch {
+		case p.pos < target:
+			return -1
+		case p.pos > target:
+			return 1
+		default:
+			return 0
+		}
+	})
+	if i == len(r.points) {
+		i = 0 // wrap: keys past the last point belong to the first
+	}
+	return r.members[r.points[i].member]
+}

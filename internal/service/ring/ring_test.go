@@ -1,0 +1,87 @@
+package ring
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func keyOf(i int) [sha256.Size]byte {
+	return sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+}
+
+// TestDeterministicAcrossSpellings pins the fleet-agreement invariant:
+// every replica builds the identical ring from the member list however it
+// is ordered, duplicated or slash-terminated.
+func TestDeterministicAcrossSpellings(t *testing.T) {
+	a := New([]string{"http://h1:8642", "http://h2:8642", "http://h3:8642"}, 0)
+	b := New([]string{"http://h3:8642/", "http://h1:8642", "http://h2:8642", "http://h1:8642"}, 0)
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes: %d, %d, want 3", a.Size(), b.Size())
+	}
+	for i := 0; i < 1000; i++ {
+		k := keyOf(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: owners disagree: %q vs %q", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestSingleMemberOwnsAll: a one-replica ring degenerates to local-only.
+func TestSingleMemberOwnsAll(t *testing.T) {
+	r := New([]string{"http://only:1"}, 0)
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(keyOf(i)); got != "http://only:1" {
+			t.Fatalf("key %d owned by %q", i, got)
+		}
+	}
+}
+
+// TestEmptyRingOwnsNothing: no members, no owner — callers treat "" as
+// compute-locally.
+func TestEmptyRingOwnsNothing(t *testing.T) {
+	for _, members := range [][]string{nil, {""}, {"  ", "/"}} {
+		if got := New(members, 0).Owner(keyOf(1)); got != "" {
+			t.Fatalf("empty ring %v owned by %q", members, got)
+		}
+	}
+}
+
+// TestCoverageAndBalance: with default virtual nodes every member owns a
+// non-trivial share of the key space (no starved replica).
+func TestCoverageAndBalance(t *testing.T) {
+	members := []string{"http://h1:1", "http://h2:1", "http://h3:1", "http://h4:1"}
+	r := New(members, 0)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(keyOf(i))]++
+	}
+	for _, m := range members {
+		if counts[m] < n/len(members)/4 {
+			t.Fatalf("member %s owns only %d of %d keys: %v", m, counts[m], n, counts)
+		}
+	}
+}
+
+// TestRemovalRemapsOnlyTheLostShare: dropping one member must not move keys
+// between the survivors — the defining consistent-hashing property.
+func TestRemovalRemapsOnlyTheLostShare(t *testing.T) {
+	full := New([]string{"http://h1:1", "http://h2:1", "http://h3:1"}, 0)
+	reduced := New([]string{"http://h1:1", "http://h3:1"}, 0)
+	for i := 0; i < 2000; i++ {
+		k := keyOf(i)
+		was, now := full.Owner(k), reduced.Owner(k)
+		if was != "http://h2:1" && now != was {
+			t.Fatalf("key %d moved %q -> %q though its owner survived", i, was, now)
+		}
+	}
+}
+
+// TestNormalize pins the member canonicalization callers rely on to match
+// their own URL against the ring.
+func TestNormalize(t *testing.T) {
+	if Normalize(" http://h1:8642/ ") != "http://h1:8642" {
+		t.Fatal("Normalize did not strip space and slash")
+	}
+}

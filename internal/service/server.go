@@ -2,7 +2,9 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,6 +22,11 @@ import (
 // server).
 const maxBodyBytes = 64 << 20
 
+// defaultStreamBytes is the default Config.StreamBytes: responses whose
+// estimated encoding exceeds 1 MiB are streamed straight to the wire
+// instead of staged in pooled buffers.
+const defaultStreamBytes = 1 << 20
+
 // Config sizes a Server.
 type Config struct {
 	// PoolSize bounds the number of concurrently executing scheduler runs
@@ -33,7 +40,26 @@ type Config struct {
 	// scheduler (default 1: a loaded server gets its parallelism from
 	// concurrent requests, so single-probe runs avoid oversubscribing the
 	// machine; raise it for latency-sensitive, low-concurrency use).
+	// A request may override it upward only as far as
+	// max(ProbeParallelism, GOMAXPROCS) — see Server.clampProbePar.
 	ProbeParallelism int
+	// StreamBytes is the response-size estimate above which the server
+	// encodes straight to the ResponseWriter instead of buffering the whole
+	// body (and skips the encoded byte index for that entry). 0 uses
+	// defaultStreamBytes; negative disables streaming entirely.
+	StreamBytes int
+
+	// Self is this replica's advertised base URL (e.g. "http://h1:8642")
+	// and Peers the full replica list of the distributed encoded-response
+	// cache. Every replica must be handed the same list (order and
+	// trailing slashes are normalized away; Self may or may not appear in
+	// Peers) so the fleet agrees on key ownership. Empty Self or Peers
+	// means single-replica operation.
+	Self  string
+	Peers []string
+	// PeerClient is the HTTP client used for replica-internal fill
+	// requests (default: a client with a compute-scale timeout).
+	PeerClient *http.Client
 }
 
 // Server executes scheduling requests on a bounded worker pool with pooled
@@ -44,16 +70,28 @@ type Server struct {
 	sem     chan struct{}
 	scratch sync.Map // procs int -> *sync.Pool of *heuristics.Scratch
 	cache   *resultCache
+	flights flightGroup
+	peers   *peerSet // nil: single-replica
 	start   time.Time
 
-	requests  atomic.Int64 // single /schedule jobs accepted
-	batches   atomic.Int64 // /batch payloads accepted
-	batchJobs atomic.Int64 // jobs inside batch payloads
-	hits      atomic.Int64
-	bodyHits  atomic.Int64 // subset of hits served from the raw-body byte index
-	misses    atomic.Int64
-	errors    atomic.Int64
-	inFlight  atomic.Int64 // scheduler runs currently executing
+	requests   atomic.Int64 // single /schedule jobs accepted
+	batches    atomic.Int64 // /batch payloads accepted
+	batchJobs  atomic.Int64 // jobs inside batch payloads
+	hits       atomic.Int64
+	bodyHits   atomic.Int64 // subset of hits served from the raw-body byte index
+	misses     atomic.Int64
+	coalesced  atomic.Int64 // requests that shared an identical in-flight run
+	peerHits   atomic.Int64 // requests answered with bytes fetched from the owner replica
+	peerFills  atomic.Int64 // inbound /cache/peer fill requests accepted
+	peerErrors atomic.Int64 // owner fetches that failed and degraded to local compute
+	errors     atomic.Int64
+	inFlight   atomic.Int64 // scheduler runs currently executing
+
+	// testHook, when non-nil, runs inside compute between the scratch
+	// borrow and the heuristic call. Tests use it to inject panics (the
+	// recovery path cannot be reached through valid inputs) and to gate
+	// compute for coalescing assertions. Never set in production.
+	testHook func(*Request)
 }
 
 // New returns a ready Server.
@@ -67,10 +105,14 @@ func New(cfg Config) *Server {
 	if cfg.ProbeParallelism <= 0 {
 		cfg.ProbeParallelism = 1
 	}
+	if cfg.StreamBytes == 0 {
+		cfg.StreamBytes = defaultStreamBytes
+	}
 	return &Server{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.PoolSize),
 		cache: newResultCache(cfg.CacheSize),
+		peers: newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient),
 		start: time.Now(),
 	}
 }
@@ -91,7 +133,33 @@ func (s *Server) scratchPool(procs int) *sync.Pool {
 	return p.(*sync.Pool)
 }
 
-// Run executes one request: cache lookup, then a pooled scheduler run. It
+// parCap is the server-side ceiling on per-run probe fan-out: the larger of
+// the configured default and GOMAXPROCS. Requests may tune their fan-out,
+// but no single request can demand arbitrary goroutine fan-out on a shared
+// box.
+func (s *Server) parCap() int {
+	if c := runtime.GOMAXPROCS(0); c > s.cfg.ProbeParallelism {
+		return c
+	}
+	return s.cfg.ProbeParallelism
+}
+
+// clampProbePar resolves one run's probe fan-out: the request override when
+// set — clamped to parCap — and the server default otherwise. Negative
+// overrides are rejected earlier, in Request.normalize.
+func (s *Server) clampProbePar(reqPar int) int {
+	par := s.cfg.ProbeParallelism
+	if reqPar > 0 {
+		par = reqPar
+	}
+	if cap := s.parCap(); par > cap {
+		par = cap
+	}
+	return par
+}
+
+// Run executes one request: cache lookup, then a pooled scheduler run under
+// singleflight (concurrent identical cold requests share one run). It
 // never panics on malformed input; failures come back in Response.Error.
 // The returned Response is self-contained (its schedule is never mutated
 // later), so callers may hold or serialize it freely.
@@ -106,8 +174,64 @@ func (s *Server) Run(req *Request) Response {
 		s.hits.Add(1)
 		return resp
 	}
-	s.misses.Add(1)
+	return s.runFlight(req, key, model)
+}
 
+// runFlight executes the scheduler for a normalized request under
+// singleflight: among concurrent identical cold requests — local clients,
+// batch jobs or peer-forwarded fills — exactly one runs the scheduler, the
+// rest wait and share its response (counted in coalesced). The leader
+// re-checks the cache because a flight that completed between a caller's
+// miss and its leadership has already populated the entry.
+func (s *Server) runFlight(req *Request, key string, model sched.Model) Response {
+	resp, _ := s.flights.do(key,
+		func() { s.coalesced.Add(1) },
+		func() (Response, []byte) {
+			if resp, ok := s.cache.get(key); ok {
+				s.hits.Add(1)
+				return resp, nil
+			}
+			s.misses.Add(1)
+			return s.compute(req, key, model), nil
+		})
+	return resp
+}
+
+// serveFlight is the HTTP path's runFlight: the leader additionally tries a
+// peer fill before computing, so N concurrent identical cold requests on a
+// non-owner replica cost ONE owner fetch shared by all waiters — never N
+// full-body transfers — and the owner's own singleflight bounds the fleet
+// to one scheduler run. When the leader filled from a peer, the returned
+// enc carries the owner's bytes for followers to relay verbatim.
+func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha256.Size]byte, key string, model sched.Model, fromPeer bool, raw []byte) (Response, []byte) {
+	return s.flights.do(key,
+		func() { s.coalesced.Add(1) },
+		func() (Response, []byte) {
+			if resp, ok := s.cache.get(key); ok {
+				s.hits.Add(1)
+				return resp, nil
+			}
+			if !fromPeer && s.peers != nil {
+				if resp, enc, ok := s.peerFill(ctx, sum, body, key, raw); ok {
+					return resp, enc
+				}
+			}
+			s.misses.Add(1)
+			return s.compute(req, key, model), nil
+		})
+}
+
+// compute runs the scheduler for one request. It is panic-hardened: a
+// panicking heuristic — on this goroutine or re-raised from a shared probe
+// worker (heuristics' pool faults surface after the fan-out barrier) —
+// becomes a serverFault response (HTTP 500) instead of escaping the "never
+// panics" contract. The pooled Scratch goes back via defer on every normal
+// path; on a panic it is deliberately dropped, not re-pooled: the
+// heuristic's own reclaim defer runs during unwinding and may have
+// restocked it with the dead run's buffers, which a mid-fan-out panic can
+// leave referenced by in-flight probe workers — dropping the one Scratch
+// is the alias-free option, and the pool regrows a fresh one on demand.
+func (s *Server) compute(req *Request, key string, model sched.Model) (resp Response) {
 	s.sem <- struct{}{}
 	s.inFlight.Add(1)
 	defer func() {
@@ -115,24 +239,30 @@ func (s *Server) Run(req *Request) Response {
 		<-s.sem
 	}()
 
-	par := s.cfg.ProbeParallelism
-	if req.Options.ProbeParallelism > 0 {
-		par = req.Options.ProbeParallelism
-	}
 	pool := s.scratchPool(req.Platform.NumProcs())
 	sc := pool.Get().(*heuristics.Scratch)
-	tune := &heuristics.Tuning{ProbeParallelism: par, Scratch: sc}
+	defer func() {
+		if r := recover(); r != nil {
+			s.errors.Add(1)
+			resp = Response{Key: key, Error: fmt.Sprintf("service: internal fault: %v", r), serverFault: true}
+			return // sc dropped, not pooled — see the function comment
+		}
+		pool.Put(sc)
+	}()
+
+	tune := &heuristics.Tuning{ProbeParallelism: s.clampProbePar(req.Options.ProbeParallelism), Scratch: sc}
 	fn, err := heuristics.ByNameTuned(req.Heuristic,
 		heuristics.ILHAOptions{B: req.Options.B, ScanDepth: req.Options.ScanDepth}, tune)
 	if err != nil {
-		pool.Put(sc)
 		s.errors.Add(1)
 		return Response{Key: key, Error: err.Error()}
+	}
+	if s.testHook != nil {
+		s.testHook(req)
 	}
 	began := time.Now()
 	schedule, err := fn(req.Graph, req.Platform, model)
 	elapsed := time.Since(began)
-	pool.Put(sc)
 	if err != nil {
 		s.errors.Add(1)
 		return Response{Key: key, Error: err.Error()}
@@ -148,7 +278,7 @@ func (s *Server) Run(req *Request) Response {
 	if ms := schedule.Makespan(); ms > 0 {
 		speedup = req.Platform.SequentialTime(req.Graph.TotalWeight()) / ms
 	}
-	resp := Response{
+	out := Response{
 		Key:       key,
 		Heuristic: req.Heuristic,
 		Model:     req.Model,
@@ -159,13 +289,15 @@ func (s *Server) Run(req *Request) Response {
 		ElapsedNs: elapsed.Nanoseconds(),
 		Schedule:  schedule,
 	}
-	s.cache.add(key, &resp)
-	return resp
+	s.cache.add(key, &out)
+	return out
 }
 
 // RunBatch executes a batch's jobs concurrently on the worker pool and
 // returns responses in input order. Per-job failures are reported in the
-// matching Response.Error; one bad job never fails its neighbours.
+// matching Response.Error; one bad job never fails its neighbours. Batch
+// jobs always compute locally (no peer forwarding), but identical jobs
+// still coalesce through the singleflight.
 func (s *Server) RunBatch(b *Batch) BatchResponse {
 	out := BatchResponse{Responses: make([]Response, len(b.Requests))}
 	workers := s.cfg.PoolSize
@@ -193,27 +325,45 @@ func (s *Server) RunBatch(b *Batch) BatchResponse {
 
 // Handler returns the server's HTTP surface:
 //
-//	POST /schedule  one Request  -> one Response
-//	POST /batch     {"requests":[...]} -> {"responses":[...]}
-//	GET  /healthz   liveness
-//	GET  /stats     counters (requests, cache hits/misses, in-flight, ...)
+//	POST /schedule    one Request  -> one Response
+//	POST /batch       {"requests":[...]} -> {"responses":[...]}
+//	POST /cache/peer  replica-internal distributed-cache fill
+//	GET  /healthz     liveness
+//	GET  /stats       counters (requests, cache hits/misses, in-flight, ...)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /cache/peer", s.handleCachePeer)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
-// handleSchedule is the serving hot path. The fast path never touches JSON:
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.serveSchedule(w, r, false)
+}
+
+// handleCachePeer is the owner-side half of the distributed cache: another
+// replica relays a raw request body here when this replica owns its
+// canonical key on the ring. It behaves exactly like /schedule — byte-index
+// fast path, compute-and-cache on miss, identical response bytes — except
+// that it never forwards again (a misconfigured fleet cannot loop) and the
+// request counts as a peer fill, not client traffic.
+func (s *Server) handleCachePeer(w http.ResponseWriter, r *http.Request) {
+	s.serveSchedule(w, r, true)
+}
+
+// serveSchedule is the serving hot path. The fast path never touches JSON:
 // the raw body bytes are hashed and looked up in the cache's byte index, so
 // a repeated request costs one pooled body read, one SHA-256 and one Write
 // of the pre-encoded response. Only requests that miss the byte index are
-// decoded; after a successful run (or a canonical-index hit under a new
-// byte spelling) the encoded response is attached to the cache and the body
-// hash registered, so the next repeat stays on the fast path.
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+// decoded; a cold key owned by another replica is filled from the owner
+// before this replica computes (peerFill), and after a successful run (or a
+// canonical-index hit under a new byte spelling) the encoded response is
+// attached to the cache and the body hash registered, so the next repeat
+// stays on the fast path.
+func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer bool) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)
@@ -222,9 +372,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
 		return
 	}
+	accepted := func() {
+		if fromPeer {
+			s.peerFills.Add(1)
+		} else {
+			s.requests.Add(1)
+		}
+	}
 	body := sha256.Sum256(buf.Bytes())
 	if enc, ok := s.cache.getByBody(body); ok {
-		s.requests.Add(1)
+		accepted()
 		s.hits.Add(1)
 		s.bodyHits.Add(1)
 		writeRaw(w, http.StatusOK, enc)
@@ -239,8 +396,27 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
 		return
 	}
-	s.requests.Add(1)
-	resp := s.Run(&req)
+	accepted()
+	model, err := req.normalize()
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	sum := CanonicalSum(&req)
+	key := hex.EncodeToString(sum[:])
+
+	// everything below the byte index runs under singleflight: a canonical
+	// hit under a new byte spelling, a peer fill for a key another replica
+	// owns, or a local compute — whichever the leader resolves, concurrent
+	// identical requests share it
+	resp, enc := s.serveFlight(r.Context(), &req, sum, body, key, model, fromPeer, buf.Bytes())
+	if enc != nil {
+		// peer-filled: relay the owner's bytes verbatim (the leader already
+		// adopted them into the local cache and byte index)
+		writeRaw(w, http.StatusOK, enc)
+		return
+	}
 	status := http.StatusOK
 	switch {
 	case resp.serverFault:
@@ -248,19 +424,72 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	case resp.Error != "":
 		status = http.StatusBadRequest
 	}
-	writeJSON(w, status, resp)
-	if resp.Error == "" {
+	s.writeResponse(w, status, &resp)
+	if resp.Error == "" && !s.shouldStream(&resp) {
 		// index this byte spelling; the encode closure only runs if the
 		// entry has no encoded bytes yet (once per cache entry lifetime)
-		s.cache.attachEncoded(resp.Key, body, func() []byte {
-			enc := resp
-			enc.Cached = true
-			b, err := json.Marshal(enc)
-			if err != nil {
-				return nil
-			}
-			return append(b, '\n')
-		})
+		s.cache.attachEncoded(resp.Key, body, encodeHit(resp))
+	}
+}
+
+// peerFill is the requester side of the distributed cache: on a local miss
+// for a key the ring assigns to another replica, relay the raw body to the
+// owner's /cache/peer endpoint and serve its bytes verbatim — the owner
+// computes at most once fleet-wide (its own singleflight coalesces
+// concurrent fills) and the response is byte-identical to a single-replica
+// answer. The fetched result is adopted into the local cache, so repeats on
+// this replica become local byte-index hits. Health attribution: only
+// transport failures not caused by our client hanging up (ctx intact) and
+// owner 5xx mark the owner down for peerCooldown; an owner 4xx is the
+// request's fault and simply falls through to local compute, which
+// reproduces the same verdict without poisoning peer health.
+func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key string, raw []byte) (Response, []byte, bool) {
+	owner, isSelf := s.peers.owner(sum)
+	if isSelf || !s.peers.available(owner) {
+		return Response{}, nil, false
+	}
+	enc, status, err := s.peers.fetch(ctx, owner, raw)
+	var resp Response
+	switch {
+	case err != nil:
+		s.peerErrors.Add(1)
+		if ctx.Err() == nil {
+			s.peers.markDown(owner)
+		}
+		return Response{}, nil, false
+	case status != http.StatusOK:
+		if status >= 500 {
+			s.peerErrors.Add(1)
+			s.peers.markDown(owner)
+		}
+		return Response{}, nil, false
+	case json.Unmarshal(enc, &resp) != nil || resp.Error != "":
+		// a 200 that does not decode to a clean response is an owner fault
+		s.peerErrors.Add(1)
+		s.peers.markDown(owner)
+		return Response{}, nil, false
+	}
+	s.peerHits.Add(1)
+	stored := resp
+	stored.Cached = false // stored form; get and encodeHit re-mark hits
+	s.cache.add(key, &stored)
+	if !s.shouldStream(&stored) {
+		s.cache.attachEncoded(key, body, encodeHit(stored))
+	}
+	return resp, enc, true
+}
+
+// encodeHit builds the attachEncoded closure for a response: its cache-hit
+// form (Cached:true, trailing newline) encoded once per entry lifetime.
+// resp is captured by value, so the caller's copy is never mutated.
+func encodeHit(resp Response) func() []byte {
+	return func() []byte {
+		resp.Cached = true
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return nil
+		}
+		return append(b, '\n')
 	}
 }
 
@@ -278,7 +507,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batches.Add(1)
 	s.batchJobs.Add(int64(len(b.Requests)))
-	writeJSON(w, http.StatusOK, s.RunBatch(&b))
+	out := s.RunBatch(&b)
+	if s.cfg.StreamBytes > 0 {
+		est := 0
+		for i := range out.Responses {
+			est += out.Responses[i].estimateBytes()
+		}
+		if est > s.cfg.StreamBytes {
+			streamJSON(w, http.StatusOK, &out)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, &out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -300,14 +540,31 @@ type Stats struct {
 	// raw-body byte index (hash + Write, no JSON work at all).
 	CacheBodyHits int64 `json:"cache_body_hits"`
 	CacheMisses   int64 `json:"cache_misses"`
-	CacheLen      int   `json:"cache_len"`
-	CacheSize     int   `json:"cache_size"`
-	Errors        int64 `json:"errors"`
-	InFlight      int64 `json:"in_flight"`
+	// Coalesced counts requests that shared an identical in-flight
+	// scheduler run instead of starting their own (singleflight); for N
+	// concurrent identical cold requests it advances by N-1.
+	Coalesced int64 `json:"coalesced"`
+	CacheLen  int   `json:"cache_len"`
+	CacheSize int   `json:"cache_size"`
+	// Peers is the distinct replica count of the cache ring (0 when
+	// running single-replica). PeerHits counts requests answered with
+	// bytes fetched from the key's owner replica, PeerFills inbound fill
+	// requests served for other replicas, and PeerErrors owner fetches
+	// that failed and degraded to local compute.
+	Peers      int   `json:"peers"`
+	PeerHits   int64 `json:"peer_hits"`
+	PeerFills  int64 `json:"peer_fills"`
+	PeerErrors int64 `json:"peer_errors"`
+	Errors     int64 `json:"errors"`
+	InFlight   int64 `json:"in_flight"`
 }
 
 // StatsSnapshot returns the current counters.
 func (s *Server) StatsSnapshot() Stats {
+	peers := 0
+	if s.peers != nil {
+		peers = s.peers.ring.Size()
+	}
 	return Stats{
 		UptimeS:       time.Since(s.start).Seconds(),
 		PoolSize:      s.cfg.PoolSize,
@@ -317,8 +574,13 @@ func (s *Server) StatsSnapshot() Stats {
 		CacheHits:     s.hits.Load(),
 		CacheBodyHits: s.bodyHits.Load(),
 		CacheMisses:   s.misses.Load(),
+		Coalesced:     s.coalesced.Load(),
 		CacheLen:      s.cache.len(),
 		CacheSize:     s.cfg.CacheSize,
+		Peers:         peers,
+		PeerHits:      s.peerHits.Load(),
+		PeerFills:     s.peerFills.Load(),
+		PeerErrors:    s.peerErrors.Load(),
 		Errors:        s.errors.Load(),
 		InFlight:      s.inFlight.Load(),
 	}
@@ -338,6 +600,35 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
+// estimateBytes conservatively estimates the encoded JSON size of a
+// response from its event counts (a task event is ~70 bytes; a comm event
+// carries a hop array), so the serving path can decide to stream without
+// encoding first.
+func (r *Response) estimateBytes() int {
+	return 512 + 96*r.Tasks + 160*r.Comms
+}
+
+// shouldStream reports whether a response's estimated encoding is above the
+// configured streaming threshold.
+func (s *Server) shouldStream(resp *Response) bool {
+	return s.cfg.StreamBytes > 0 && resp.estimateBytes() > s.cfg.StreamBytes
+}
+
+// writeResponse writes one Response, streaming the encode straight to the
+// ResponseWriter when its estimated size exceeds Config.StreamBytes instead
+// of staging the whole body in a pooled buffer. Streamed responses trade
+// the encode-failure-to-500 conversion (headers are already out by then)
+// for bounded memory on schedules whose JSON runs to many megabytes; such
+// responses are also never attached to the encoded byte index, so the cache
+// holds only their decoded form and repeats re-stream from it.
+func (s *Server) writeResponse(w http.ResponseWriter, status int, resp *Response) {
+	if !s.shouldStream(resp) {
+		writeJSON(w, status, resp)
+		return
+	}
+	streamJSON(w, status, resp)
+}
+
 // bufPool recycles the request-body and response-encode buffers of the
 // serving path, so steady-state requests reuse grown buffers instead of
 // reallocating them per request.
@@ -355,6 +646,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		return
 	}
 	writeRaw(w, status, buf.Bytes())
+}
+
+// streamJSON encodes directly to the wire: no staging buffer, no
+// whole-body copy in memory.
+func streamJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // writeRaw writes pre-encoded JSON bytes.

@@ -36,9 +36,11 @@ type Options struct {
 	// ScanDepth is ILHA's Step-1 scan depth.
 	ScanDepth int `json:"scan_depth,omitempty"`
 	// ProbeParallelism overrides the server's per-run probe fan-out for
-	// this request (0 keeps the server default). It never changes the
-	// resulting schedule — parallel probing is deterministic — so it is
-	// deliberately NOT part of the cache key.
+	// this request (0 keeps the server default; negative is rejected). The
+	// server clamps it to max(its configured default, GOMAXPROCS), so one
+	// request cannot demand arbitrary fan-out on a shared box. It never
+	// changes the resulting schedule — parallel probing is deterministic —
+	// so it is deliberately NOT part of the cache key.
 	ProbeParallelism int `json:"probe_parallelism,omitempty"`
 }
 
@@ -85,6 +87,9 @@ func (r *Request) normalize() (sched.Model, error) {
 	}
 	if r.Options.ScanDepth < 0 {
 		return 0, fmt.Errorf("service: scan_depth = %d must be non-negative", r.Options.ScanDepth)
+	}
+	if r.Options.ProbeParallelism < 0 {
+		return 0, fmt.Errorf("service: probe_parallelism = %d must be non-negative", r.Options.ProbeParallelism)
 	}
 	return model, nil
 }

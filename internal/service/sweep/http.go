@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,8 +14,14 @@ import (
 	"oneport/internal/platform"
 )
 
-// maxShardBytes bounds worker-side shard payloads.
-const maxShardBytes = 16 << 20
+// maxShardBytes bounds worker-side shard payloads; maxShardRespBytes and
+// maxShardErrorBytes bound how much of a worker's response the coordinator
+// will read — it trusts workers for content, not for size.
+const (
+	maxShardBytes      = 16 << 20
+	maxShardRespBytes  = 256 << 20
+	maxShardErrorBytes = 1 << 20
+)
 
 // Handler returns the worker-side HTTP surface of the sweep protocol:
 //
@@ -238,14 +245,14 @@ func (c *Coordinator) postShard(ctx context.Context, worker string, sh *Shard) (
 		var e struct {
 			Error string `json:"error"`
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
+		_ = json.NewDecoder(io.LimitReader(resp.Body, maxShardErrorBytes)).Decode(&e)
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
 		return nil, fmt.Errorf("sweep: worker %s: %s", worker, e.Error)
 	}
 	var out ShardResult
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxShardRespBytes)).Decode(&out); err != nil {
 		return nil, fmt.Errorf("sweep: worker %s: bad response: %w", worker, err)
 	}
 	if len(out.Results) != len(sh.Jobs) {
