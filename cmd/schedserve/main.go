@@ -20,6 +20,14 @@
 //	schedserve -addr :8642 -self http://h1:8642 -peers http://h1:8642,http://h2:8642
 //	schedserve -addr :8642 -self http://h2:8642 -peers http://h1:8642,http://h2:8642
 //
+// -admin-token enables the ring admin endpoints (GET/POST /ring, bearer
+// auth), through which an operator pushes new membership epochs to a live
+// fleet — replicas can join or leave without a restart, and relays routed
+// under an older epoch are rejected rather than mis-served. -timeout caps
+// each compute; runs that exceed it answer 503 with Retry-After. A -worker
+// replica that is also a ring member fills cold sweep jobs from the job
+// key's owning worker through the same ring and circuit breakers.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight runs for up to -drain before exiting.
 //
@@ -57,6 +65,7 @@ import (
 	"oneport/internal/exp"
 	"oneport/internal/platform"
 	"oneport/internal/service"
+	"oneport/internal/service/breaker"
 	"oneport/internal/service/sweep"
 	"oneport/internal/testbeds"
 )
@@ -70,6 +79,8 @@ func main() {
 		worker   = flag.Bool("worker", false, "also serve the sweep worker endpoint /sweep/run")
 		peers    = flag.String("peers", "", "comma list of ALL replica base URLs forming the distributed cache ring (same list on every replica)")
 		self     = flag.String("self", "", "this replica's base URL within -peers")
+		admin    = flag.String("admin-token", "", "bearer token for the ring admin endpoints GET/POST /ring (empty disables them)")
+		timeout  = flag.Duration("timeout", 0, "per-request compute deadline; exceeded runs answer 503 (0 disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "in-flight drain timeout on SIGINT/SIGTERM")
 
 		sweepFig  = flag.String("sweep", "", "coordinator mode: shard this figure (fig7..fig12) across -shards")
@@ -94,7 +105,7 @@ func main() {
 	case *bsweepTb != "":
 		err = coordinateBSweep(*bsweepTb, *size, *bsSpec, *scanDepth, *modelName, *shards)
 	default:
-		err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *drain)
+		err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedserve:", err)
@@ -102,7 +113,7 @@ func main() {
 	}
 }
 
-func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers string, drain time.Duration) error {
+func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration) error {
 	var peerList []string
 	if peers != "" {
 		if self == "" {
@@ -116,11 +127,23 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers st
 	srv := service.New(service.Config{
 		PoolSize: pool, CacheSize: cacheSz, ProbeParallelism: probePar,
 		Self: self, Peers: peerList,
+		AdminToken: adminToken, RequestTimeout: timeout,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	role := "scheduler"
 	if worker {
+		if self != "" {
+			// share the service's live ring and breakers with the sweep
+			// worker, so cold jobs fill from their owning worker and both
+			// paths agree on peer health and membership epoch
+			sweep.EnableFleet(&sweep.Fleet{
+				Self:     self,
+				Owner:    srv.RingOwner,
+				Epoch:    srv.RingEpoch,
+				Breakers: srv.PeerBreakers(),
+			})
+		}
 		mux.Handle("/sweep/", sweep.Handler())
 		role = "scheduler+sweep-worker"
 	}
@@ -204,7 +227,7 @@ func coordinateFigure(figID, sizesSpec, modelName, shards string) error {
 		}
 	}
 
-	co := &sweep.Coordinator{Workers: workers}
+	co := &sweep.Coordinator{Workers: workers, Breakers: breaker.NewSet(breaker.Config{})}
 	jobs := sweep.FigureJobs(fig, modelName, sizes)
 	start := time.Now()
 	results, err := co.Run(context.Background(), nil, jobs)
@@ -215,9 +238,9 @@ func coordinateFigure(figID, sizesSpec, modelName, shards string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sharded across %d workers in %v (%d chunks, %d requeued, %d worker cache hits)\n",
+	fmt.Printf("sharded across %d workers in %v (%d chunks, %d requeued, %d worker cache hits, %d ring fills)\n",
 		len(workers), time.Since(start).Round(time.Millisecond),
-		co.Stats.Chunks, co.Stats.Requeues, co.Stats.CacheHits)
+		co.Stats.Chunks, co.Stats.Requeues, co.Stats.CacheHits, co.Stats.RingFills)
 	fmt.Print(series.Table())
 	return nil
 }
@@ -243,7 +266,7 @@ func coordinateBSweep(testbed string, size int, bsSpec string, scanDepth int, mo
 		return err
 	}
 
-	co := &sweep.Coordinator{Workers: workers}
+	co := &sweep.Coordinator{Workers: workers, Breakers: breaker.NewSet(breaker.Config{})}
 	jobs := sweep.BSweepJobs(testbed, size, modelName, scanDepth, bs)
 	results, err := co.Run(context.Background(), nil, jobs)
 	if err != nil {

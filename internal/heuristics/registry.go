@@ -26,7 +26,21 @@ func ByName(name string, opts ILHAOptions) (Func, error) {
 // Tuning applies to the returned Func when the Tuning carries a Scratch.
 func ByNameTuned(name string, opts ILHAOptions, tune *Tuning) (Func, error) {
 	run := func(f func(*graph.Graph, *platform.Platform, sched.Model, *Tuning) (*sched.Schedule, error)) Func {
-		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (*sched.Schedule, error) {
+		return func(g *graph.Graph, pl *platform.Platform, m sched.Model) (sch *sched.Schedule, err error) {
+			// ByNameTuned is the boundary where a Tuning.Ctx expiry —
+			// raised as a runCanceled panic at the commit cancellation
+			// point — becomes an ordinary ErrCanceled error. Any other
+			// panic keeps propagating: the service's compute recovery owns
+			// those.
+			defer func() {
+				if r := recover(); r != nil {
+					rc, ok := r.(runCanceled)
+					if !ok {
+						panic(r)
+					}
+					sch, err = nil, fmt.Errorf("%w: %v", ErrCanceled, rc.err)
+				}
+			}()
 			return f(g, pl, m, tune)
 		}
 	}

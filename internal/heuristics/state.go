@@ -12,6 +12,7 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,6 +36,7 @@ type state struct {
 	pl     *platform.Platform
 	model  sched.Model
 	routes *platform.Routes // non-nil only for sparse platforms
+	ctx    context.Context  // run deadline/cancellation; nil: never canceled
 
 	// appendOnly disables insertion: tasks are placed after the last busy
 	// interval of the processor instead of in the earliest adequate gap.
@@ -233,6 +235,7 @@ func newState(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tu
 		g:       g,
 		pl:      pl,
 		model:   model,
+		ctx:     tune.runCtx(),
 		compute: make([]*sched.Intervals, pl.NumProcs()),
 		send:    make([]*sched.Intervals, pl.NumProcs()),
 		recv:    make([]*sched.Intervals, pl.NumProcs()),
@@ -271,6 +274,7 @@ func (s *state) clone() *state {
 		pl:         s.pl,
 		model:      s.model,
 		routes:     s.routes,
+		ctx:        s.ctx,
 		appendOnly: s.appendOnly,
 		par:        s.par,
 		compute:    make([]*sched.Intervals, n),
@@ -496,7 +500,20 @@ func (s *state) stash(pl placement) placement {
 // timelines, the task occupies its compute window, and the schedule records
 // both. The schedule takes ownership of a fresh copy of each event's hops
 // (the placement's hop storage is probe scratch that will be recycled).
+//
+// commit is also the run's cancellation point: it executes once per task
+// placement (per branch expansion in the exhaustive search), always on the
+// dispatching goroutine between probe fan-out barriers — so when the run's
+// Tuning.Ctx has expired, aborting here is quiescent: no pool worker still
+// touches this state's buffers, and unwinding (including Tuning.reclaim)
+// is safe. The abort travels as a runCanceled panic recovered at the
+// ByNameTuned boundary into an ErrCanceled error.
 func (s *state) commit(v int, pl placement) {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			panic(runCanceled{err})
+		}
+	}
 	for _, c := range pl.comms {
 		for _, h := range c.Hops {
 			switch s.model {

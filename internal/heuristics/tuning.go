@@ -1,9 +1,22 @@
 package heuristics
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 )
+
+// ErrCanceled marks a run aborted because its Tuning.Ctx expired (deadline
+// exceeded or canceled). Callers detect it with errors.Is; the wrapped
+// error carries the context's own verdict.
+var ErrCanceled = errors.New("heuristics: run canceled")
+
+// runCanceled carries a context expiry from state.commit — the per-task
+// cancellation point — up to the ByNameTuned boundary, where it is
+// recovered into an ErrCanceled error. It is a distinct type so genuine
+// probe-code panics are never mistaken for cancellations.
+type runCanceled struct{ err error }
 
 // defaultProbePar is the probe parallelism of the process-wide default
 // Tuning: the fan-out used by runs that neither carry their own Tuning nor
@@ -58,6 +71,15 @@ type Tuning struct {
 	// many graphs on the same platform stays near-zero-alloc in steady
 	// state instead of re-growing probe scratch per request.
 	Scratch *Scratch
+
+	// Ctx, when non-nil, bounds the run: its expiry (deadline or cancel)
+	// aborts the run at the next task commit — once per placement, on the
+	// dispatching goroutine between probe fan-out barriers, so the abort
+	// is quiescent and the Scratch is reclaimed normally. Funcs obtained
+	// through ByName/ByNameTuned then return an error satisfying
+	// errors.Is(err, ErrCanceled). The check is one atomic load per
+	// commit; nil keeps runs unbounded (the historical behaviour).
+	Ctx context.Context
 }
 
 // Scratch owns the probe scratch memory (per-worker probe buffers, the
@@ -119,6 +141,14 @@ func (t *Tuning) reclaim(s *state) {
 	if sc.frontier != nil {
 		sc.frontier.s = nil
 	}
+}
+
+// runCtx returns the run's cancellation context, nil-safe.
+func (t *Tuning) runCtx() context.Context {
+	if t == nil {
+		return nil
+	}
+	return t.Ctx
 }
 
 // par returns the run's probe parallelism: the Tuning's setting when

@@ -1,0 +1,185 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+// fixed config with deterministic (jitter-free) windows for the state
+// machine tests.
+func detCfg() Config {
+	return Config{Threshold: 1, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+}
+
+// TestBreakerOpensOnFailure: a closed breaker denies requests for the
+// backoff window after Threshold consecutive failures.
+func TestBreakerOpensOnFailure(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := New(detCfg())
+	if !b.Allow(t0) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	b.Failure(t0)
+	if b.CurrentState(t0) != Open {
+		t.Fatalf("state after failure = %v, want open", b.CurrentState(t0))
+	}
+	if b.Allow(t0.Add(50 * time.Millisecond)) {
+		t.Fatal("open breaker allowed a request inside the window")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: once the window elapses exactly one
+// caller gets the probe slot; everyone else keeps being denied until the
+// probe settles.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := New(detCfg())
+	b.Failure(t0)
+	after := t0.Add(101 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatal("elapsed window must admit the probe")
+	}
+	if b.CurrentState(after) != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.CurrentState(after))
+	}
+	if b.Allow(after) {
+		t.Fatal("second caller stole the half-open probe slot")
+	}
+	b.Success()
+	if b.CurrentState(after) != Closed || !b.Allow(after) {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+// TestBreakerProbeFailureBacksOffExponentially: a failed probe re-opens
+// with a doubled window, capped at MaxDelay.
+func TestBreakerProbeFailureBacksOffExponentially(t *testing.T) {
+	b := New(detCfg())
+	now := time.Unix(1000, 0)
+	b.Failure(now) // fails=1: open, window 100ms
+	for i, want := range []time.Duration{100, 200, 400, 800, 1000, 1000} {
+		want *= time.Millisecond
+		if b.Allow(now.Add(want - time.Millisecond)) {
+			t.Fatalf("round %d: window shorter than %v", i, want)
+		}
+		now = now.Add(want + time.Millisecond)
+		if !b.Allow(now) {
+			t.Fatalf("round %d: window longer than %v", i, want)
+		}
+		b.Failure(now) // the probe fails: the next window doubles
+	}
+}
+
+// TestBreakerThreshold: with Threshold 3 the breaker tolerates two
+// consecutive failures and opens on the third; an interleaved success
+// resets the count.
+func TestBreakerThreshold(t *testing.T) {
+	cfg := detCfg()
+	cfg.Threshold = 3
+	t0 := time.Unix(1000, 0)
+	b := New(cfg)
+	b.Failure(t0)
+	b.Failure(t0)
+	if !b.Allow(t0) {
+		t.Fatal("breaker opened below its threshold")
+	}
+	b.Success()
+	b.Failure(t0)
+	b.Failure(t0)
+	if !b.Allow(t0) {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+	b.Failure(t0)
+	if b.Allow(t0) {
+		t.Fatal("threshold-th consecutive failure did not open the breaker")
+	}
+}
+
+// TestBreakerJitterBounds: jittered windows stay within
+// delay * [1-j/2, 1+j/2).
+func TestBreakerJitterBounds(t *testing.T) {
+	cfg := Config{Threshold: 1, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for i := 0; i < 64; i++ {
+		b := New(cfg)
+		b.fails = 1
+		d := b.backoff()
+		lo, hi := 75*time.Millisecond, 125*time.Millisecond
+		if d < lo || d >= hi {
+			t.Fatalf("jittered window %v outside [%v, %v)", d, lo, hi)
+		}
+	}
+}
+
+// TestSetCounters: the set tracks opens, currently-open breakers and
+// fast-failed trips across peers.
+func TestSetCounters(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	s := NewSet(detCfg())
+	if !s.Allow("a", t0) || !s.Allow("b", t0) {
+		t.Fatal("fresh peers must be allowed")
+	}
+	s.Failure("a", t0)
+	s.Success("b")
+	if s.Allow("a", t0) {
+		t.Fatal("peer a must be open")
+	}
+	st := s.Stats(t0)
+	if st.Open != 1 || st.Opens != 1 || st.Trips != 1 {
+		t.Fatalf("counters = %+v, want open=1 opens=1 trips=1", st)
+	}
+	// recovery closes it again
+	later := t0.Add(time.Minute)
+	if !s.Allow("a", later) {
+		t.Fatal("probe denied after the window")
+	}
+	s.Success("a")
+	if st := s.Stats(later); st.Open != 0 {
+		t.Fatalf("recovered peer still counted open: %+v", st)
+	}
+}
+
+// TestBreakerCancelReleasesProbe: Cancel settles an in-flight probe with
+// no verdict — the slot frees immediately for the next caller, the
+// failure streak is untouched, and the backoff window does not move.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := New(detCfg())
+	b.Allow(t0)
+	b.Failure(t0) // open, window [t0, t0+100ms)
+
+	probeAt := t0.Add(150 * time.Millisecond)
+	if !b.Allow(probeAt) {
+		t.Fatal("probe denied after the window")
+	}
+	if b.Allow(probeAt) {
+		t.Fatal("second probe granted while the first is in flight")
+	}
+	b.Cancel() // e.g. our client hung up: no verdict
+	if b.CurrentState(probeAt) != HalfOpen {
+		t.Fatalf("state after cancel = %v, want half-open", b.CurrentState(probeAt))
+	}
+	if !b.Allow(probeAt) {
+		t.Fatal("probe slot not released by Cancel")
+	}
+	b.Failure(probeAt) // the real verdict doubles the window as usual
+	if b.Allow(probeAt.Add(150 * time.Millisecond)) {
+		t.Fatal("allowed inside the doubled window: Cancel must not reset backoff")
+	}
+	if !b.Allow(probeAt.Add(250 * time.Millisecond)) {
+		t.Fatal("denied after the doubled window")
+	}
+}
+
+// TestBreakerCancelWhenClosed: Cancel on a closed breaker is a no-op.
+func TestBreakerCancelWhenClosed(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := New(detCfg())
+	b.Allow(t0)
+	b.Cancel()
+	if b.CurrentState(t0) != Closed {
+		t.Fatalf("state after cancel = %v, want closed", b.CurrentState(t0))
+	}
+	if !b.Allow(t0) {
+		t.Fatal("closed breaker denied after Cancel")
+	}
+}

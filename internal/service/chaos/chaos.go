@@ -1,0 +1,236 @@
+// Package chaos is the fault-injection harness for the service's peer
+// paths. An Injector holds a queue of Faults; wrapping a peer client's
+// RoundTripper (Transport) or a replica's handler (Middleware) makes each
+// intercepted request consume the next fault — a hang, a status burst, a
+// torn body, slow-loris headers, or an arbitrary test hook (used to swap
+// ring membership mid-request) — while an empty queue passes traffic
+// through untouched.
+//
+// The package is imported only from _test files, so production binaries
+// never link it: the serving path carries zero chaos cost. Faults are
+// consumed in FIFO order, which keeps multi-step scenarios ("one 500,
+// then recover") deterministic under -race.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what a Fault does to its request.
+type Mode int
+
+const (
+	// Pass lets the request through untouched (useful to skip over
+	// requests in a scripted sequence).
+	Pass Mode = iota
+	// Timeout hangs the request until its context expires (client side)
+	// or the client gives up (server side): a black-holed peer.
+	Timeout
+	// Status answers with Fault.Status and an empty body without doing
+	// any real work: a 5xx burst or a misbehaving proxy.
+	Status
+	// TornBody delivers the real response but cuts the body off after
+	// Fault.Truncate bytes: a connection dying mid-transfer.
+	TornBody
+	// SlowHeaders stalls for Fault.Delay before letting the real request
+	// proceed: a slow-loris peer that accepts but barely answers.
+	SlowHeaders
+	// Hook runs Fault.Do before letting the request through: the
+	// injection point for mid-request state changes (e.g. a ring swap
+	// between a relay's dispatch and its arrival).
+	Hook
+)
+
+// Fault is one scripted failure.
+type Fault struct {
+	Mode     Mode
+	Status   int           // Status mode: the synthesized status code
+	Truncate int64         // TornBody: bytes delivered before the cut
+	Delay    time.Duration // SlowHeaders: the stall
+	Do       func()        // Hook: runs before the request proceeds
+}
+
+// ErrTorn is the read error a TornBody fault surfaces after the cut.
+var ErrTorn = errors.New("chaos: torn body")
+
+// Injector scripts faults for one interception point. Safe for concurrent
+// use; the zero value is ready.
+type Injector struct {
+	mu    sync.Mutex
+	queue []Fault
+
+	intercepted atomic.Int64 // requests that consumed a fault
+}
+
+// Push appends faults to the script.
+func (in *Injector) Push(faults ...Fault) {
+	in.mu.Lock()
+	in.queue = append(in.queue, faults...)
+	in.mu.Unlock()
+}
+
+// Intercepted reports how many requests consumed a fault.
+func (in *Injector) Intercepted() int64 { return in.intercepted.Load() }
+
+// next pops the script head; ok=false means pass through.
+func (in *Injector) next() (Fault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.queue) == 0 {
+		return Fault{}, false
+	}
+	f := in.queue[0]
+	in.queue = in.queue[1:]
+	in.intercepted.Add(1)
+	return f, true
+}
+
+// Transport wraps a client-side RoundTripper: each request consumes the
+// next fault. base nil uses http.DefaultTransport.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, ok := t.in.next()
+	if !ok {
+		return t.base.RoundTrip(req)
+	}
+	switch f.Mode {
+	case Timeout:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: black-holed: %w", req.Context().Err())
+	case Status:
+		return &http.Response{
+			StatusCode: f.Status,
+			Status:     http.StatusText(f.Status),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    http.NoBody,
+			Request: req,
+		}, nil
+	case TornBody:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &tornBody{rc: resp.Body, left: f.Truncate}
+		return resp, nil
+	case SlowHeaders:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+	case Hook:
+		if f.Do != nil {
+			f.Do()
+		}
+		return t.base.RoundTrip(req)
+	default: // Pass
+		return t.base.RoundTrip(req)
+	}
+}
+
+// tornBody delivers left bytes of the real body, then fails every read.
+type tornBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, ErrTorn
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	if err == io.EOF && b.left > 0 {
+		return n, io.EOF // real body ended before the cut: pass EOF through
+	}
+	if b.left <= 0 {
+		// swallow any real error; the next Read reports the tear
+		return n, nil
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.rc.Close() }
+
+// Middleware wraps a server-side handler: each request consumes the next
+// fault before (or instead of) reaching next.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := in.next()
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch f.Mode {
+		case Timeout:
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		case Status:
+			w.WriteHeader(f.Status)
+		case TornBody:
+			next.ServeHTTP(&tornWriter{w: w, left: f.Truncate}, r)
+		case SlowHeaders:
+			select {
+			case <-time.After(f.Delay):
+			case <-r.Context().Done():
+				panic(http.ErrAbortHandler)
+			}
+			next.ServeHTTP(w, r)
+		case Hook:
+			if f.Do != nil {
+				f.Do()
+			}
+			next.ServeHTTP(w, r)
+		default: // Pass
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// tornWriter passes left bytes through, then aborts the connection so the
+// client sees a broken transfer, never a truncated-but-framed body.
+type tornWriter struct {
+	w    http.ResponseWriter
+	left int64
+}
+
+func (t *tornWriter) Header() http.Header { return t.w.Header() }
+
+func (t *tornWriter) WriteHeader(status int) { t.w.WriteHeader(status) }
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if int64(len(p)) > t.left {
+		n, _ := t.w.Write(p[:t.left])
+		t.left = 0
+		_ = n
+		panic(http.ErrAbortHandler)
+	}
+	n, err := t.w.Write(p)
+	t.left -= int64(n)
+	return n, err
+}

@@ -5,53 +5,94 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
-	"sync"
+	"strconv"
+	"sync/atomic"
 	"time"
 
+	"oneport/internal/service/breaker"
 	"oneport/internal/service/ring"
 )
-
-// peerCooldown is how long a replica that failed a fill request is skipped
-// before the next forwarding attempt. During the cooldown every key that
-// replica owns is computed locally (degraded mode), so a dead peer costs
-// one failed round-trip per cooldown window instead of one per request.
-const peerCooldown = 5 * time.Second
 
 // maxPeerBodyBytes caps how much of a peer's response a fill will read: a
 // compromised or confused replica must not be able to balloon this one's
 // memory. Far above any real encoded schedule, far below "unbounded".
 const maxPeerBodyBytes = 256 << 20
 
-// peerSet is the requester-side half of the distributed cache: the ring
-// that assigns each canonical key an owner replica, the HTTP client that
-// asks owners to fill, and the per-peer health state that degrades the
-// server to local-only compute while an owner is down. nil (no peers
-// configured, or alone in the ring) means single-replica operation.
-type peerSet struct {
-	self   string
-	ring   *ring.Ring
-	client *http.Client
+// ringEpochHeader tags every replica-internal relay with the membership
+// epoch the sender routed by. The receiver serves the relay only when the
+// epochs match; otherwise it answers 409 and the requester computes
+// locally. The tag is what makes a live membership swap safe: two replicas
+// holding different rings can never complete a relay between them, so a
+// half-propagated epoch degrades to duplicate local compute — never to a
+// response produced under the wrong ownership map.
+const ringEpochHeader = "X-Ring-Epoch"
 
-	mu   sync.Mutex
-	down map[string]time.Time // member -> retry-not-before
+// streamMarkHeader marks a response that was encoded straight to the wire
+// (no staged body). A requester relaying a peer fill detects the mark and
+// streams the body through to its own client instead of staging it.
+const streamMarkHeader = "X-Sched-Stream"
+
+// maxFillAttempts is the retry budget of one peer fill: a transport error
+// with the request context still live gets this many total connection
+// attempts before the fill counts as failed. The budget covers exactly the
+// blips worth retrying (a dropped connection mid-handshake); verdicts the
+// owner actually delivered — any status, a torn body — are never retried,
+// local compute is cheaper than a second round-trip.
+const maxFillAttempts = 2
+
+// ringState is one immutable epoch of fleet membership: a version number
+// and the consistent-hash ring built from that epoch's replica list. A nil
+// ring (epoch 0) means the replica has not joined a fleet. States are
+// swapped atomically and whole — a request routes an entire fill by the
+// one state it loaded, never by a torn mix of two epochs.
+type ringState struct {
+	epoch uint64
+	ring  *ring.Ring
+}
+
+// active reports whether this epoch has anyone to forward to.
+func (st *ringState) active() bool {
+	return st != nil && st.ring != nil && st.ring.Size() >= 2
+}
+
+// members returns the epoch's replica list (nil before joining a fleet).
+func (st *ringState) members() []string {
+	if st == nil || st.ring == nil {
+		return nil
+	}
+	return st.ring.Members()
+}
+
+// peerSet is the requester-side half of the distributed cache: the current
+// membership epoch (swappable live via POST /ring), the HTTP client that
+// asks owners to fill, and the per-peer circuit breakers that degrade the
+// server to local-only compute while an owner is down. nil means the
+// replica has no identity (Config.Self empty) and can never participate in
+// a fleet; a non-nil peerSet with an inactive ring is a single replica
+// that may be joined into a fleet later.
+type peerSet struct {
+	self     string
+	client   *http.Client
+	breakers *breaker.Set
+
+	state atomic.Pointer[ringState]
+	swaps atomic.Int64 // accepted membership swaps
+	skews atomic.Int64 // relays rejected (seen from either side) for epoch mismatch
 }
 
 // newPeerSet builds the peer layer from Config.Self and Config.Peers. The
-// ring is built over peers ∪ {self} — every replica must be handed the same
-// full replica list for the fleet to agree on ownership — and self is
-// excluded from forwarding by identity. Returns nil when the configuration
-// leaves nothing to forward to.
-func newPeerSet(self string, peers []string, client *http.Client) *peerSet {
+// initial ring is built over peers ∪ {self} — every replica must be handed
+// the same full replica list for the fleet to agree on ownership — at
+// epoch 1; with no peers the replica starts alone at epoch 0, ready to be
+// joined into a fleet by an admin push. Returns nil only when self is
+// empty: a replica without an advertised identity cannot own ring
+// segments.
+func newPeerSet(self string, peers []string, client *http.Client, brk breaker.Config) *peerSet {
 	self = ring.Normalize(self)
-	if self == "" || len(peers) == 0 {
+	if self == "" {
 		return nil
-	}
-	r := ring.New(append([]string{self}, peers...), 0)
-	if r.Size() < 2 {
-		return nil // alone in the ring: plain single-replica serving
 	}
 	if client == nil {
 		// failure detection must be much faster than the compute-scale
@@ -71,69 +112,87 @@ func newPeerSet(self string, peers []string, client *http.Client) *peerSet {
 			},
 		}
 	}
-	return &peerSet{self: self, ring: r, client: client, down: make(map[string]time.Time)}
-}
-
-// owner maps a canonical sum to its owning replica and reports whether that
-// replica is this one.
-func (p *peerSet) owner(sum [sha256.Size]byte) (member string, isSelf bool) {
-	member = p.ring.Owner(sum)
-	return member, member == p.self
-}
-
-// available reports whether a member is currently worth forwarding to,
-// clearing its down mark once the cooldown has passed.
-func (p *peerSet) available(member string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	until, marked := p.down[member]
-	if !marked {
-		return true
+	p := &peerSet{self: self, client: client, breakers: breaker.NewSet(brk)}
+	st := &ringState{}
+	if len(peers) > 0 {
+		st = &ringState{epoch: 1, ring: ring.New(append([]string{self}, peers...), 0)}
 	}
-	if time.Now().After(until) {
-		delete(p.down, member)
-		return true
+	p.state.Store(st)
+	return p
+}
+
+// epoch returns the current membership epoch.
+func (p *peerSet) epoch() uint64 { return p.state.Load().epoch }
+
+// owner maps a canonical sum to its owning replica under the current
+// epoch. ok is false when the ring is inactive (no fleet, or alone in it);
+// the returned epoch is the one the caller must tag the relay with, so
+// ownership and tag always come from the same atomically-loaded state.
+func (p *peerSet) owner(sum [sha256.Size]byte) (member string, isSelf bool, epoch uint64, ok bool) {
+	st := p.state.Load()
+	if !st.active() {
+		return "", false, st.epoch, false
 	}
-	return false
+	member = st.ring.Owner(sum)
+	return member, member == p.self, st.epoch, true
 }
 
-// markDown records a fill failure: member is skipped until the cooldown
-// elapses.
-func (p *peerSet) markDown(member string) {
-	p.mu.Lock()
-	p.down[member] = time.Now().Add(peerCooldown)
-	p.mu.Unlock()
+// swap installs a new membership epoch. Epochs are strictly monotonic: a
+// push below the current epoch is stale (rejected), a push at the current
+// epoch is accepted only as an idempotent replay of the identical member
+// list (so an admin can safely re-push to a replica that already has it),
+// and a higher epoch replaces the state atomically. Entries whose owner
+// changed are NOT migrated — they are lazily re-filled on next use, which
+// is what makes the swap O(1) and safe under live traffic.
+func (p *peerSet) swap(epoch uint64, members []string) (*ringState, bool, error) {
+	if epoch == 0 {
+		return nil, false, fmt.Errorf("service: ring epoch must be positive")
+	}
+	r := ring.New(members, 0)
+	if r.Size() == 0 {
+		return nil, false, fmt.Errorf("service: ring update has no members")
+	}
+	for {
+		cur := p.state.Load()
+		if epoch < cur.epoch {
+			return cur, false, fmt.Errorf("service: stale ring epoch %d (serving epoch %d)", epoch, cur.epoch)
+		}
+		if epoch == cur.epoch {
+			if cur.ring != nil && sameMembers(cur.ring.Members(), r.Members()) {
+				return cur, false, nil // idempotent replay
+			}
+			return cur, false, fmt.Errorf("service: conflicting membership for current epoch %d", epoch)
+		}
+		next := &ringState{epoch: epoch, ring: r}
+		if p.state.CompareAndSwap(cur, next) {
+			p.swaps.Add(1)
+			return next, true, nil
+		}
+	}
 }
 
-// fetch relays one raw request body to the owner's internal fill endpoint.
-// On a 200 it returns the owner's encoded response bytes; on any other
-// status it returns (nil, status, nil) — the caller decides whether that is
-// the peer's fault — and errors are reserved for transport and read
-// failures (including an oversized body).
-func (p *peerSet) fetch(ctx context.Context, owner string, body []byte) ([]byte, int, error) {
+// sameMembers compares two normalized, sorted member lists.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fetch relays one raw request body to the owner's internal fill endpoint,
+// tagged with the epoch the owner was resolved under. The caller owns the
+// returned response (status dispatch, body limits, breaker verdict).
+func (p *peerSet) fetch(ctx context.Context, owner string, epoch uint64, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/cache/peer", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		// drain a bounded slice of the error body so the connection is
-		// reusable; its content does not matter — local compute reproduces
-		// any owner-side verdict
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, resp.StatusCode, nil
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBodyBytes+1))
-	if err != nil {
-		return nil, resp.StatusCode, fmt.Errorf("service: peer %s: %w", owner, err)
-	}
-	if len(data) > maxPeerBodyBytes {
-		return nil, resp.StatusCode, fmt.Errorf("service: peer %s: response exceeds %d bytes", owner, maxPeerBodyBytes)
-	}
-	return data, resp.StatusCode, nil
+	req.Header.Set(ringEpochHeader, strconv.FormatUint(epoch, 10))
+	return p.client.Do(req)
 }

@@ -6,15 +6,19 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"oneport/internal/heuristics"
 	"oneport/internal/sched"
+	"oneport/internal/service/breaker"
 )
 
 // maxBodyBytes bounds request payloads (graphs of several hundred thousand
@@ -60,6 +64,21 @@ type Config struct {
 	// PeerClient is the HTTP client used for replica-internal fill
 	// requests (default: a client with a compute-scale timeout).
 	PeerClient *http.Client
+	// Breaker tunes the per-peer circuit breakers guarding every peer
+	// path (zero value: breaker package defaults — open on first failure,
+	// 500ms base backoff doubling to 30s, 20% jitter).
+	Breaker breaker.Config
+	// AdminToken, when non-empty, enables the /ring admin surface (live
+	// membership swaps) behind `Authorization: Bearer <token>`. Empty
+	// leaves the surface disabled (403), not open.
+	AdminToken string
+	// RequestTimeout, when positive, bounds each scheduler run: a run
+	// whose compute exceeds it is aborted at its next task commit and the
+	// request answered 503 with a Retry-After header (counted in
+	// Stats.Timeouts). The deadline spans the run itself, not queueing or
+	// I/O, and is independent of the client connection — a singleflight
+	// leader computes for its followers even if its own client hangs up.
+	RequestTimeout time.Duration
 }
 
 // Server executes scheduling requests on a bounded worker pool with pooled
@@ -84,6 +103,7 @@ type Server struct {
 	peerHits   atomic.Int64 // requests answered with bytes fetched from the owner replica
 	peerFills  atomic.Int64 // inbound /cache/peer fill requests accepted
 	peerErrors atomic.Int64 // owner fetches that failed and degraded to local compute
+	timeouts   atomic.Int64 // runs aborted at the RequestTimeout deadline (503)
 	errors     atomic.Int64
 	inFlight   atomic.Int64 // scheduler runs currently executing
 
@@ -112,7 +132,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.PoolSize),
 		cache: newResultCache(cfg.CacheSize),
-		peers: newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient),
+		peers: newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient, cfg.Breaker),
 		start: time.Now(),
 	}
 }
@@ -197,14 +217,27 @@ func (s *Server) runFlight(req *Request, key string, model sched.Model) Response
 	return resp
 }
 
+// maxServeAttempts bounds how many times one HTTP request re-enters the
+// singleflight after waiting out another caller's streamed peer relay
+// (streamed relays go to the leader's own client and are never cached, so
+// followers must retry). After the budget the request computes locally
+// outside the flight — bounded work, no livelock.
+const maxServeAttempts = 3
+
 // serveFlight is the HTTP path's runFlight: the leader additionally tries a
 // peer fill before computing, so N concurrent identical cold requests on a
 // non-owner replica cost ONE owner fetch shared by all waiters — never N
 // full-body transfers — and the owner's own singleflight bounds the fleet
 // to one scheduler run. When the leader filled from a peer, the returned
 // enc carries the owner's bytes for followers to relay verbatim.
-func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha256.Size]byte, key string, model sched.Model, fromPeer bool, raw []byte) (Response, []byte) {
-	return s.flights.do(key,
+//
+// A stream-marked owner response cannot be shared through the flight (the
+// body is a wire stream, not bytes): the leader carries it out via the
+// returned relay and streams it to its own client; followers see
+// resp.relayStreamed and retry.
+func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha256.Size]byte, key string, model sched.Model, fromPeer bool, raw []byte) (Response, []byte, *peerRelay) {
+	var relay *peerRelay
+	resp, enc := s.flights.do(key,
 		func() { s.coalesced.Add(1) },
 		func() (Response, []byte) {
 			if resp, ok := s.cache.get(key); ok {
@@ -212,13 +245,19 @@ func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha25
 				return resp, nil
 			}
 			if !fromPeer && s.peers != nil {
-				if resp, enc, ok := s.peerFill(ctx, sum, body, key, raw); ok {
+				resp, enc, rel, ok := s.peerFill(ctx, sum, body, key, raw)
+				if rel != nil {
+					relay = rel
+					return Response{relayStreamed: true}, nil
+				}
+				if ok {
 					return resp, enc
 				}
 			}
 			s.misses.Add(1)
 			return s.compute(req, key, model), nil
 		})
+	return resp, enc, relay
 }
 
 // compute runs the scheduler for one request. It is panic-hardened: a
@@ -251,6 +290,14 @@ func (s *Server) compute(req *Request, key string, model sched.Model) (resp Resp
 	}()
 
 	tune := &heuristics.Tuning{ProbeParallelism: s.clampProbePar(req.Options.ProbeParallelism), Scratch: sc}
+	if d := s.cfg.RequestTimeout; d > 0 {
+		// deadline on a fresh context, NOT the client request's: a
+		// singleflight leader computes for its followers, so its own
+		// client hanging up must not abort the shared run
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		tune.Ctx = ctx
+	}
 	fn, err := heuristics.ByNameTuned(req.Heuristic,
 		heuristics.ILHAOptions{B: req.Options.B, ScanDepth: req.Options.ScanDepth}, tune)
 	if err != nil {
@@ -265,6 +312,11 @@ func (s *Server) compute(req *Request, key string, model sched.Model) (resp Resp
 	elapsed := time.Since(began)
 	if err != nil {
 		s.errors.Add(1)
+		if errors.Is(err, heuristics.ErrCanceled) {
+			s.timeouts.Add(1)
+			return Response{Key: key, Error: fmt.Sprintf(
+				"service: compute exceeded the %s request deadline", s.cfg.RequestTimeout), timedOut: true}
+		}
 		return Response{Key: key, Error: err.Error()}
 	}
 	if err := sched.Validate(req.Graph, req.Platform, schedule, model); err != nil {
@@ -328,6 +380,8 @@ func (s *Server) RunBatch(b *Batch) BatchResponse {
 //	POST /schedule    one Request  -> one Response
 //	POST /batch       {"requests":[...]} -> {"responses":[...]}
 //	POST /cache/peer  replica-internal distributed-cache fill
+//	GET  /ring        current membership epoch (admin token required)
+//	POST /ring        live membership swap (admin token required)
 //	GET  /healthz     liveness
 //	GET  /stats       counters (requests, cache hits/misses, in-flight, ...)
 func (s *Server) Handler() http.Handler {
@@ -335,6 +389,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /cache/peer", s.handleCachePeer)
+	mux.HandleFunc("GET /ring", s.handleRingGet)
+	mux.HandleFunc("POST /ring", s.handleRingPost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -350,7 +406,25 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // fast path, compute-and-cache on miss, identical response bytes — except
 // that it never forwards again (a misconfigured fleet cannot loop) and the
 // request counts as a peer fill, not client traffic.
+//
+// Before any body work the relay's ring-epoch tag is checked against the
+// epoch this replica is serving; a mismatch is answered 409 so the
+// requester computes locally. This is the no-split-brain invariant: a
+// relay routed by one membership map is never served under another.
 func (s *Server) handleCachePeer(w http.ResponseWriter, r *http.Request) {
+	cur := uint64(0)
+	if s.peers != nil {
+		cur = s.peers.epoch()
+	}
+	if got, err := strconv.ParseUint(r.Header.Get(ringEpochHeader), 10, 64); err != nil || got != cur {
+		if s.peers != nil {
+			s.peers.skews.Add(1)
+		}
+		w.Header().Set(ringEpochHeader, strconv.FormatUint(cur, 10))
+		writeJSON(w, http.StatusConflict, Response{Error: fmt.Sprintf(
+			"service: ring epoch mismatch: relay tagged %q, serving epoch %d", r.Header.Get(ringEpochHeader), cur)})
+		return
+	}
 	s.serveSchedule(w, r, true)
 }
 
@@ -410,7 +484,29 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 	// hit under a new byte spelling, a peer fill for a key another replica
 	// owns, or a local compute — whichever the leader resolves, concurrent
 	// identical requests share it
-	resp, enc := s.serveFlight(r.Context(), &req, sum, body, key, model, fromPeer, buf.Bytes())
+	var resp Response
+	var enc []byte
+	for attempt := 0; ; attempt++ {
+		var relay *peerRelay
+		resp, enc, relay = s.serveFlight(r.Context(), &req, sum, body, key, model, fromPeer, buf.Bytes())
+		if relay != nil {
+			// this request led a stream-marked fill: pipe the owner's body
+			// straight to the client, no staging
+			s.streamRelay(w, relay)
+			return
+		}
+		if !resp.relayStreamed {
+			break
+		}
+		// followed a flight whose leader streamed to its own client (nothing
+		// cached, nothing shareable): retry — likely becoming the leader of a
+		// fresh relay — and after the budget compute locally outside the flight
+		if attempt >= maxServeAttempts-1 {
+			s.misses.Add(1)
+			resp, enc = s.compute(&req, key, model), nil
+			break
+		}
+	}
 	if enc != nil {
 		// peer-filled: relay the owner's bytes verbatim (the leader already
 		// adopted them into the local cache and byte index)
@@ -419,6 +515,9 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 	}
 	status := http.StatusOK
 	switch {
+	case resp.timedOut:
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case resp.serverFault:
 		status = http.StatusInternalServerError
 	case resp.Error != "":
@@ -432,51 +531,158 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 	}
 }
 
+// peerRelay carries a stream-marked owner response out of the flight
+// closure: the leader that fetched it owns the body and streams it to its
+// own client after the flight settles.
+type peerRelay struct {
+	body  io.ReadCloser
+	owner string
+}
+
 // peerFill is the requester side of the distributed cache: on a local miss
 // for a key the ring assigns to another replica, relay the raw body to the
 // owner's /cache/peer endpoint and serve its bytes verbatim — the owner
 // computes at most once fleet-wide (its own singleflight coalesces
 // concurrent fills) and the response is byte-identical to a single-replica
 // answer. The fetched result is adopted into the local cache, so repeats on
-// this replica become local byte-index hits. Health attribution: only
-// transport failures not caused by our client hanging up (ctx intact) and
-// owner 5xx mark the owner down for peerCooldown; an owner 4xx is the
-// request's fault and simply falls through to local compute, which
-// reproduces the same verdict without poisoning peer health.
-func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key string, raw []byte) (Response, []byte, bool) {
-	owner, isSelf := s.peers.owner(sum)
-	if isSelf || !s.peers.available(owner) {
-		return Response{}, nil, false
+// this replica become local byte-index hits; a stream-marked response is
+// instead handed back as a relay for the caller to pipe through.
+//
+// Every fill settles the owner's circuit breaker exactly once, and only
+// with a verdict the owner actually earned: transport failures with our
+// client still connected, owner 5xx, and a torn or undecodable 200 are the
+// owner's fault (Failure); an owner 4xx and a ring-epoch 409 prove the
+// owner alive (Success); our own client hanging up proves nothing
+// (Cancel). ok=false always degrades to local compute.
+func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key string, raw []byte) (Response, []byte, *peerRelay, bool) {
+	owner, isSelf, epoch, active := s.peers.owner(sum)
+	if !active || isSelf {
+		return Response{}, nil, nil, false
 	}
-	enc, status, err := s.peers.fetch(ctx, owner, raw)
-	var resp Response
-	switch {
-	case err != nil:
+	if !s.peers.breakers.Allow(owner, time.Now()) {
+		return Response{}, nil, nil, false
+	}
+	var hr *http.Response
+	for attempt := 1; ; attempt++ {
+		var err error
+		hr, err = s.peers.fetch(ctx, owner, epoch, raw)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			s.peers.breakers.Cancel(owner)
+			return Response{}, nil, nil, false
+		}
+		if attempt < maxFillAttempts {
+			continue // retry budget: a transport blip gets one more connection
+		}
 		s.peerErrors.Add(1)
-		if ctx.Err() == nil {
-			s.peers.markDown(owner)
-		}
-		return Response{}, nil, false
-	case status != http.StatusOK:
-		if status >= 500 {
-			s.peerErrors.Add(1)
-			s.peers.markDown(owner)
-		}
-		return Response{}, nil, false
-	case json.Unmarshal(enc, &resp) != nil || resp.Error != "":
+		s.peers.breakers.Failure(owner, time.Now())
+		return Response{}, nil, nil, false
+	}
+	switch {
+	case hr.StatusCode == http.StatusConflict:
+		// ring-epoch skew: the owner serves a different membership epoch
+		// than the one this fill was routed by. The peer is alive and
+		// answering — record Success, count the skew, compute locally until
+		// the membership push reaches both sides.
+		drainClose(hr.Body)
+		s.peers.skews.Add(1)
+		s.peers.breakers.Success(owner)
+		return Response{}, nil, nil, false
+	case hr.StatusCode >= 500:
+		drainClose(hr.Body)
+		s.peerErrors.Add(1)
+		s.peers.breakers.Failure(owner, time.Now())
+		return Response{}, nil, nil, false
+	case hr.StatusCode != http.StatusOK:
+		// 4xx: the request's fault, not the peer's; local compute reproduces
+		// the same verdict without poisoning peer health
+		drainClose(hr.Body)
+		s.peers.breakers.Success(owner)
+		return Response{}, nil, nil, false
+	}
+	if hr.Header.Get(streamMarkHeader) != "" {
+		// the owner streamed its encode: hand the open body to the caller;
+		// the breaker settles after the copy, when the owner's half of the
+		// stream has proven itself
+		return Response{}, nil, &peerRelay{body: hr.Body, owner: owner}, false
+	}
+	defer hr.Body.Close()
+	enc, err := io.ReadAll(io.LimitReader(hr.Body, maxPeerBodyBytes+1))
+	if err != nil || len(enc) > maxPeerBodyBytes {
+		// torn or oversized body: nothing adoptable, and NOTHING may be
+		// cached — a truncated encoding must never become a byte-index entry
+		s.peerErrors.Add(1)
+		s.peers.breakers.Failure(owner, time.Now())
+		return Response{}, nil, nil, false
+	}
+	var resp Response
+	if json.Unmarshal(enc, &resp) != nil || resp.Error != "" {
 		// a 200 that does not decode to a clean response is an owner fault
 		s.peerErrors.Add(1)
-		s.peers.markDown(owner)
-		return Response{}, nil, false
+		s.peers.breakers.Failure(owner, time.Now())
+		return Response{}, nil, nil, false
 	}
 	s.peerHits.Add(1)
+	s.peers.breakers.Success(owner)
 	stored := resp
 	stored.Cached = false // stored form; get and encodeHit re-mark hits
 	s.cache.add(key, &stored)
 	if !s.shouldStream(&stored) {
 		s.cache.attachEncoded(key, body, encodeHit(stored))
 	}
-	return resp, enc, true
+	return resp, enc, nil, true
+}
+
+// streamRelay pipes a stream-marked owner body straight through to the
+// client — owner to requester to client wire with no staging — and settles
+// the owner's breaker with what the copy proved. A body torn mid-stream
+// aborts the client connection (panic(http.ErrAbortHandler) is net/http's
+// sanctioned abort): the client must see a broken transfer, never a
+// truncated body dressed up as a complete response.
+func (s *Server) streamRelay(w http.ResponseWriter, rel *peerRelay) {
+	defer rel.body.Close()
+	src := &readErrTracker{r: io.LimitReader(rel.body, maxPeerBodyBytes)}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.Copy(w, src); err != nil {
+		if src.err != nil {
+			// the owner's half broke: peer fault
+			s.peerErrors.Add(1)
+			s.peers.breakers.Failure(rel.owner, time.Now())
+		} else {
+			// our client stopped reading: no verdict about the owner
+			s.peers.breakers.Cancel(rel.owner)
+		}
+		panic(http.ErrAbortHandler)
+	}
+	s.peerHits.Add(1)
+	s.peers.breakers.Success(rel.owner)
+}
+
+// readErrTracker remembers whether a copy failure came from the read side,
+// so a relay can attribute a torn transfer to the owner rather than to its
+// own client hanging up.
+type readErrTracker struct {
+	r   io.Reader
+	err error
+}
+
+func (t *readErrTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.err = err
+	}
+	return n, err
+}
+
+// drainClose reads a bounded slice of an error body so the connection is
+// reusable, then closes it; its content does not matter — local compute
+// reproduces any owner-side verdict.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 4096))
+	body.Close()
 }
 
 // encodeHit builds the attachEncoded closure for a response: its cache-hit
@@ -555,15 +761,41 @@ type Stats struct {
 	PeerHits   int64 `json:"peer_hits"`
 	PeerFills  int64 `json:"peer_fills"`
 	PeerErrors int64 `json:"peer_errors"`
-	Errors     int64 `json:"errors"`
-	InFlight   int64 `json:"in_flight"`
+	// RingEpoch is the membership epoch this replica is serving (0:
+	// never joined a fleet), RingSwaps the number of live membership
+	// swaps it has accepted, and PeerEpochSkew the number of relays —
+	// inbound or outbound — rejected because the two sides held
+	// different epochs (each one degraded to a local compute).
+	RingEpoch     uint64 `json:"ring_epoch"`
+	RingSwaps     int64  `json:"ring_swaps"`
+	PeerEpochSkew int64  `json:"peer_epoch_skew"`
+	// BreakersOpen is the number of peers currently being avoided or
+	// probed, BreakerOpens the cumulative trip-open count, and
+	// BreakerTrips the requests fast-failed by an open breaker.
+	BreakersOpen int   `json:"breakers_open"`
+	BreakerOpens int64 `json:"breaker_opens"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	// Timeouts counts runs aborted at Config.RequestTimeout (503s).
+	Timeouts int64 `json:"timeouts"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"in_flight"`
 }
 
 // StatsSnapshot returns the current counters.
 func (s *Server) StatsSnapshot() Stats {
 	peers := 0
+	var ringEpoch uint64
+	var ringSwaps, epochSkew int64
+	var brk breaker.Counters
 	if s.peers != nil {
-		peers = s.peers.ring.Size()
+		st := s.peers.state.Load()
+		if st.ring != nil {
+			peers = st.ring.Size()
+		}
+		ringEpoch = st.epoch
+		ringSwaps = s.peers.swaps.Load()
+		epochSkew = s.peers.skews.Load()
+		brk = s.peers.breakers.Stats(time.Now())
 	}
 	return Stats{
 		UptimeS:       time.Since(s.start).Seconds(),
@@ -581,6 +813,13 @@ func (s *Server) StatsSnapshot() Stats {
 		PeerHits:      s.peerHits.Load(),
 		PeerFills:     s.peerFills.Load(),
 		PeerErrors:    s.peerErrors.Load(),
+		RingEpoch:     ringEpoch,
+		RingSwaps:     ringSwaps,
+		PeerEpochSkew: epochSkew,
+		BreakersOpen:  brk.Open,
+		BreakerOpens:  brk.Opens,
+		BreakerTrips:  brk.Trips,
+		Timeouts:      s.timeouts.Load(),
 		Errors:        s.errors.Load(),
 		InFlight:      s.inFlight.Load(),
 	}
@@ -588,6 +827,36 @@ func (s *Server) StatsSnapshot() Stats {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// RingOwner resolves a 32-byte key's owner under the current membership
+// epoch, for subsystems that share the service's ring (the sweep worker's
+// job cache). ok is false when the replica is single (nothing to forward
+// to); the returned epoch must tag any relay made from this resolution.
+func (s *Server) RingOwner(sum [sha256.Size]byte) (owner string, isSelf bool, epoch uint64, ok bool) {
+	if s.peers == nil {
+		return "", false, 0, false
+	}
+	return s.peers.owner(sum)
+}
+
+// RingEpoch returns the membership epoch this replica is serving (0:
+// never joined a fleet).
+func (s *Server) RingEpoch() uint64 {
+	if s.peers == nil {
+		return 0
+	}
+	return s.peers.epoch()
+}
+
+// PeerBreakers exposes the per-peer circuit breakers so every peer path in
+// the process — /schedule relays and sweep fills alike — shares one view
+// of each peer's health. nil when the replica has no identity.
+func (s *Server) PeerBreakers() *breaker.Set {
+	if s.peers == nil {
+		return nil
+	}
+	return s.peers.breakers
 }
 
 // decodeJSON strictly decodes one JSON value from a size-capped body.
@@ -621,11 +890,14 @@ func (s *Server) shouldStream(resp *Response) bool {
 // for bounded memory on schedules whose JSON runs to many megabytes; such
 // responses are also never attached to the encoded byte index, so the cache
 // holds only their decoded form and repeats re-stream from it.
+// Streamed bodies carry streamMarkHeader so a relaying replica knows to
+// pipe them through rather than stage them.
 func (s *Server) writeResponse(w http.ResponseWriter, status int, resp *Response) {
 	if !s.shouldStream(resp) {
 		writeJSON(w, status, resp)
 		return
 	}
+	w.Header().Set(streamMarkHeader, "1")
 	streamJSON(w, status, resp)
 }
 

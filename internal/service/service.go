@@ -136,6 +136,13 @@ type Response struct {
 	// failing validation) rather than a bad request, so the HTTP layer can
 	// answer 500 instead of 400.
 	serverFault bool
+	// timedOut marks an Error as a Config.RequestTimeout expiry, answered
+	// 503 with a Retry-After header (load shedding, not a bad request).
+	timedOut bool
+	// relayStreamed marks a singleflight result whose leader streamed a
+	// peer relay to its own client: there is nothing shareable, so
+	// followers retry their flight (bounded by maxServeAttempts).
+	relayStreamed bool
 }
 
 // Batch is the payload of POST /batch: independent requests executed

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oneport/internal/service/breaker"
+)
+
+// fleetStub is a fake ring owner: it records the fill protocol headers and
+// answers according to its mode — a canned result (recognizable Speedup no
+// real run could produce), an epoch-skew 409, or a 500.
+type fleetStub struct {
+	srv   *httptest.Server
+	fills atomic.Int64
+	mode  atomic.Value // "serve" | "skew" | "boom"
+	local atomic.Value // last X-Sweep-Local header
+	epoch atomic.Value // last X-Ring-Epoch header
+}
+
+const stubSpeedup = 42.5 // impossible for a real run (10 processors)
+
+func newFleetStub(t *testing.T) *fleetStub {
+	t.Helper()
+	st := &fleetStub{}
+	st.mode.Store("serve")
+	st.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st.fills.Add(1)
+		st.local.Store(r.Header.Get(sweepLocalHeader))
+		st.epoch.Store(r.Header.Get(fleetEpochHeader))
+		switch st.mode.Load() {
+		case "skew":
+			w.WriteHeader(http.StatusConflict)
+			return
+		case "boom":
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		var sh Shard
+		if err := json.NewDecoder(r.Body).Decode(&sh); err != nil || len(sh.Jobs) != 1 {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		res := Result{Job: sh.Jobs[0], Speedup: stubSpeedup, Comms: 7}
+		_ = json.NewEncoder(w).Encode(&ShardResult{Results: []Result{res}})
+	}))
+	t.Cleanup(st.srv.Close)
+	return st
+}
+
+// TestFleetRingFill drives the full fleet-fill protocol against a stub
+// owner: a cold job owned elsewhere is filled from the owner (tagged with
+// the local flag and the routing epoch) and adopted into the local cache;
+// epoch skew and owner faults degrade to local compute with the right
+// breaker verdicts; and an open breaker keeps later fills off the wire.
+func TestFleetRingFill(t *testing.T) {
+	ResetWorkerCache()
+	t.Cleanup(ResetWorkerCache)
+	t.Cleanup(func() { EnableFleet(nil) })
+
+	stub := newFleetStub(t)
+	brk := breaker.NewSet(breaker.Config{Jitter: -1})
+	EnableFleet(&Fleet{
+		Self:     "http://self.invalid",
+		Owner:    func([sha256.Size]byte) (string, bool, uint64, bool) { return stub.srv.URL, false, 7, true },
+		Epoch:    func() uint64 { return 7 },
+		Breakers: brk,
+	})
+
+	job := func(b int) Job { return Job{Kind: KindBSweep, Testbed: "lu", Size: 20, Model: "oneport", B: b} }
+	run := func(j Job) (*ShardResult, Result) {
+		t.Helper()
+		out, err := RunShard(&Shard{Jobs: []Job{j}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Results[0].Err; got != "" {
+			t.Fatalf("job failed: %s", got)
+		}
+		return out, out.Results[0]
+	}
+
+	// cold job owned by the stub: filled, not computed
+	out, res := run(job(4))
+	if out.RingFills != 1 || res.Speedup != stubSpeedup {
+		t.Fatalf("fill not adopted: ring_fills=%d speedup=%v", out.RingFills, res.Speedup)
+	}
+	if n := stub.fills.Load(); n != 1 {
+		t.Fatalf("owner saw %d fills, want 1", n)
+	}
+	if stub.local.Load() != "1" || stub.epoch.Load() != "7" {
+		t.Fatalf("fill protocol headers: local=%q epoch=%q, want 1/7", stub.local.Load(), stub.epoch.Load())
+	}
+
+	// the fill was adopted: the repeat is a local cache hit, no round-trip
+	out, res = run(job(4))
+	if out.CacheHits != 1 || out.RingFills != 0 || res.Speedup != stubSpeedup || stub.fills.Load() != 1 {
+		t.Fatalf("adopted fill not cached: hits=%d fills=%d speedup=%v owner=%d",
+			out.CacheHits, out.RingFills, res.Speedup, stub.fills.Load())
+	}
+
+	// epoch skew: the owner answers 409; the lane computes locally and the
+	// breaker stays closed (a skewed peer is alive, not sick)
+	stub.mode.Store("skew")
+	out, res = run(job(5))
+	if out.RingFills != 0 || res.Speedup == stubSpeedup {
+		t.Fatalf("skewed fill was adopted: ring_fills=%d speedup=%v", out.RingFills, res.Speedup)
+	}
+	if got := brk.Get(stub.srv.URL).CurrentState(time.Now()); got != breaker.Closed {
+		t.Fatalf("breaker %v after epoch skew, want closed", got)
+	}
+
+	// owner 5xx opens the breaker...
+	stub.mode.Store("boom")
+	if _, res = run(job(6)); res.Speedup == stubSpeedup {
+		t.Fatal("5xx fill was adopted")
+	}
+	if got := brk.Get(stub.srv.URL).CurrentState(time.Now()); got != breaker.Open {
+		t.Fatalf("breaker %v after owner 5xx, want open", got)
+	}
+	// ...so the next cold job computes locally without touching the wire
+	before := stub.fills.Load()
+	if _, res = run(job(7)); res.Speedup == stubSpeedup {
+		t.Fatal("fill served through an open breaker")
+	}
+	if stub.fills.Load() != before {
+		t.Fatalf("open breaker still sent a fill (owner saw %d, want %d)", stub.fills.Load(), before)
+	}
+}
+
+// TestFleetInboundFillGuard pins the owner-side half of the protocol: a
+// tagged fill is served only under the epoch it was routed by (409
+// otherwise), and a served fill never forwards again, even when this
+// worker's own ring would route the job elsewhere.
+func TestFleetInboundFillGuard(t *testing.T) {
+	ResetWorkerCache()
+	t.Cleanup(ResetWorkerCache)
+	t.Cleanup(func() { EnableFleet(nil) })
+
+	// this worker's fleet routes everything to a stub that must never be hit
+	stub := newFleetStub(t)
+	EnableFleet(&Fleet{
+		Self:  "http://self.invalid",
+		Owner: func([sha256.Size]byte) (string, bool, uint64, bool) { return stub.srv.URL, false, 7, true },
+		Epoch: func() uint64 { return 7 },
+	})
+	worker := httptest.NewServer(Handler())
+	t.Cleanup(worker.Close)
+
+	post := func(epoch string) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(&Shard{Jobs: []Job{{Kind: KindBSweep, Testbed: "lu", Size: 20, Model: "oneport", B: 4}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, worker.URL+"/sweep/run", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(sweepLocalHeader, "1")
+		req.Header.Set(fleetEpochHeader, epoch)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// wrong epoch: rejected before any job runs, current epoch echoed back
+	resp := post("99")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-epoch fill answered %d, want 409", resp.StatusCode)
+	}
+	if got := resp.Header.Get(fleetEpochHeader); got != "7" {
+		t.Fatalf("409 echoed epoch %q, want 7", got)
+	}
+	resp.Body.Close()
+
+	// matching epoch: served locally — computed here, never re-forwarded
+	resp = post(strconv.FormatUint(7, 10))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matching-epoch fill answered %d, want 200", resp.StatusCode)
+	}
+	var out ShardResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Results[0].Err != "" {
+		t.Fatalf("fill failed: %s", out.Results[0].Err)
+	}
+	if out.Results[0].Speedup == stubSpeedup || out.RingFills != 0 {
+		t.Fatal("inbound fill was re-forwarded to this worker's own ring")
+	}
+	if stub.fills.Load() != 0 {
+		t.Fatalf("stub owner saw %d fills from an inbound local shard, want 0", stub.fills.Load())
+	}
+}

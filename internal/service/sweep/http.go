@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"oneport/internal/platform"
+	"oneport/internal/service/breaker"
 )
 
 // maxShardBytes bounds worker-side shard payloads; maxShardRespBytes and
@@ -43,7 +45,20 @@ func Handler() http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("sweep: empty shard"))
 			return
 		}
-		res, err := RunShard(&sh)
+		local := r.Header.Get(sweepLocalHeader) != ""
+		if local {
+			// a ring fill from another worker: serve it only under the
+			// same membership epoch it was routed by (the service's
+			// no-cross-epoch-relay invariant), and never forward it again
+			got, err := strconv.ParseUint(r.Header.Get(fleetEpochHeader), 10, 64)
+			if cur := currentEpoch(); err != nil || got != cur {
+				w.Header().Set(fleetEpochHeader, strconv.FormatUint(cur, 10))
+				writeError(w, http.StatusConflict, fmt.Errorf(
+					"sweep: ring epoch mismatch: fill tagged %q, serving epoch %d", r.Header.Get(fleetEpochHeader), cur))
+				return
+			}
+		}
+		res, err := runShard(&sh, !local)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -72,6 +87,12 @@ type Coordinator struct {
 	// pulls more work — at one HTTP round-trip per chunk; raise it when
 	// jobs are tiny relative to the round-trip.
 	ChunkSize int
+	// Breakers, when non-nil, gates dispatch on each worker's circuit
+	// breaker (share the scheduling service's set so both paths agree on
+	// peer health): a worker whose breaker is open retires from the run
+	// without burning a round-trip, and every posted shard settles the
+	// breaker with its outcome.
+	Breakers *breaker.Set
 
 	// Stats describes the last Run: populated on return, read-only
 	// afterwards. Not synchronized — one Run per Coordinator at a time.
@@ -83,6 +104,7 @@ type RunStats struct {
 	Chunks    int // dispatched units of work
 	Requeues  int // chunks re-fed to the queue after a worker failure
 	CacheHits int // jobs the workers served from their result caches
+	RingFills int // jobs the workers filled from their ring owners
 }
 
 func (c *Coordinator) client() *http.Client {
@@ -188,11 +210,12 @@ func (c *Coordinator) Run(ctx context.Context, pl *platform.Platform, jobs []Job
 // requeue the chunk and retire.
 func (c *Coordinator) pullChunks(ctx context.Context, worker string, pl *platform.Platform, r *wsRun) {
 	for ch := range r.queue {
-		res, err := c.postShard(ctx, worker, &Shard{Platform: pl, Jobs: ch.jobs})
+		res, err := c.dispatch(ctx, worker, &Shard{Platform: pl, Jobs: ch.jobs})
 		if err == nil {
 			r.mu.Lock()
 			r.all = append(r.all, res.Results...)
 			r.stats.CacheHits += res.CacheHits
+			r.stats.RingFills += res.RingFills
 			r.pending--
 			if r.pending == 0 {
 				r.finish(nil)
@@ -223,6 +246,29 @@ func (c *Coordinator) pullChunks(ctx context.Context, worker string, pl *platfor
 		r.mu.Unlock()
 		return // retire this worker for the rest of the run
 	}
+}
+
+// dispatch is postShard behind the worker's circuit breaker: an open
+// breaker fast-fails the chunk (requeue + retire, no round-trip), and a
+// posted shard settles the breaker — Success on a clean result, Failure on
+// anything else unless the coordinator's own ctx expired (no verdict).
+func (c *Coordinator) dispatch(ctx context.Context, worker string, sh *Shard) (*ShardResult, error) {
+	if c.Breakers == nil {
+		return c.postShard(ctx, worker, sh)
+	}
+	if !c.Breakers.Allow(worker, time.Now()) {
+		return nil, fmt.Errorf("sweep: worker %s: circuit breaker open", worker)
+	}
+	res, err := c.postShard(ctx, worker, sh)
+	switch {
+	case err == nil:
+		c.Breakers.Success(worker)
+	case ctx.Err() != nil:
+		c.Breakers.Cancel(worker)
+	default:
+		c.Breakers.Failure(worker, time.Now())
+	}
+	return res, err
 }
 
 func (c *Coordinator) postShard(ctx context.Context, worker string, sh *Shard) (*ShardResult, error) {

@@ -74,10 +74,12 @@ type Shard struct {
 
 // ShardResult answers a Shard, one Result per job. CacheHits reports how
 // many of the jobs were served from the worker's result cache instead of
-// being recomputed.
+// being recomputed; RingFills how many were filled from the owning worker
+// across the fleet ring (a subset of the non-hits).
 type ShardResult struct {
 	Results   []Result `json:"results"`
 	CacheHits int      `json:"cache_hits,omitempty"`
+	RingFills int      `json:"ring_fills,omitempty"`
 }
 
 // FigureJobs decomposes a figure sweep into jobs, one per problem size.
@@ -128,6 +130,13 @@ func Partition(jobs []Job, n int) [][]Job {
 // failures are reported in Result.Err; the shard itself only fails on a
 // malformed platform (which poisons every job anyway).
 func RunShard(sh *Shard) (*ShardResult, error) {
+	return runShard(sh, true)
+}
+
+// runShard is RunShard with the fleet switch explicit: ring fills received
+// from other workers run with allowFleet false so a shard is never
+// forwarded twice.
+func runShard(sh *Shard, allowFleet bool) (*ShardResult, error) {
 	pl := sh.Platform
 	if pl == nil {
 		pl = platform.Paper()
@@ -138,7 +147,7 @@ func RunShard(sh *Shard) (*ShardResult, error) {
 		lanes = len(sh.Jobs)
 	}
 	var next int
-	var hits atomic.Int64
+	var hits, ringFills atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for l := 0; l < lanes; l++ {
@@ -158,24 +167,34 @@ func RunShard(sh *Shard) (*ShardResult, error) {
 				if i >= len(sh.Jobs) {
 					return
 				}
-				out.Results[i] = runJobCached(sh.Jobs[i], pl, tune, &hits)
+				out.Results[i] = runJobCached(sh.Jobs[i], pl, tune, allowFleet, &hits, &ringFills)
 			}
 		}()
 	}
 	wg.Wait()
 	out.CacheHits = int(hits.Load())
+	out.RingFills = int(ringFills.Load())
 	return out, nil
 }
 
 // runJobCached serves a job from the worker result cache when its content
-// hash is present, else computes and inserts it. Jobs are pure functions of
-// (job fields, platform) — Result.Job.ID excluded — so a cached value is
-// the byte-identical outcome of re-running the job.
-func runJobCached(job Job, pl *platform.Platform, tune *heuristics.Tuning, hits *atomic.Int64) Result {
+// hash is present; on a miss it fills from the key's owning worker when a
+// fleet ring is installed (adopting the owner's result into the local
+// cache), and computes locally otherwise. Jobs are pure functions of (job
+// fields, platform) — Result.Job.ID excluded — so a cached or fleet-filled
+// value is the byte-identical outcome of re-running the job.
+func runJobCached(job Job, pl *platform.Platform, tune *heuristics.Tuning, allowFleet bool, hits, ringFills *atomic.Int64) Result {
 	key := jobKey(job, pl)
 	if res, ok := workerCache.get(key, job); ok {
 		hits.Add(1)
 		return res
+	}
+	if allowFleet {
+		if res, ok := fleetFill(key, job, pl); ok {
+			ringFills.Add(1)
+			workerCache.add(key, res)
+			return res
+		}
 	}
 	res := runJob(job, pl, tune)
 	if res.Err == "" {
