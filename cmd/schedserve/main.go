@@ -1,9 +1,12 @@
 // Command schedserve runs the scheduling service and the sharded sweep
 // protocol (internal/service, internal/service/sweep).
 //
-// Serve mode (default) exposes POST /schedule, POST /batch, GET /healthz
-// and GET /stats; -worker additionally mounts the sweep worker endpoint
-// POST /sweep/run so the process can take shards from a coordinator:
+// Serve mode (default) exposes POST /schedule, POST /batch, the scheduling
+// -session surface (POST /session, POST /session/{id}/delta, DELETE
+// /session/{id}; sized by -max-sessions and -session-ttl, replica-local),
+// GET /healthz and GET /stats; -worker additionally mounts the sweep worker
+// endpoint POST /sweep/run so the process can take shards from a
+// coordinator:
 //
 //	schedserve -addr :8642 -pool 8 -cache 1024
 //	schedserve -addr :8643 -worker
@@ -82,6 +85,8 @@ func main() {
 		admin    = flag.String("admin-token", "", "bearer token for the ring admin endpoints GET/POST /ring (empty disables them)")
 		timeout  = flag.Duration("timeout", 0, "per-request compute deadline; exceeded runs answer 503 (0 disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "in-flight drain timeout on SIGINT/SIGTERM")
+		maxSess  = flag.Int("max-sessions", 0, "scheduling-session table capacity (0: default 256)")
+		sessTTL  = flag.Duration("session-ttl", 0, "idle TTL before a session may be evicted (0: default 15m; negative: never)")
 
 		sweepFig  = flag.String("sweep", "", "coordinator mode: shard this figure (fig7..fig12) across -shards")
 		bsweepTb  = flag.String("bsweep", "", "coordinator mode: shard a B-sweep on this testbed across -shards")
@@ -105,7 +110,7 @@ func main() {
 	case *bsweepTb != "":
 		err = coordinateBSweep(*bsweepTb, *size, *bsSpec, *scanDepth, *modelName, *shards)
 	default:
-		err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain)
+		err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain, *maxSess, *sessTTL)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedserve:", err)
@@ -113,7 +118,7 @@ func main() {
 	}
 }
 
-func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration) error {
+func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration, maxSessions int, sessionTTL time.Duration) error {
 	var peerList []string
 	if peers != "" {
 		if self == "" {
@@ -128,6 +133,7 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, a
 		PoolSize: pool, CacheSize: cacheSz, ProbeParallelism: probePar,
 		Self: self, Peers: peerList,
 		AdminToken: adminToken, RequestTimeout: timeout,
+		MaxSessions: maxSessions, SessionTTL: sessionTTL,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// A Delta is an ordered list of graph mutations streamed by a scheduling
+// session: new tasks and edges, and cost updates on existing ones. Ops
+// apply sequentially, so an add_edge may reference a task added earlier in
+// the same delta. The zero value is an empty delta.
+//
+// Like UnmarshalJSON, the delta layer turns every malformed input — cycles,
+// dangling or duplicate edges, self loops, NaN/Inf or negative costs,
+// unknown ops, missing fields — into an error, never a panic: deltas arrive
+// from untrusted clients.
+type Delta []DeltaOp
+
+// DeltaOp is one graph mutation. Op selects the kind; the other fields are
+// pointers so that a missing required field is distinguishable from a zero
+// value (task 0, weight 0 and data 0 are all legal) and rejected explicitly.
+//
+//	{"op":"add_task","weight":3,"label":"t"}     append a task, id = NumNodes
+//	{"op":"add_edge","from":1,"to":5,"data":2}   add a precedence edge
+//	{"op":"set_weight","task":4,"weight":7}      update a task's weight
+//	{"op":"set_data","from":1,"to":5,"data":9}   update an edge's data volume
+type DeltaOp struct {
+	Op     string   `json:"op"`
+	Weight *float64 `json:"weight,omitempty"` // add_task, set_weight
+	Label  string   `json:"label,omitempty"`  // add_task
+	Task   *int     `json:"task,omitempty"`   // set_weight
+	From   *int     `json:"from,omitempty"`   // add_edge, set_data
+	To     *int     `json:"to,omitempty"`     // add_edge, set_data
+	Data   *float64 `json:"data,omitempty"`   // add_edge, set_data
+}
+
+// Effect reports what a successfully applied delta touched, in terms the
+// incremental re-scheduler consumes.
+type Effect struct {
+	// Dirty lists the tasks whose own probe inputs changed: a changed
+	// weight alters the task's execution time, and a new or re-costed
+	// incoming edge alters its communication placement. Descendants are NOT
+	// listed — the suffix replay re-schedules them transitively — and
+	// neither are priority shifts, which the commit-order comparison
+	// detects. Ids index the new graph; duplicates are possible.
+	Dirty []int
+	// Added is the number of tasks appended by the delta (their ids are the
+	// last Added ids of the new graph).
+	Added int
+}
+
+// Apply applies the delta to a deep copy of g, re-validates the result
+// (acyclicity included) and returns the new graph together with its Effect.
+// g itself is never mutated, so a failed delta leaves the caller's graph —
+// and the session holding it — exactly as it was.
+func (d Delta) Apply(g *Graph) (*Graph, Effect, error) {
+	var eff Effect
+	if len(d) == 0 {
+		return nil, eff, fmt.Errorf("graph: empty delta")
+	}
+	ng := g.Clone()
+	for i, op := range d {
+		if err := op.apply(ng, &eff); err != nil {
+			return nil, Effect{}, fmt.Errorf("graph: delta op %d (%s): %w", i, op.Op, err)
+		}
+	}
+	// one pass over the final graph catches cycles introduced by any
+	// combination of ops (each AddEdge alone only checks local shape)
+	if err := ng.Validate(); err != nil {
+		return nil, Effect{}, err
+	}
+	return ng, eff, nil
+}
+
+func (op *DeltaOp) apply(g *Graph, eff *Effect) error {
+	switch op.Op {
+	case "add_task":
+		if op.Weight == nil {
+			return fmt.Errorf("missing weight")
+		}
+		w := *op.Weight
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("weight %g must be finite and non-negative", w)
+		}
+		g.AddNode(w, op.Label)
+		eff.Added++
+		return nil
+	case "add_edge":
+		if op.From == nil || op.To == nil || op.Data == nil {
+			return fmt.Errorf("missing from/to/data")
+		}
+		if math.IsNaN(*op.Data) || math.IsInf(*op.Data, 0) {
+			return fmt.Errorf("data %g must be finite", *op.Data)
+		}
+		if err := g.AddEdge(*op.From, *op.To, *op.Data); err != nil {
+			return err
+		}
+		eff.Dirty = append(eff.Dirty, *op.To)
+		return nil
+	case "set_weight":
+		if op.Task == nil || op.Weight == nil {
+			return fmt.Errorf("missing task/weight")
+		}
+		if err := g.SetWeight(*op.Task, *op.Weight); err != nil {
+			return err
+		}
+		eff.Dirty = append(eff.Dirty, *op.Task)
+		return nil
+	case "set_data":
+		if op.From == nil || op.To == nil || op.Data == nil {
+			return fmt.Errorf("missing from/to/data")
+		}
+		if err := g.SetEdgeData(*op.From, *op.To, *op.Data); err != nil {
+			return err
+		}
+		eff.Dirty = append(eff.Dirty, *op.To)
+		return nil
+	default:
+		return fmt.Errorf("unknown op (known: add_task, add_edge, set_weight, set_data)")
+	}
+}

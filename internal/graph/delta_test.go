@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+func ip(v int) *int          { return &v }
+
+// deltaDiamond builds 0 -> {1,2} -> 3 with unit weights and data.
+func deltaDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(1, "")
+	}
+	g.MustEdge(0, 1, 1)
+	g.MustEdge(0, 2, 1)
+	g.MustEdge(1, 3, 1)
+	g.MustEdge(2, 3, 1)
+	return g
+}
+
+func TestDeltaApply(t *testing.T) {
+	g := deltaDiamond(t)
+	d := Delta{
+		{Op: "add_task", Weight: f64(5), Label: "new"},
+		{Op: "add_edge", From: ip(3), To: ip(4), Data: f64(2)},
+		{Op: "set_weight", Task: ip(1), Weight: f64(9)},
+		{Op: "set_data", From: ip(0), To: ip(2), Data: f64(7)},
+	}
+	ng, eff, err := d.Apply(g)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if eff.Added != 1 {
+		t.Errorf("Added = %d, want 1", eff.Added)
+	}
+	wantDirty := []int{4, 1, 2}
+	if len(eff.Dirty) != len(wantDirty) {
+		t.Fatalf("Dirty = %v, want %v", eff.Dirty, wantDirty)
+	}
+	for i, v := range wantDirty {
+		if eff.Dirty[i] != v {
+			t.Errorf("Dirty[%d] = %d, want %d", i, eff.Dirty[i], v)
+		}
+	}
+	if ng.NumNodes() != 5 || ng.NumEdges() != 5 {
+		t.Errorf("new graph is %d nodes/%d edges, want 5/5", ng.NumNodes(), ng.NumEdges())
+	}
+	if w := ng.Weight(4); w != 5 {
+		t.Errorf("new task weight = %g, want 5", w)
+	}
+	if ng.Label(4) != "new" {
+		t.Errorf("new task label = %q, want %q", ng.Label(4), "new")
+	}
+	if w := ng.Weight(1); w != 9 {
+		t.Errorf("weight(1) = %g, want 9", w)
+	}
+	if dv, ok := ng.EdgeData(0, 2); !ok || dv != 7 {
+		t.Errorf("data(0,2) = %g,%v, want 7,true", dv, ok)
+	}
+	// set_data must keep both adjacency directions in sync
+	for _, a := range ng.Pred(2) {
+		if a.Node == 0 && a.Data != 7 {
+			t.Errorf("pred data(0,2) = %g, want 7", a.Data)
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		t.Errorf("new graph invalid: %v", err)
+	}
+	// the source graph must be untouched
+	if g.NumNodes() != 4 || g.NumEdges() != 4 || g.Weight(1) != 1 {
+		t.Errorf("source graph mutated: %d nodes, %d edges, w(1)=%g", g.NumNodes(), g.NumEdges(), g.Weight(1))
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"empty", Delta{}, "empty delta"},
+		{"unknown op", Delta{{Op: "drop_task"}}, "unknown op"},
+		{"cycle", Delta{{Op: "add_edge", From: ip(3), To: ip(0), Data: f64(1)}}, "cycle"},
+		{"self loop", Delta{{Op: "add_edge", From: ip(2), To: ip(2), Data: f64(1)}}, "self loop"},
+		{"dangling edge", Delta{{Op: "add_edge", From: ip(0), To: ip(99), Data: f64(1)}}, "out of range"},
+		{"duplicate edge", Delta{{Op: "add_edge", From: ip(0), To: ip(1), Data: f64(1)}}, "duplicate edge"},
+		{"negative data", Delta{{Op: "add_edge", From: ip(1), To: ip(2), Data: f64(-1)}}, "negative data"},
+		{"missing fields", Delta{{Op: "add_edge", From: ip(0)}}, "missing from/to/data"},
+		{"missing weight", Delta{{Op: "add_task"}}, "missing weight"},
+		{"unknown task", Delta{{Op: "set_weight", Task: ip(12), Weight: f64(1)}}, "out of range"},
+		{"negative weight", Delta{{Op: "set_weight", Task: ip(1), Weight: f64(-2)}}, "finite and non-negative"},
+		{"missing edge", Delta{{Op: "set_data", From: ip(1), To: ip(2), Data: f64(1)}}, "missing edge"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := deltaDiamond(t)
+			before := g.Clone()
+			if _, _, err := tc.d.Apply(g); err == nil {
+				t.Fatalf("Apply succeeded, want error containing %q", tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Apply error %q, want substring %q", err, tc.want)
+			}
+			// a failed delta must not disturb the source graph
+			if g.NumNodes() != before.NumNodes() || g.NumEdges() != before.NumEdges() {
+				t.Errorf("failed delta mutated the graph")
+			}
+		})
+	}
+}
+
+func TestDeltaNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, d := range []Delta{
+			{{Op: "add_task", Weight: &v}},
+			{{Op: "set_weight", Task: ip(0), Weight: &v}},
+			{{Op: "add_edge", From: ip(1), To: ip(2), Data: &v}},
+			{{Op: "set_data", From: ip(0), To: ip(1), Data: &v}},
+		} {
+			if _, _, err := d.Apply(deltaDiamond(t)); err == nil {
+				t.Errorf("op %s accepted %g", d[0].Op, v)
+			}
+		}
+	}
+}
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	body := `[
+		{"op":"add_task","weight":3,"label":"t"},
+		{"op":"add_edge","from":0,"to":4,"data":0},
+		{"op":"set_weight","task":4,"weight":0}
+	]`
+	var d Delta
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	ng, eff, err := d.Apply(deltaDiamond(t))
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// zero weight and zero data are legal and distinct from "missing"
+	if ng.Weight(4) != 0 {
+		t.Errorf("weight(4) = %g, want 0", ng.Weight(4))
+	}
+	if dv, ok := ng.EdgeData(0, 4); !ok || dv != 0 {
+		t.Errorf("data(0,4) = %g,%v, want 0,true", dv, ok)
+	}
+	if eff.Added != 1 || len(eff.Dirty) != 2 {
+		t.Errorf("eff = %+v, want Added 1, 2 dirty", eff)
+	}
+	// a missing required field must error, not default to task 0
+	var bad Delta
+	if err := json.Unmarshal([]byte(`[{"op":"set_weight","weight":1}]`), &bad); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if _, _, err := bad.Apply(deltaDiamond(t)); err == nil || !strings.Contains(err.Error(), "missing task") {
+		t.Errorf("missing task field: got %v", err)
+	}
+}

@@ -4,14 +4,17 @@
 // task in cycles and data(u,v) is the number of data items carried by an
 // edge.
 //
-// A Graph is built incrementally with AddNode and AddEdge and is append-only;
-// node identifiers are dense integers in [0, NumNodes). All scheduling
-// packages treat those identifiers as indices into per-task arrays.
+// A Graph is built incrementally with AddNode and AddEdge; the structure is
+// append-only (nodes and edges are never removed), while weights and edge
+// data may be updated in place with SetWeight and SetEdgeData. Node
+// identifiers are dense integers in [0, NumNodes). All scheduling packages
+// treat those identifiers as indices into per-task arrays.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Adj is one adjacency entry: a neighbouring node and the data volume of the
@@ -95,6 +98,52 @@ func (g *Graph) MustEdge(u, v int, data float64) {
 	if err := g.AddEdge(u, v, data); err != nil {
 		panic(err)
 	}
+}
+
+// SetWeight updates w(v) in place. It rejects out-of-range nodes and
+// non-finite or negative weights with an error (never a panic): weight
+// updates arrive from untrusted session deltas, unlike AddNode's
+// generator-built weights.
+func (g *Graph) SetWeight(v int, weight float64) error {
+	if v < 0 || v >= len(g.weights) {
+		return fmt.Errorf("graph: set_weight node %d out of range [0,%d)", v, len(g.weights))
+	}
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("graph: node %d weight %g must be finite and non-negative", v, weight)
+	}
+	g.weights[v] = weight
+	return nil
+}
+
+// SetEdgeData updates data(u,v) in place, keeping the forward and backward
+// adjacency lists consistent. It rejects a missing edge and non-finite or
+// negative data with an error.
+func (g *Graph) SetEdgeData(u, v int, data float64) error {
+	n := len(g.weights)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if data < 0 || math.IsNaN(data) || math.IsInf(data, 0) {
+		return fmt.Errorf("graph: edge (%d,%d) data %g must be finite and non-negative", u, v, data)
+	}
+	found := false
+	for i := range g.succ[u] {
+		if g.succ[u][i].Node == v {
+			g.succ[u][i].Data = data
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("graph: set_data on missing edge (%d,%d)", u, v)
+	}
+	for i := range g.pred[v] {
+		if g.pred[v][i].Node == u {
+			g.pred[v][i].Data = data
+			break
+		}
+	}
+	return nil
 }
 
 // NumNodes returns the number of nodes.

@@ -272,6 +272,39 @@ func bilRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 		return nil, err
 	}
 	defer tune.reclaim(s)
+	prio, err := bilPriorities(g, pl)
+	if err != nil {
+		return nil, err
+	}
+
+	// BIL's level scan runs on the frontier engine like DLS and Exhaustive:
+	// each popped task's processor row is probed through the shared cached +
+	// parallel scan machinery, and the earliest-finish reduction (ties to
+	// the lowest processor index) is identical to bestEFT's.
+	f := attachFrontier(s)
+	ready := newReadyList(prio)
+	rel := newReleaser(g)
+	for _, v := range rel.initial() {
+		ready.push(v)
+	}
+	for !ready.empty() {
+		v := ready.pop()
+		s.commit(v, f.bestInRow(v))
+		for _, nv := range rel.release(v) {
+			ready.push(nv)
+		}
+	}
+	if !rel.done() {
+		return nil, graph.ErrCycle
+	}
+	return s.sch, nil
+}
+
+// bilPriorities computes the BIL task priorities: the bottom-up imaginary
+// level matrix, reduced to max over processors per task. Shared by bilRun
+// and the incremental runner, which needs the priorities alone to simulate
+// BIL's commit order.
+func bilPriorities(g *graph.Graph, pl *platform.Platform) ([]float64, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -318,28 +351,7 @@ func bilRun(g *graph.Graph, pl *platform.Platform, model sched.Model, tune *Tuni
 		}
 		prio[v] = m
 	}
-
-	// BIL's level scan runs on the frontier engine like DLS and Exhaustive:
-	// each popped task's processor row is probed through the shared cached +
-	// parallel scan machinery, and the earliest-finish reduction (ties to
-	// the lowest processor index) is identical to bestEFT's.
-	f := attachFrontier(s)
-	ready := newReadyList(prio)
-	rel := newReleaser(g)
-	for _, v := range rel.initial() {
-		ready.push(v)
-	}
-	for !ready.empty() {
-		v := ready.pop()
-		s.commit(v, f.bestInRow(v))
-		for _, nv := range rel.release(v) {
-			ready.push(nv)
-		}
-	}
-	if !rel.done() {
-		return nil, graph.ErrCycle
-	}
-	return s.sch, nil
+	return prio, nil
 }
 
 // PCT implements the minimum Partial Completion Time static priority

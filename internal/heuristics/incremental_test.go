@@ -1,0 +1,242 @@
+package heuristics
+
+import (
+	"fmt"
+	"testing"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/testbeds"
+)
+
+func fptr(v float64) *float64 { return &v }
+func iptr(v int) *int         { return &v }
+
+// incCases are the (graph, platform) instances the incremental oracle runs
+// on: the dense paper platform and the routed line topology, where replayed
+// comms carry multi-hop chains.
+func incCases() []struct {
+	name string
+	g    *graph.Graph
+	pl   *platform.Platform
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+		pl   *platform.Platform
+	}{
+		{"forkjoin40", testbeds.ForkJoin(40, 10), platform.Paper()},
+		{"lu10", testbeds.LU(10, 10), platform.Paper()},
+		{"lu8-line4", testbeds.LU(8, 10), linePlatform(4)},
+	}
+}
+
+// incDeltas builds a chain of deltas exercising every graph op against g:
+// a weight change, an edge re-cost, and a new task wired below an existing
+// one. Each entry is applied on top of the previous entry's result.
+func incDeltas(g *graph.Graph) []graph.Delta {
+	e := g.Edges()[g.NumEdges()/2]
+	mid := g.NumNodes() / 2
+	return []graph.Delta{
+		{{Op: "set_weight", Task: iptr(mid), Weight: fptr(g.Weight(mid)*2 + 1)}},
+		{{Op: "set_data", From: iptr(e.From), To: iptr(e.To), Data: fptr(e.Data + 5)}},
+		{
+			{Op: "add_task", Weight: fptr(7), Label: "inc"},
+			{Op: "add_edge", From: iptr(0), To: iptr(g.NumNodes()), Data: fptr(3)},
+		},
+	}
+}
+
+// TestIncrementalOracle pins the subsystem's core guarantee: after every
+// delta in a chain, RunIncremental — replayed prefix plus probed suffix,
+// warm Scratch carried across deltas like a session does — produces a
+// schedule byte-identical to a cold full run of the same heuristic on the
+// final graph, for every supported heuristic and communication model.
+func TestIncrementalOracle(t *testing.T) {
+	for _, c := range incCases() {
+		for _, name := range []string{"heft", "heft-append", "bil"} {
+			for _, model := range sched.Models() {
+				t.Run(fmt.Sprintf("%s/%s/%s", c.name, name, model), func(t *testing.T) {
+					tune := &Tuning{Scratch: NewScratch()}
+					res, err := RunIncremental(name, c.g, c.pl, model, ILHAOptions{}, tune, nil, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g := c.g
+					for di, d := range incDeltas(c.g) {
+						ng, eff, err := d.Apply(g)
+						if err != nil {
+							t.Fatalf("delta %d: %v", di, err)
+						}
+						dirty := make([]bool, ng.NumNodes())
+						for _, v := range eff.Dirty {
+							dirty[v] = true
+						}
+						prev := &PrevRun{Order: res.Order, Schedule: res.Schedule}
+						res, err = RunIncremental(name, ng, c.pl, model, ILHAOptions{}, tune, prev, dirty)
+						if err != nil {
+							t.Fatalf("delta %d: %v", di, err)
+						}
+						cold, err := ByName(name, ILHAOptions{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := cold(ng, c.pl, model)
+						if err != nil {
+							t.Fatalf("delta %d cold: %v", di, err)
+						}
+						if err := sameSchedule(want, res.Schedule); err != nil {
+							t.Fatalf("delta %d (replayed %d/%d): %v", di, res.Replayed, ng.NumNodes(), err)
+						}
+						g = ng
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalFullReplay: with no delta at all, the entire previous run
+// replays — every task, zero probes — and reproduces it byte-identically.
+func TestIncrementalFullReplay(t *testing.T) {
+	g, pl := testbeds.LU(10, 10), platform.Paper()
+	for _, name := range []string{"heft", "bil"} {
+		for _, model := range sched.Models() {
+			t.Run(fmt.Sprintf("%s/%s", name, model), func(t *testing.T) {
+				tune := &Tuning{Scratch: NewScratch()}
+				base, err := RunIncremental(name, g, pl, model, ILHAOptions{}, tune, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prev := &PrevRun{Order: base.Order, Schedule: base.Schedule}
+				res, err := RunIncremental(name, g, pl, model, ILHAOptions{}, tune, prev, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Replayed != g.NumNodes() {
+					t.Fatalf("replayed %d of %d tasks, want all", res.Replayed, g.NumNodes())
+				}
+				if err := sameSchedule(base.Schedule, res.Schedule); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalReplayProgress asserts the prefix is genuinely long for a
+// localized delta: re-weighting the sink of a fork-join shifts every bottom
+// level uniformly, so the commit order is unchanged and everything except
+// the sink itself replays.
+func TestIncrementalReplayProgress(t *testing.T) {
+	g, pl := testbeds.ForkJoin(40, 10), platform.Paper()
+	n := g.NumNodes()
+	sink := n - 1
+	if g.OutDegree(sink) != 0 {
+		t.Fatalf("expected node %d to be the fork-join sink", sink)
+	}
+	for _, model := range []sched.Model{sched.MacroDataflow, sched.OnePort} {
+		tune := &Tuning{Scratch: NewScratch()}
+		base, err := RunIncremental("heft", g, pl, model, ILHAOptions{}, tune, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := graph.Delta{{Op: "set_weight", Task: iptr(sink), Weight: fptr(g.Weight(sink) + 3)}}
+		ng, eff, err := d.Apply(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirty := make([]bool, ng.NumNodes())
+		for _, v := range eff.Dirty {
+			dirty[v] = true
+		}
+		res, err := RunIncremental("heft", ng, pl, model, ILHAOptions{}, tune,
+			&PrevRun{Order: base.Order, Schedule: base.Schedule}, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Replayed < n-1 {
+			t.Errorf("%s: replayed %d of %d, want >= %d", model, res.Replayed, n, n-1)
+		}
+		cold, err := HEFT(ng, pl, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(cold, res.Schedule); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIncrementalFallback: heuristics without a simulable commit order run
+// as full recomputes through the same entry point — correct result, no
+// recorded order, nothing replayed.
+func TestIncrementalFallback(t *testing.T) {
+	g, pl := testbeds.LU(8, 10), platform.Paper()
+	if SupportsIncremental("dls") {
+		t.Fatal("dls must not claim incremental support (dynamic selection)")
+	}
+	tune := &Tuning{Scratch: NewScratch()}
+	res, err := RunIncremental("dls", g, pl, sched.OnePort, ILHAOptions{}, tune, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order != nil || res.Replayed != 0 {
+		t.Fatalf("fallback leaked order/replay: %d order entries, %d replayed", len(res.Order), res.Replayed)
+	}
+	want, err := DLS(g, pl, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSchedule(want, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalPrefixGuards: a processor-count change or an inconsistent
+// recorded run must disable replay entirely (keep = 0), never index out of
+// bounds, and still produce the correct schedule.
+func TestIncrementalPrefixGuards(t *testing.T) {
+	g := testbeds.ForkJoin(10, 10)
+	plA := platform.Paper()
+	plB, err := platform.Homogeneous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tune := &Tuning{Scratch: NewScratch()}
+	base, err := RunIncremental("heft", g, plA, sched.OnePort, ILHAOptions{}, tune, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// same graph, different platform: probes read every processor, so the
+	// recorded run (whose Procs differs) must not replay at all
+	res, err := RunIncremental("heft", g, plB, sched.OnePort, ILHAOptions{}, tune,
+		&PrevRun{Order: base.Order, Schedule: base.Schedule}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed != 0 {
+		t.Errorf("platform change replayed %d tasks, want 0", res.Replayed)
+	}
+	want, err := HEFT(g, plB, sched.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSchedule(want, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	// a previous run with un-Done placements (claimed by Order but absent
+	// from the schedule) stops the prefix instead of replaying garbage
+	broken := &PrevRun{Order: base.Order, Schedule: sched.NewSchedule(g.NumNodes(), plA.NumProcs())}
+	res, err = RunIncremental("heft", g, plA, sched.OnePort, ILHAOptions{}, tune, broken, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed != 0 {
+		t.Errorf("inconsistent prev replayed %d tasks, want 0", res.Replayed)
+	}
+	if err := sameSchedule(base.Schedule, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -155,6 +155,7 @@ func Specs() []Spec {
 		},
 	})
 	specs = append(specs, serviceSpecs()...)
+	specs = append(specs, sessionSpecs()...)
 	specs = append(specs, sweepSpecs()...)
 	return specs
 }

@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+
+	"oneport/internal/exp"
+	"oneport/internal/graph"
+	"oneport/internal/heuristics"
+	"oneport/internal/platform"
+	"oneport/internal/sched"
+	"oneport/internal/service/session"
+	"oneport/internal/testbeds"
+)
+
+// sessionSpecs benchmarks the scheduling-session subsystem: one small delta
+// against a warm ~300-task session (prefix replay on warm state) versus the
+// cold full run a sessionless client would pay for the same change. The
+// graph is a fork-join with a chain tail — every path runs through the
+// re-weighted tail task, so the commit order is stable and everything but
+// that task replays, while the cold run re-probes every task including the
+// 300-predecessor join.
+func sessionSpecs() []Spec {
+	g := testbeds.ForkJoin(300, exp.CommRatio)
+	for i := 0; i < 3; i++ {
+		g.AddNode(10, "")
+		g.MustEdge(g.NumNodes()-2, g.NumNodes()-1, 5)
+	}
+	pl := platform.Paper()
+	n := g.NumNodes()
+
+	m := session.NewManager(session.Config{})
+	id, _, err := m.Open(context.Background(), session.Params{
+		Graph: g, Platform: pl, Heuristic: "heft", Model: sched.OnePort, ProbePar: 1,
+	})
+	if err != nil {
+		panic(err) // static instance; cannot fail
+	}
+	warmIter := 0
+	tune := &heuristics.Tuning{ProbeParallelism: 1, Scratch: heuristics.NewScratch()}
+	coldIter := 0
+
+	fp := func(v float64) *float64 { return &v }
+	ip := func(v int) *int { return &v }
+	return []Spec{
+		{
+			Name:      "session-delta-warm-forkjoin300",
+			perOp:     float64(n),
+			perOpUnit: "tasks",
+			work: func() (map[string]float64, error) {
+				warmIter++
+				d := session.Delta{Graph: graph.Delta{{
+					Op: "set_weight", Task: ip(n - 1), Weight: fp(float64(10 + warmIter%7)),
+				}}}
+				info, err := m.Delta(context.Background(), id, d)
+				if err != nil {
+					return nil, err
+				}
+				if info.Replayed < n-1 {
+					return nil, fmt.Errorf("replayed %d of %d tasks", info.Replayed, n)
+				}
+				return map[string]float64{"replayed": float64(info.Replayed)}, nil
+			},
+		},
+		{
+			Name:      "session-delta-cold-forkjoin300",
+			perOp:     float64(n),
+			perOpUnit: "tasks",
+			work: func() (map[string]float64, error) {
+				coldIter++
+				ng := g.Clone()
+				if err := ng.SetWeight(n-1, float64(10+coldIter%7)); err != nil {
+					return nil, err
+				}
+				_, err := heuristics.RunIncremental("heft", ng, pl, sched.OnePort,
+					heuristics.ILHAOptions{}, tune, nil, nil)
+				return nil, err
+			},
+		},
+	}
+}

@@ -1,0 +1,159 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// A Delta is an ordered list of platform mutations streamed by a scheduling
+// session: processors joining or leaving, and speed or wire-cost changes.
+// Because Platform is immutable, Apply builds a fresh Platform through New,
+// which re-runs full validation — a malformed delta is an error, never a
+// panic or a corrupt platform.
+type Delta []DeltaOp
+
+// DeltaOp is one platform mutation. Op selects the kind; numeric fields are
+// pointers so a missing required field is rejected rather than read as zero.
+//
+//	{"op":"add_proc","cycle":6,"link":1}       new processor, uniform wires
+//	{"op":"add_proc","cycle":6,"links":[1,null,2]}  explicit (nullable) wires
+//	{"op":"remove_proc","proc":3}              drop a processor (ids renumber)
+//	{"op":"set_cycle","proc":2,"cycle":10}     change a cycle-time
+//	{"op":"set_link","from":0,"to":4,"cost":2} re-cost a wire (omit: cut it)
+type DeltaOp struct {
+	Op    string   `json:"op"`
+	Proc  *int     `json:"proc,omitempty"`  // remove_proc, set_cycle
+	Cycle *float64 `json:"cycle,omitempty"` // add_proc, set_cycle
+	Link  *float64 `json:"link,omitempty"`  // add_proc: uniform wire cost
+	Links []*jnum  `json:"links,omitempty"` // add_proc: explicit row, null = no wire
+	From  *int     `json:"from,omitempty"`  // set_link
+	To    *int     `json:"to,omitempty"`    // set_link
+	// Cost is the new link(from,to) = link(to,from); JSON null or an absent
+	// field cuts the wire (+Inf).
+	Cost *float64 `json:"cost,omitempty"` // set_link
+}
+
+// Apply applies the delta to pl and returns a new validated Platform; pl is
+// never mutated, so a failed delta leaves the session's platform untouched.
+// Removing a processor renumbers the ones above it (ids stay dense), and
+// removing the last processor is an error.
+func (d Delta) Apply(pl *Platform) (*Platform, error) {
+	if len(d) == 0 {
+		return nil, fmt.Errorf("platform: empty delta")
+	}
+	cycles := append([]float64(nil), pl.cycle...)
+	link := make([][]float64, len(pl.link))
+	for q := range pl.link {
+		link[q] = append([]float64(nil), pl.link[q]...)
+	}
+	for i, op := range d {
+		var err error
+		cycles, link, err = op.apply(cycles, link)
+		if err != nil {
+			return nil, fmt.Errorf("platform: delta op %d (%s): %w", i, op.Op, err)
+		}
+	}
+	// New re-validates every entry, so value errors that slipped past the
+	// per-op checks still cannot build a corrupt platform.
+	return New(cycles, link)
+}
+
+func (op *DeltaOp) apply(cycles []float64, link [][]float64) ([]float64, [][]float64, error) {
+	p := len(cycles)
+	switch op.Op {
+	case "add_proc":
+		if op.Cycle == nil {
+			return nil, nil, fmt.Errorf("missing cycle")
+		}
+		if c := *op.Cycle; c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, nil, fmt.Errorf("cycle-time %g must be positive and finite", c)
+		}
+		row := make([]float64, p+1) // row[p] = 0: own diagonal
+		switch {
+		case op.Links != nil:
+			if op.Link != nil {
+				return nil, nil, fmt.Errorf("both link and links given")
+			}
+			if len(op.Links) != p {
+				return nil, nil, fmt.Errorf("links row has %d entries, want %d (one per existing processor)", len(op.Links), p)
+			}
+			for q, c := range op.Links {
+				if c == nil {
+					row[q] = math.Inf(1) // null: no wire to q
+					continue
+				}
+				if v := float64(*c); v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, nil, fmt.Errorf("link to processor %d = %g must be positive or null", q, v)
+				}
+				row[q] = float64(*c)
+			}
+		case op.Link != nil:
+			if c := *op.Link; c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, nil, fmt.Errorf("uniform link cost %g must be positive and finite", c)
+			}
+			for q := 0; q < p; q++ {
+				row[q] = *op.Link
+			}
+		default:
+			return nil, nil, fmt.Errorf("missing link or links")
+		}
+		// wires are applied symmetrically: existing rows gain column p
+		for q := 0; q < p; q++ {
+			link[q] = append(link[q], row[q])
+		}
+		return append(cycles, *op.Cycle), append(link, row), nil
+	case "remove_proc":
+		if op.Proc == nil {
+			return nil, nil, fmt.Errorf("missing proc")
+		}
+		q := *op.Proc
+		if q < 0 || q >= p {
+			return nil, nil, fmt.Errorf("processor %d out of range [0,%d)", q, p)
+		}
+		if p == 1 {
+			return nil, nil, fmt.Errorf("cannot remove the last processor")
+		}
+		cycles = append(cycles[:q], cycles[q+1:]...)
+		link = append(link[:q], link[q+1:]...)
+		for r := range link {
+			link[r] = append(link[r][:q], link[r][q+1:]...)
+		}
+		return cycles, link, nil
+	case "set_cycle":
+		if op.Proc == nil || op.Cycle == nil {
+			return nil, nil, fmt.Errorf("missing proc/cycle")
+		}
+		q := *op.Proc
+		if q < 0 || q >= p {
+			return nil, nil, fmt.Errorf("processor %d out of range [0,%d)", q, p)
+		}
+		if c := *op.Cycle; c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, nil, fmt.Errorf("cycle-time %g must be positive and finite", c)
+		}
+		cycles[q] = *op.Cycle
+		return cycles, link, nil
+	case "set_link":
+		if op.From == nil || op.To == nil {
+			return nil, nil, fmt.Errorf("missing from/to")
+		}
+		q, r := *op.From, *op.To
+		if q < 0 || q >= p || r < 0 || r >= p {
+			return nil, nil, fmt.Errorf("wire (%d,%d) out of range [0,%d)", q, r, p)
+		}
+		if q == r {
+			return nil, nil, fmt.Errorf("cannot set the diagonal link(%d,%d)", q, r)
+		}
+		cost := math.Inf(1) // absent cost cuts the wire
+		if op.Cost != nil {
+			cost = *op.Cost
+			if cost <= 0 || math.IsNaN(cost) || math.IsInf(cost, -1) {
+				return nil, nil, fmt.Errorf("link cost %g must be positive (omit to cut the wire)", cost)
+			}
+		}
+		link[q][r] = cost
+		link[r][q] = cost
+		return cycles, link, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown op (known: add_proc, remove_proc, set_cycle, set_link)")
+	}
+}

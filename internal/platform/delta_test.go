@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func pf(v float64) *float64 { return &v }
+func pi(v int) *int         { return &v }
+
+func TestPlatformDeltaApply(t *testing.T) {
+	pl, err := Uniform([]float64{2, 4, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Delta{
+		{Op: "add_proc", Cycle: pf(6), Link: pf(3)},
+		{Op: "set_cycle", Proc: pi(1), Cycle: pf(5)},
+		{Op: "set_link", From: pi(0), To: pi(2), Cost: pf(9)},
+	}
+	np, err := d.Apply(pl)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if np.NumProcs() != 4 {
+		t.Fatalf("NumProcs = %d, want 4", np.NumProcs())
+	}
+	if np.CycleTime(3) != 6 || np.CycleTime(1) != 5 {
+		t.Errorf("cycles = %v, want t_3=6 t_1=5", np.CycleTimes())
+	}
+	// add_proc wires are symmetric, set_link applies both directions
+	if np.Link(3, 0) != 3 || np.Link(0, 3) != 3 {
+		t.Errorf("new proc wires = %g/%g, want 3/3", np.Link(3, 0), np.Link(0, 3))
+	}
+	if np.Link(0, 2) != 9 || np.Link(2, 0) != 9 {
+		t.Errorf("link(0,2) = %g/%g, want 9/9", np.Link(0, 2), np.Link(2, 0))
+	}
+	if np.Link(1, 2) != 1 {
+		t.Errorf("untouched link(1,2) = %g, want 1", np.Link(1, 2))
+	}
+	// the source platform must be untouched
+	if pl.NumProcs() != 3 || pl.CycleTime(1) != 4 || pl.Link(0, 2) != 1 {
+		t.Errorf("source platform mutated")
+	}
+}
+
+func TestPlatformDeltaRemoveAndSparse(t *testing.T) {
+	pl, err := Uniform([]float64{2, 4, 8, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Delta{{Op: "remove_proc", Proc: pi(1)}}.Apply(pl)
+	if err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if np.NumProcs() != 3 {
+		t.Fatalf("NumProcs = %d, want 3", np.NumProcs())
+	}
+	// ids renumber densely: old 2,3 become 1,2
+	want := []float64{2, 8, 16}
+	for i, c := range np.CycleTimes() {
+		if c != want[i] {
+			t.Errorf("cycle[%d] = %g, want %g", i, c, want[i])
+		}
+	}
+	// cutting a wire (omitted cost) flips the platform sparse
+	np2, err := Delta{{Op: "set_link", From: pi(0), To: pi(2)}}.Apply(np)
+	if err != nil {
+		t.Fatalf("cut wire: %v", err)
+	}
+	if !np2.Sparse() || !math.IsInf(np2.Link(0, 2), 1) || !math.IsInf(np2.Link(2, 0), 1) {
+		t.Errorf("cut wire: sparse=%v link=%g/%g", np2.Sparse(), np2.Link(0, 2), np2.Link(2, 0))
+	}
+	// and an explicit nullable add_proc row keeps nulls as missing wires
+	var d Delta
+	body := `[{"op":"add_proc","cycle":3,"links":[1,null,2]}]`
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	np3, err := d.Apply(np)
+	if err != nil {
+		t.Fatalf("add_proc links: %v", err)
+	}
+	if !math.IsInf(np3.Link(3, 1), 1) || !math.IsInf(np3.Link(1, 3), 1) {
+		t.Errorf("null wire not +Inf both ways: %g/%g", np3.Link(3, 1), np3.Link(1, 3))
+	}
+	if np3.Link(3, 2) != 2 || np3.Link(2, 3) != 2 {
+		t.Errorf("explicit wire = %g/%g, want 2/2", np3.Link(3, 2), np3.Link(2, 3))
+	}
+}
+
+func TestPlatformDeltaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"empty", Delta{}, "empty delta"},
+		{"unknown op", Delta{{Op: "reboot"}}, "unknown op"},
+		{"remove unknown", Delta{{Op: "remove_proc", Proc: pi(7)}}, "out of range"},
+		{"remove missing proc", Delta{{Op: "remove_proc"}}, "missing proc"},
+		{"set_cycle unknown", Delta{{Op: "set_cycle", Proc: pi(-1), Cycle: pf(1)}}, "out of range"},
+		{"set_cycle zero", Delta{{Op: "set_cycle", Proc: pi(0), Cycle: pf(0)}}, "positive and finite"},
+		{"set_link diagonal", Delta{{Op: "set_link", From: pi(1), To: pi(1), Cost: pf(1)}}, "diagonal"},
+		{"set_link unknown", Delta{{Op: "set_link", From: pi(0), To: pi(9), Cost: pf(1)}}, "out of range"},
+		{"set_link negative", Delta{{Op: "set_link", From: pi(0), To: pi(1), Cost: pf(-1)}}, "positive"},
+		{"add_proc no wires", Delta{{Op: "add_proc", Cycle: pf(1)}}, "missing link"},
+		{"add_proc both wires", Delta{{Op: "add_proc", Cycle: pf(1), Link: pf(1), Links: []*jnum{}}}, "both link and links"},
+		{"add_proc short row", Delta{{Op: "add_proc", Cycle: pf(1), Links: []*jnum{}}}, "want 2"},
+		{"add_proc bad cycle", Delta{{Op: "add_proc", Cycle: pf(math.NaN()), Link: pf(1)}}, "positive and finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, err := Uniform([]float64{2, 4}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tc.d.Apply(pl); err == nil {
+				t.Fatalf("Apply succeeded, want error containing %q", tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Apply error %q, want substring %q", err, tc.want)
+			}
+			if pl.NumProcs() != 2 || pl.CycleTime(0) != 2 {
+				t.Errorf("failed delta mutated the platform")
+			}
+		})
+	}
+	// removing the last processor is a distinct error
+	one, err := Uniform([]float64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Delta{{Op: "remove_proc", Proc: pi(0)}}).Apply(one); err == nil ||
+		!strings.Contains(err.Error(), "last processor") {
+		t.Errorf("remove last: got %v", err)
+	}
+}

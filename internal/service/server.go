@@ -19,6 +19,7 @@ import (
 	"oneport/internal/heuristics"
 	"oneport/internal/sched"
 	"oneport/internal/service/breaker"
+	"oneport/internal/service/session"
 )
 
 // maxBodyBytes bounds request payloads (graphs of several hundred thousand
@@ -79,19 +80,28 @@ type Config struct {
 	// I/O, and is independent of the client connection — a singleflight
 	// leader computes for its followers even if its own client hangs up.
 	RequestTimeout time.Duration
+
+	// MaxSessions bounds the scheduling-session table (0: the session
+	// package default) and SessionTTL the idle time after which a session
+	// may be evicted to admit a new one (0: package default; negative:
+	// sessions never expire). Sessions are replica-local state, never
+	// ring-replicated — see DESIGN.md "Session layer".
+	MaxSessions int
+	SessionTTL  time.Duration
 }
 
 // Server executes scheduling requests on a bounded worker pool with pooled
 // probe scratch and an LRU result cache. It is safe for concurrent use;
 // construct with New.
 type Server struct {
-	cfg     Config
-	sem     chan struct{}
-	scratch sync.Map // procs int -> *sync.Pool of *heuristics.Scratch
-	cache   *resultCache
-	flights flightGroup
-	peers   *peerSet // nil: single-replica
-	start   time.Time
+	cfg      Config
+	sem      chan struct{}
+	scratch  sync.Map // procs int -> *sync.Pool of *heuristics.Scratch
+	cache    *resultCache
+	flights  flightGroup
+	peers    *peerSet // nil: single-replica
+	sessions *session.Manager
+	start    time.Time
 
 	requests   atomic.Int64 // single /schedule jobs accepted
 	batches    atomic.Int64 // /batch payloads accepted
@@ -129,11 +139,12 @@ func New(cfg Config) *Server {
 		cfg.StreamBytes = defaultStreamBytes
 	}
 	return &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.PoolSize),
-		cache: newResultCache(cfg.CacheSize),
-		peers: newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient, cfg.Breaker),
-		start: time.Now(),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.PoolSize),
+		cache:    newResultCache(cfg.CacheSize),
+		peers:    newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient, cfg.Breaker),
+		sessions: session.NewManager(session.Config{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
+		start:    time.Now(),
 	}
 }
 
@@ -377,17 +388,23 @@ func (s *Server) RunBatch(b *Batch) BatchResponse {
 
 // Handler returns the server's HTTP surface:
 //
-//	POST /schedule    one Request  -> one Response
-//	POST /batch       {"requests":[...]} -> {"responses":[...]}
-//	POST /cache/peer  replica-internal distributed-cache fill
-//	GET  /ring        current membership epoch (admin token required)
-//	POST /ring        live membership swap (admin token required)
-//	GET  /healthz     liveness
-//	GET  /stats       counters (requests, cache hits/misses, in-flight, ...)
+//	POST   /schedule            one Request  -> one Response
+//	POST   /batch               {"requests":[...]} -> {"responses":[...]}
+//	POST   /session             open a scheduling session (body: a Request)
+//	POST   /session/{id}/delta  apply a delta batch, get the re-schedule
+//	DELETE /session/{id}        close a session
+//	POST   /cache/peer          replica-internal distributed-cache fill
+//	GET    /ring                current membership epoch (admin token required)
+//	POST   /ring                live membership swap (admin token required)
+//	GET    /healthz             liveness
+//	GET    /stats               counters (requests, cache hits/misses, ...)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /session", s.handleSessionOpen)
+	mux.HandleFunc("POST /session/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("DELETE /session/{id}", s.handleSessionClose)
 	mux.HandleFunc("POST /cache/peer", s.handleCachePeer)
 	mux.HandleFunc("GET /ring", s.handleRingGet)
 	mux.HandleFunc("POST /ring", s.handleRingPost)
@@ -438,14 +455,11 @@ func (s *Server) handleCachePeer(w http.ResponseWriter, r *http.Request) {
 // attached to the cache and the body hash registered, so the next repeat
 // stays on the fast path.
 func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer bool) {
-	buf := bufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer bufPool.Put(buf)
-	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
-		s.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
-		return
+	buf, release, err := s.readBody(w, r)
+	if err != nil {
+		return // readBody already answered 400 and counted the error
 	}
+	defer release()
 	accepted := func() {
 		if fromPeer {
 			s.peerFills.Add(1)
@@ -529,6 +543,24 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 		// entry has no encoded bytes yet (once per cache entry lifetime)
 		s.cache.attachEncoded(resp.Key, body, encodeHit(resp))
 	}
+}
+
+// readBody reads one request body through the serving path's pooled-buffer,
+// size-capped read: every body-carrying endpoint (/schedule, /cache/peer,
+// the session surface) shares this path, so oversize and torn bodies get
+// the same 400 everywhere and steady-state requests reuse grown buffers.
+// On success the caller must invoke release when done with the bytes; on
+// error the 400 has already been written and the error counted.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, func(), error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		bufPool.Put(buf)
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
+		return nil, nil, err
+	}
+	return buf, func() { bufPool.Put(buf) }, nil
 }
 
 // peerRelay carries a stream-marked owner response out of the flight
@@ -775,6 +807,16 @@ type Stats struct {
 	BreakersOpen int   `json:"breakers_open"`
 	BreakerOpens int64 `json:"breaker_opens"`
 	BreakerTrips int64 `json:"breaker_trips"`
+	// SessionsOpen is the live scheduling-session count and SessionsBytes
+	// the estimated state those sessions pin; SessionDeltas counts applied
+	// delta batches, SessionEvictions idle sessions reclaimed past the
+	// TTL, and SessionReplayedTasks the task placements replayed from a
+	// previous run instead of being re-probed (the subsystem's saved work).
+	SessionsOpen         int   `json:"sessions_open"`
+	SessionsBytes        int64 `json:"sessions_bytes"`
+	SessionDeltas        int64 `json:"session_deltas"`
+	SessionEvictions     int64 `json:"session_evictions"`
+	SessionReplayedTasks int64 `json:"session_replayed_tasks"`
 	// Timeouts counts runs aborted at Config.RequestTimeout (503s).
 	Timeouts int64 `json:"timeouts"`
 	Errors   int64 `json:"errors"`
@@ -797,31 +839,37 @@ func (s *Server) StatsSnapshot() Stats {
 		epochSkew = s.peers.skews.Load()
 		brk = s.peers.breakers.Stats(time.Now())
 	}
+	sess := s.sessions.StatsSnapshot()
 	return Stats{
-		UptimeS:       time.Since(s.start).Seconds(),
-		PoolSize:      s.cfg.PoolSize,
-		Requests:      s.requests.Load(),
-		Batches:       s.batches.Load(),
-		BatchJobs:     s.batchJobs.Load(),
-		CacheHits:     s.hits.Load(),
-		CacheBodyHits: s.bodyHits.Load(),
-		CacheMisses:   s.misses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		CacheLen:      s.cache.len(),
-		CacheSize:     s.cfg.CacheSize,
-		Peers:         peers,
-		PeerHits:      s.peerHits.Load(),
-		PeerFills:     s.peerFills.Load(),
-		PeerErrors:    s.peerErrors.Load(),
-		RingEpoch:     ringEpoch,
-		RingSwaps:     ringSwaps,
-		PeerEpochSkew: epochSkew,
-		BreakersOpen:  brk.Open,
-		BreakerOpens:  brk.Opens,
-		BreakerTrips:  brk.Trips,
-		Timeouts:      s.timeouts.Load(),
-		Errors:        s.errors.Load(),
-		InFlight:      s.inFlight.Load(),
+		UptimeS:              time.Since(s.start).Seconds(),
+		PoolSize:             s.cfg.PoolSize,
+		Requests:             s.requests.Load(),
+		Batches:              s.batches.Load(),
+		BatchJobs:            s.batchJobs.Load(),
+		CacheHits:            s.hits.Load(),
+		CacheBodyHits:        s.bodyHits.Load(),
+		CacheMisses:          s.misses.Load(),
+		Coalesced:            s.coalesced.Load(),
+		CacheLen:             s.cache.len(),
+		CacheSize:            s.cfg.CacheSize,
+		Peers:                peers,
+		PeerHits:             s.peerHits.Load(),
+		PeerFills:            s.peerFills.Load(),
+		PeerErrors:           s.peerErrors.Load(),
+		RingEpoch:            ringEpoch,
+		RingSwaps:            ringSwaps,
+		PeerEpochSkew:        epochSkew,
+		BreakersOpen:         brk.Open,
+		BreakerOpens:         brk.Opens,
+		BreakerTrips:         brk.Trips,
+		SessionsOpen:         sess.Open,
+		SessionsBytes:        sess.Bytes,
+		SessionDeltas:        sess.Deltas,
+		SessionEvictions:     sess.Evictions,
+		SessionReplayedTasks: sess.ReplayedTasks,
+		Timeouts:             s.timeouts.Load(),
+		Errors:               s.errors.Load(),
+		InFlight:             s.inFlight.Load(),
 	}
 }
 

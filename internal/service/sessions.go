@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"oneport/internal/heuristics"
+	"oneport/internal/service/session"
+)
+
+// This file is the HTTP face of the scheduling-session subsystem
+// (internal/service/session): open a session with the same payload
+// /schedule takes, stream delta batches at it, read back re-schedules
+// that replayed the untouched prefix of the previous run.
+//
+// Sessions are replica-local, never ring-replicated: the warm state a
+// session holds (Scratch, frontier engine, recorded run) is process
+// memory, so clients must pin a session to the replica that opened it
+// (see DESIGN.md "Session layer" for the ring-epoch interaction).
+
+// SessionResponse is the reply of POST /session and
+// POST /session/{id}/delta: the usual scheduling response plus the
+// session coordinates. Response.Key stays empty — session results are
+// not cache entries.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	// Replayed is the number of task placements replayed verbatim from
+	// the previous run (0 on open and after platform deltas).
+	Replayed int `json:"replayed_tasks"`
+	// Deltas is the number of delta batches applied so far.
+	Deltas int `json:"deltas"`
+	Response
+}
+
+// handleSessionOpen opens a scheduling session: the body is a /schedule
+// Request (same normalization, same clamping), the reply the cold
+// schedule plus the session id to stream deltas at.
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	buf, release, err := s.readBody(w, r)
+	if err != nil {
+		return
+	}
+	defer release()
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
+		return
+	}
+	model, err := req.normalize()
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.sessionCtx(r)
+	defer cancel()
+	id, info, err := s.sessions.Open(ctx, session.Params{
+		Graph:     req.Graph,
+		Platform:  req.Platform,
+		Heuristic: req.Heuristic,
+		Model:     model,
+		Opts:      heuristics.ILHAOptions{B: req.Options.B, ScanDepth: req.Options.ScanDepth},
+		ProbePar:  s.clampProbePar(req.Options.ProbeParallelism),
+	})
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	s.writeSessionResponse(w, &SessionResponse{
+		SessionID: id,
+		Replayed:  info.Replayed,
+		Deltas:    info.Deltas,
+		Response:  sessionResult(info, req.Heuristic, req.Model),
+	})
+}
+
+// handleSessionDelta applies one delta batch — {"graph":[ops...],
+// "platform":[ops...]} — to a session and replies with the incremental
+// re-schedule. The body rides the same pooled, size-capped read path as
+// /schedule.
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	buf, release, err := s.readBody(w, r)
+	if err != nil {
+		return
+	}
+	defer release()
+	var d session.Delta
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
+		return
+	}
+	id := r.PathValue("id")
+	ctx, cancel := s.sessionCtx(r)
+	defer cancel()
+	info, err := s.sessions.Delta(ctx, id, d)
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	s.writeSessionResponse(w, &SessionResponse{
+		SessionID: id,
+		Replayed:  info.Replayed,
+		Deltas:    info.Deltas,
+		Response:  sessionResult(info, "", ""),
+	})
+}
+
+// handleSessionClose closes a session, releasing its warm state.
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.Close(r.PathValue("id")); err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// sessionCtx bounds one session run: the client's context (a session run
+// serves exactly the client that sent the delta — there is no
+// singleflight here, so hanging up may cancel the run), tightened by
+// Config.RequestTimeout when set.
+func (s *Server) sessionCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if d := s.cfg.RequestTimeout; d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return r.Context(), func() {}
+}
+
+// sessionResult shapes a session run into the /schedule response form.
+// heur/model are echoed when known (open); delta replies leave them to
+// the client, which chose them at open time.
+func sessionResult(info *session.RunInfo, heur, model string) Response {
+	speedup := 0.0
+	if ms := info.Schedule.Makespan(); ms > 0 {
+		speedup = info.SeqTime / ms
+	}
+	return Response{
+		Heuristic: heur,
+		Model:     model,
+		Tasks:     info.Tasks,
+		Makespan:  info.Schedule.Makespan(),
+		Speedup:   speedup,
+		Comms:     info.Schedule.CommCount(),
+		ElapsedNs: info.ElapsedNs,
+		Schedule:  info.Schedule,
+	}
+}
+
+// writeSessionError maps session failures onto the service's status
+// conventions: a full table and a deadline abort are retryable 503s, an
+// unknown session 404, a server-side fault 500, and everything else — bad
+// deltas, invalid requests — 400.
+func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, session.ErrFull):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.sessions.RetryAfterSeconds()))
+	case errors.Is(err, heuristics.ErrCanceled):
+		s.timeouts.Add(1)
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		if d := s.cfg.RequestTimeout; d > 0 {
+			err = fmt.Errorf("service: session run exceeded the %s request deadline", d)
+		}
+	case errors.Is(err, session.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, session.ErrFault):
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, Response{Error: err.Error()})
+}
+
+// writeSessionResponse writes a session reply, streaming the encode for
+// bodies whose estimate exceeds Config.StreamBytes — the same threshold
+// and wire mark as /schedule, so a delta on a huge session never stages a
+// many-megabyte body in pooled buffers.
+func (s *Server) writeSessionResponse(w http.ResponseWriter, resp *SessionResponse) {
+	if !s.shouldStream(&resp.Response) {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	w.Header().Set(streamMarkHeader, "1")
+	streamJSON(w, http.StatusOK, resp)
+}
+
+// Sessions exposes the session manager, for callers embedding the server
+// that need direct (non-HTTP) session access or its counters.
+func (s *Server) Sessions() *session.Manager { return s.sessions }
+
+var _ = time.Duration(0)
