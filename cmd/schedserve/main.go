@@ -4,12 +4,27 @@
 // Serve mode (default) exposes POST /schedule, POST /batch, the scheduling
 // -session surface (POST /session, POST /session/{id}/delta, DELETE
 // /session/{id}; sized by -max-sessions and -session-ttl, replica-local),
-// GET /healthz and GET /stats; -worker additionally mounts the sweep worker
+// GET /healthz, GET /stats and GET /metrics (the same counters in
+// Prometheus text format); -worker additionally mounts the sweep worker
 // endpoint POST /sweep/run so the process can take shards from a
 // coordinator:
 //
 //	schedserve -addr :8642 -pool 8 -cache 1024
 //	schedserve -addr :8643 -worker
+//
+// -admission puts a deadline- and priority-aware admission queue in front
+// of the compute pool: every cold run is cost-estimated (task count ×
+// heuristic weight) and queued, shed with 503 + a drain-rate Retry-After
+// when the estimated wait exceeds -queue-budget (default 2s) or the
+// client's deadline, and subject to a brownout ladder that sheds the
+// lowest-priority classes first as the queue deepens (batch/sweep, then
+// cold expensive, then cold cheap — cache hits and session deltas always
+// serve). -tenant-quotas assigns per-tenant (X-API-Key header) token-bucket
+// rate limits, concurrency caps and fair-share weights as a JSON object;
+// tenants not named get the unlimited default:
+//
+//	schedserve -admission -queue-budget 3s \
+//	  -tenant-quotas '{"acme":{"rate":5000,"burst":10000,"max_concurrent":2,"weight":2}}'
 //
 // -peers joins the replica into a distributed encoded-response cache: a
 // consistent-hash ring maps each canonical request key to one owner
@@ -68,6 +83,7 @@ import (
 	"oneport/internal/exp"
 	"oneport/internal/platform"
 	"oneport/internal/service"
+	"oneport/internal/service/admit"
 	"oneport/internal/service/breaker"
 	"oneport/internal/service/sweep"
 	"oneport/internal/testbeds"
@@ -87,6 +103,10 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "in-flight drain timeout on SIGINT/SIGTERM")
 		maxSess  = flag.Int("max-sessions", 0, "scheduling-session table capacity (0: default 256)")
 		sessTTL  = flag.Duration("session-ttl", 0, "idle TTL before a session may be evicted (0: default 15m; negative: never)")
+
+		admission    = flag.Bool("admission", false, "enable admission control: deadline-aware queueing, per-tenant quotas, brownout ladder")
+		queueBudget  = flag.Duration("queue-budget", 0, "max estimated admission-queue wait before shedding (0: default 2s; requires -admission)")
+		tenantQuotas = flag.String("tenant-quotas", "", `per-tenant quota JSON, e.g. '{"acme":{"rate":5000,"max_concurrent":2,"weight":2}}' (requires -admission)`)
 
 		sweepFig  = flag.String("sweep", "", "coordinator mode: shard this figure (fig7..fig12) across -shards")
 		bsweepTb  = flag.String("bsweep", "", "coordinator mode: shard a B-sweep on this testbed across -shards")
@@ -110,7 +130,11 @@ func main() {
 	case *bsweepTb != "":
 		err = coordinateBSweep(*bsweepTb, *size, *bsSpec, *scanDepth, *modelName, *shards)
 	default:
-		err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain, *maxSess, *sessTTL)
+		var admCfg *admit.Config
+		admCfg, err = admissionConfig(*admission, *queueBudget, *tenantQuotas)
+		if err == nil {
+			err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain, *maxSess, *sessTTL, admCfg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedserve:", err)
@@ -118,7 +142,27 @@ func main() {
 	}
 }
 
-func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration, maxSessions int, sessionTTL time.Duration) error {
+// admissionConfig resolves the admission flags: nil when disabled, an
+// error when quota/budget flags are set without -admission.
+func admissionConfig(enabled bool, queueBudget time.Duration, quotaSpec string) (*admit.Config, error) {
+	if !enabled {
+		if queueBudget != 0 || quotaSpec != "" {
+			return nil, fmt.Errorf("-queue-budget and -tenant-quotas require -admission")
+		}
+		return nil, nil
+	}
+	cfg := &admit.Config{QueueBudget: queueBudget}
+	if quotaSpec != "" {
+		dec := json.NewDecoder(strings.NewReader(quotaSpec))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg.Quotas); err != nil {
+			return nil, fmt.Errorf("-tenant-quotas: %w", err)
+		}
+	}
+	return cfg, nil
+}
+
+func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration, maxSessions int, sessionTTL time.Duration, admCfg *admit.Config) error {
 	var peerList []string
 	if peers != "" {
 		if self == "" {
@@ -134,6 +178,7 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, a
 		Self: self, Peers: peerList,
 		AdminToken: adminToken, RequestTimeout: timeout,
 		MaxSessions: maxSessions, SessionTTL: sessionTTL,
+		Admission: admCfg,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -150,8 +195,14 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, a
 				Breakers: srv.PeerBreakers(),
 			})
 		}
+		// shard traffic is Background class on the same slots and brownout
+		// ladder as cold /schedule runs (no-op when admission is off)
+		sweep.EnableAdmission(srv.Admission())
 		mux.Handle("/sweep/", sweep.Handler())
 		role = "scheduler+sweep-worker"
+	}
+	if admCfg != nil {
+		role += ", admission control on"
 	}
 	if n := srv.StatsSnapshot().Peers; n > 0 {
 		role = fmt.Sprintf("%s, cache ring of %d replicas", role, n)

@@ -1,0 +1,411 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oneport/internal/platform"
+	"oneport/internal/service/admit"
+	"oneport/internal/testbeds"
+)
+
+// postKey is post with a tenant API key header.
+func postKey(t *testing.T, ts *httptest.Server, path, key string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		hreq.Header.Set(apiKeyHeader, key)
+	}
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// waitAdmit polls the admission stats until cond holds.
+func waitAdmit(t *testing.T, srv *Server, what string, cond func(admit.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := srv.StatsSnapshot().Admission; st != nil && cond(*st) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("admission state never reached %q: %+v", what, srv.StatsSnapshot().Admission)
+}
+
+// expensiveReq builds a distinct cold request that classifies Expensive:
+// DLS (weight 8) on an LU graph big enough to cross the cost threshold,
+// with i varying the size so concurrent requests never coalesce.
+func expensiveReq(t *testing.T, i int) Request {
+	t.Helper()
+	size := 25 + i
+	req := Request{Graph: testbeds.LU(size, 10), Platform: platform.Paper(), Heuristic: "dls"}
+	if class, cost := classifyRequest(&req); class != admit.Expensive {
+		t.Fatalf("LU(%d)+dls classed %v (cost %v), want Expensive", size, class, cost)
+	}
+	return req
+}
+
+// checkShed asserts one response is a proper shed: 503, a numeric
+// Retry-After of at least one second, and a shed-describing error body.
+func checkShed(t *testing.T, hr *http.Response, body []byte) {
+	t.Helper()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status %d: %s", hr.StatusCode, body)
+	}
+	secs, err := strconv.Atoi(hr.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("shed Retry-After %q not a positive integer", hr.Header.Get("Retry-After"))
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil || !strings.Contains(resp.Error, "shed") {
+		t.Fatalf("shed body: %s", body)
+	}
+}
+
+func TestEstimateCostAndClassify(t *testing.T) {
+	lu := testbeds.LU(12, 10)
+	n := float64(lu.NumNodes())
+	cases := []struct {
+		heuristic string
+		wantCost  float64
+	}{
+		{"heft", n},
+		{"dls", 8 * n},
+		{"ilha", 3 * n},
+		{"roundrobin", 0.5 * n},
+		{"", n}, // unnormalized default weighs like HEFT
+	}
+	for _, tc := range cases {
+		req := Request{Graph: lu, Platform: platform.Paper(), Heuristic: tc.heuristic}
+		if got := estimateCost(&req); got != tc.wantCost {
+			t.Errorf("estimateCost(%q) = %v, want %v", tc.heuristic, got, tc.wantCost)
+		}
+	}
+	// the class boundary: cost >= expensiveCost is Expensive
+	cheap := Request{Graph: lu, Platform: platform.Paper(), Heuristic: "heft"}
+	if class, _ := classifyRequest(&cheap); class != admit.Cheap {
+		t.Errorf("small HEFT classed %v, want Cheap", class)
+	}
+	exp := expensiveReq(t, 0)
+	if class, cost := classifyRequest(&exp); class != admit.Expensive || cost < expensiveCost {
+		t.Errorf("big DLS classed %v (cost %v)", class, cost)
+	}
+}
+
+// TestStatsWithoutAdmission pins that a server without admission exposes
+// no admission block and keeps the pre-admission serving behavior.
+func TestStatsWithoutAdmission(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	req := Request{Graph: testbeds.LU(10, 10), Platform: platform.Paper(), Heuristic: "heft"}
+	if hr, body := post(t, ts, "/schedule", req); hr.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d %s", hr.StatusCode, body)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"admission"`) {
+		t.Fatalf("/stats leaks an admission block with admission disabled: %s", buf.String())
+	}
+}
+
+// TestAdmissionOverloadBrownout is the overload chaos drill (run under
+// -race in CI): a burst of expensive cold runs saturates the two slots and
+// the queue, climbing the brownout ladder. While saturated, cache hits and
+// session deltas keep serving, every shed is a 503 with a computed
+// Retry-After, batch jobs (Background) shed first, and no request that
+// acquired a slot is ever shed. After the burst drains, the ladder steps
+// back to level 0 with every slot returned.
+func TestAdmissionOverloadBrownout(t *testing.T) {
+	srv := New(Config{
+		PoolSize: 2,
+		Admission: &admit.Config{
+			MaxQueue:         8,
+			ShedBackgroundAt: 1,
+			ShedExpensiveAt:  2,
+			ShedCheapAt:      8,
+			QueueBudget:      -1, // this test drives the ladder, not the budget
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// pre-overload: a cached entry and an open session to serve through the brownout
+	warm := Request{Graph: testbeds.LU(10, 10), Platform: platform.Paper(), Heuristic: "heft"}
+	if hr, body := post(t, ts, "/schedule", warm); hr.StatusCode != http.StatusOK {
+		t.Fatalf("warm: %d %s", hr.StatusCode, body)
+	}
+	sess := openSession(t, ts, Request{Graph: testbeds.LU(11, 10), Platform: platform.Paper(), Heuristic: "heft"})
+
+	gate := make(chan struct{})
+	srv.testHook = func(*Request) { <-gate }
+
+	type result struct {
+		hr   *http.Response
+		body []byte
+	}
+	var wg sync.WaitGroup
+	results := make([]result, 4)
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hr, body := post(t, ts, "/schedule", expensiveReq(t, i))
+			results[i] = result{hr, body}
+		}()
+	}
+	// two fill the slots, two queue (level 2: Expensive sheds from here)
+	launch(0)
+	launch(1)
+	waitAdmit(t, srv, "both slots held", func(st admit.Stats) bool { return st.InService == 2 })
+	launch(2)
+	launch(3)
+	waitAdmit(t, srv, "two queued", func(st admit.Stats) bool {
+		return st.QueueDepth == 2 && st.BrownoutLevel == 2
+	})
+
+	// late expensive arrivals shed — before any slot is touched
+	for i := 4; i < 7; i++ {
+		hr, body := post(t, ts, "/schedule", expensiveReq(t, i))
+		checkShed(t, hr, body)
+	}
+	// batch jobs are Background: shed at level >= 1, reported per job
+	hrB, bodyB := post(t, ts, "/batch", Batch{Requests: []Request{
+		{Graph: testbeds.LU(13, 10), Platform: platform.Paper(), Heuristic: "heft"},
+	}})
+	if hrB.StatusCode != http.StatusOK {
+		t.Fatalf("batch envelope: %d %s", hrB.StatusCode, bodyB)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(bodyB, &batch); err != nil || len(batch.Responses) != 1 {
+		t.Fatalf("batch body: %s", bodyB)
+	}
+	if !strings.Contains(batch.Responses[0].Error, "shed") {
+		t.Fatalf("batch job not shed under brownout: %+v", batch.Responses[0])
+	}
+	// cache hits never queue: the warm entry answers instantly through the brownout
+	began := time.Now()
+	hrC, bodyC := post(t, ts, "/schedule", warm)
+	if hrC.StatusCode != http.StatusOK {
+		t.Fatalf("cached hit under brownout: %d %s", hrC.StatusCode, bodyC)
+	}
+	var cached Response
+	if err := json.Unmarshal(bodyC, &cached); err != nil || !cached.Cached {
+		t.Fatalf("warm request not a cache hit under brownout: %s", bodyC)
+	}
+	if d := time.Since(began); d > 2*time.Second {
+		t.Fatalf("cache hit took %v under brownout", d)
+	}
+	// session deltas on the open session always serve
+	hrD, bodyD := doJSON(t, ts, http.MethodPost, "/session/"+sess.SessionID+"/delta",
+		[]byte(`{"graph":[{"op":"add_task","weight":1}]}`))
+	if hrD.StatusCode != http.StatusOK {
+		t.Fatalf("session delta under brownout: %d %s", hrD.StatusCode, bodyD)
+	}
+
+	close(gate)
+	wg.Wait()
+	for i, r := range results {
+		if r.hr.StatusCode != http.StatusOK {
+			t.Fatalf("admitted request %d answered %d: %s", i, r.hr.StatusCode, r.body)
+		}
+		var resp Response
+		if err := json.Unmarshal(r.body, &resp); err != nil || resp.Error != "" || resp.Schedule == nil {
+			t.Fatalf("admitted request %d: %s", i, r.body)
+		}
+	}
+
+	waitAdmit(t, srv, "drained", func(st admit.Stats) bool { return st.InService == 0 })
+	st := srv.StatsSnapshot()
+	a := st.Admission
+	if a.AdmittedExpensive != 4 || a.ShedExpensive != 3 || a.ShedBackground != 1 {
+		t.Fatalf("class accounting: %+v", a)
+	}
+	if a.ShedBrownout != 4 || a.QueueDepth != 0 || a.BrownoutLevel != 0 {
+		t.Fatalf("ladder accounting: %+v", a)
+	}
+	if a.AdmittedInteractive < 1 {
+		t.Fatal("session-delta bypass not counted")
+	}
+	if st.Shed != 4 {
+		t.Fatalf("Stats.Shed = %d, want 4", st.Shed)
+	}
+	// the slots survived the storm: a fresh cold run is admitted immediately
+	srv.testHook = nil
+	if hr, body := post(t, ts, "/schedule", expensiveReq(t, 9)); hr.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm request: %d %s", hr.StatusCode, body)
+	}
+}
+
+// TestTenantQuotaExhaustionHTTP: a metered tenant burns its burst and is
+// rate-shed, while the default tenant keeps serving — per-tenant isolation
+// over the wire, keyed by the API header.
+func TestTenantQuotaExhaustionHTTP(t *testing.T) {
+	first := Request{Graph: testbeds.LU(14, 10), Platform: platform.Paper(), Heuristic: "heft"}
+	second := Request{Graph: testbeds.LU(15, 10), Platform: platform.Paper(), Heuristic: "heft"}
+	burst := estimateCost(&first)
+	srv := New(Config{
+		PoolSize: 2,
+		Admission: &admit.Config{
+			Quotas: map[string]admit.Quota{"metered": {Rate: 0.001, Burst: burst}},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if hr, body := postKey(t, ts, "/schedule", "metered", first); hr.StatusCode != http.StatusOK {
+		t.Fatalf("within-burst request: %d %s", hr.StatusCode, body)
+	}
+	hr, body := postKey(t, ts, "/schedule", "metered", second)
+	checkShed(t, hr, body)
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil || !strings.Contains(resp.Error, "rate") {
+		t.Fatalf("rate shed body: %s", body)
+	}
+	// the default tenant is not in the metered bucket
+	if hr, body := post(t, ts, "/schedule", second); hr.StatusCode != http.StatusOK {
+		t.Fatalf("default tenant blocked by another tenant's quota: %d %s", hr.StatusCode, body)
+	}
+	a := srv.StatsSnapshot().Admission
+	if a.ShedRate != 1 || a.Tenants < 2 {
+		t.Fatalf("tenant accounting: %+v", a)
+	}
+}
+
+// TestClientDisconnectLeavesQueue (run under -race in CI): a client that
+// hangs up while its request is queued leaves the queue without consuming
+// a slot, and the slot later goes to a live request.
+func TestClientDisconnectLeavesQueue(t *testing.T) {
+	srv := New(Config{
+		PoolSize: 1,
+		Admission: &admit.Config{
+			MaxQueue: 8, ShedBackgroundAt: 8, ShedExpensiveAt: 8, ShedCheapAt: 8,
+			QueueBudget: -1,
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	gate := make(chan struct{})
+	srv.testHook = func(*Request) { <-gate }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if hr, body := post(t, ts, "/schedule", expensiveReq(t, 0)); hr.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("slot holder answered %d: %s", hr.StatusCode, body))
+		}
+	}()
+	waitAdmit(t, srv, "slot held", func(st admit.Stats) bool { return st.InService == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	data, err := json.Marshal(expensiveReq(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/schedule", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(hreq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+	waitAdmit(t, srv, "one queued", func(st admit.Stats) bool { return st.QueueDepth == 1 })
+	cancel()
+	if err := <-clientDone; err == nil {
+		t.Fatal("canceled client got a response")
+	}
+	waitAdmit(t, srv, "queue abandoned", func(st admit.Stats) bool {
+		return st.Canceled == 1 && st.QueueDepth == 0
+	})
+
+	close(gate)
+	wg.Wait()
+	srv.testHook = nil
+	// the abandoned waiter did not leak the slot
+	if hr, body := post(t, ts, "/schedule", expensiveReq(t, 2)); hr.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request: %d %s", hr.StatusCode, body)
+	}
+	waitAdmit(t, srv, "all slots free", func(st admit.Stats) bool { return st.InService == 0 })
+}
+
+// TestMetricsEndpoint pins the Prometheus exporter: the full Stats surface
+// flattened under sched_, admission block included, stable content type.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(Config{Admission: &admit.Config{}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req := Request{Graph: testbeds.LU(10, 10), Platform: platform.Paper(), Heuristic: "heft"}
+	if hr, body := post(t, ts, "/schedule", req); hr.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d %s", hr.StatusCode, body)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE sched_requests gauge\nsched_requests 1\n",
+		"sched_cache_misses 1\n",
+		"sched_admission_queue_depth 0\n",
+		"sched_admission_admitted_cheap 1\n",
+		"sched_admission_brownout_level 0\n",
+		"sched_pool_size ",
+		"sched_shed 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}

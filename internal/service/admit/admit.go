@@ -1,0 +1,804 @@
+// Package admit is the scheduling service's admission-control subsystem:
+// a priority- and deadline-aware queue in front of the compute pool, with
+// per-tenant token-bucket rate and concurrency quotas, weighted fair
+// dequeue across tenants, and a brownout degradation ladder that sheds the
+// lowest-priority work first as the queue deepens.
+//
+// The controller owns the compute slots (the bounded pool the service used
+// to guard with a bare semaphore). Every non-cache-hit request asks for a
+// slot via Acquire with a priority class, a tenant, and a cost estimate
+// (task count × heuristic weight — see the service's cost estimator); the
+// request either gets a Ticket immediately, waits in the queue, or is shed
+// with a ShedError carrying a Retry-After computed from the observed drain
+// rate. The load-bearing invariant: every shed decision is made BEFORE a
+// slot is granted — a shed request never burns a slot, and a request that
+// holds a Ticket is never shed.
+//
+// Shedding happens for five reasons, all decided at Acquire time or while
+// waiting:
+//
+//   - brownout: the queue depth crossed a ladder threshold that sheds this
+//     request's class (Background first, then Expensive, then Cheap;
+//     Interactive is never brownout-shed),
+//   - rate: the tenant's token bucket cannot cover the request's cost,
+//   - queue-full: the queue is at its hard cap,
+//   - budget: the estimated wait — backlog cost over observed drain rate —
+//     exceeds the configured queue budget,
+//   - deadline: the client's context deadline would expire before the
+//     estimated wait elapses (or does expire while queued).
+//
+// A request whose context is canceled while waiting leaves the queue
+// immediately without consuming a slot.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Class is a request's priority class. Lower values dequeue first.
+type Class uint8
+
+const (
+	// Interactive is session-delta traffic on open sessions: it is never
+	// shed by the brownout ladder (only by its own deadline or quota) and
+	// always dequeues first.
+	Interactive Class = iota
+	// Cheap is a cold run below the expensive-cost threshold.
+	Cheap
+	// Expensive is a cold run above the expensive-cost threshold
+	// (Exhaustive/DLS-class work, or a huge graph on a cheap heuristic).
+	Expensive
+	// Background is batch payloads, sweep shards and fill traffic: the
+	// first class the ladder sheds.
+	Background
+	// NumClasses bounds per-class arrays.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Cheap:
+		return "cheap"
+	case Expensive:
+		return "expensive"
+	case Background:
+		return "background"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Reason says why a request was shed.
+type Reason uint8
+
+const (
+	ReasonNone Reason = iota
+	// ReasonBrownout: the class is shed at the current brownout level.
+	ReasonBrownout
+	// ReasonRate: the tenant's token bucket cannot cover the cost.
+	ReasonRate
+	// ReasonQueueFull: the queue is at its hard cap.
+	ReasonQueueFull
+	// ReasonBudget: the estimated wait exceeds the queue budget.
+	ReasonBudget
+	// ReasonDeadline: the client's deadline is (or would be) exceeded
+	// before a slot could be granted.
+	ReasonDeadline
+	numReasons
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonBrownout:
+		return "brownout"
+	case ReasonRate:
+		return "rate"
+	case ReasonQueueFull:
+		return "queue-full"
+	case ReasonBudget:
+		return "budget"
+	case ReasonDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// ShedError reports a shed admission attempt. RetryAfter is computed from
+// the observed queue drain rate (or, for rate sheds, the token refill
+// time) and is always at least one second, so HTTP layers can emit it as a
+// numeric Retry-After header directly.
+type ShedError struct {
+	Reason     Reason
+	Class      Class
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admit: %s request shed (%s); retry after %s", e.Class, e.Reason, e.RetryAfter)
+}
+
+// Quota is one tenant's admission policy. The zero value means unlimited
+// rate and concurrency with weight 1.
+type Quota struct {
+	// Rate is the token refill rate in cost units per second (a cost unit
+	// is one task on a weight-1 heuristic); 0 means unlimited.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity in cost units (0 with a positive Rate:
+	// one second's worth of tokens).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxConcurrent caps the compute slots the tenant may hold at once;
+	// 0 means unlimited. Waiters over the cap stay queued (not shed) until
+	// the tenant frees a slot.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Weight is the tenant's fair-share weight (0 means 1): a tenant with
+	// weight 2 drains twice the cost per unit of contention as weight 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Config sizes a Controller.
+type Config struct {
+	// Slots is the number of concurrent compute slots (required ≥ 1); the
+	// service sets it to its pool size.
+	Slots int
+	// QueueBudget is the maximum estimated wait before a request is shed
+	// (default 2s; negative disables budget shedding).
+	QueueBudget time.Duration
+	// MaxQueue is the hard cap on queued requests (default 16×Slots).
+	MaxQueue int
+	// Brownout ladder thresholds in queued requests: at ShedBackgroundAt
+	// the ladder sheds Background, at ShedExpensiveAt also Expensive, at
+	// ShedCheapAt also Cheap. Interactive is never brownout-shed. Defaults:
+	// MaxQueue/4, MaxQueue/2, 3×MaxQueue/4 (each at least 1 and
+	// monotonically non-decreasing).
+	ShedBackgroundAt int
+	ShedExpensiveAt  int
+	ShedCheapAt      int
+	// DefaultQuota applies to tenants not named in Quotas (zero value:
+	// unlimited, weight 1).
+	DefaultQuota Quota
+	// Quotas maps tenant names (API keys) to their quotas.
+	Quotas map[string]Quota
+	// Now is the clock (nil: time.Now). Tests inject a fake to drive token
+	// refill and drain-rate accounting deterministically.
+	Now func() time.Time
+}
+
+// maxTenants caps the tenant table; past it, idle tenants (holding no
+// slots, waiting on nothing) are swept so a hostile client cycling API
+// keys cannot grow the table without bound.
+const maxTenants = 4096
+
+// retryFloor/retryCeil clamp every computed Retry-After.
+const (
+	retryFloor = time.Second
+	retryCeil  = 60 * time.Second
+)
+
+// drainAlpha is the EWMA weight of the newest per-slot drain-rate sample.
+const drainAlpha = 0.3
+
+// tenant is one accounting unit: token bucket, concurrency gauge, and fair
+// -share virtual time. All fields are guarded by the Controller's mutex.
+type tenant struct {
+	name    string
+	quota   Quota
+	tokens  float64
+	filled  time.Time // last refill instant
+	vt      float64   // weighted fair-queueing virtual time
+	holding int       // slots currently held
+	waiting int       // waiters currently queued
+}
+
+// refill tops the bucket up for the elapsed time. Unlimited-rate tenants
+// skip bucket accounting entirely.
+func (t *tenant) refill(now time.Time) {
+	if t.quota.Rate <= 0 {
+		return
+	}
+	burst := t.quota.Burst
+	if burst <= 0 {
+		burst = t.quota.Rate
+	}
+	dt := now.Sub(t.filled).Seconds()
+	if dt > 0 {
+		t.tokens = math.Min(burst, t.tokens+dt*t.quota.Rate)
+		t.filled = now
+	}
+}
+
+// take spends cost tokens; reports false (and spends nothing) when the
+// bucket cannot cover it.
+func (t *tenant) take(cost float64, now time.Time) bool {
+	if t.quota.Rate <= 0 {
+		return true
+	}
+	t.refill(now)
+	if t.tokens < cost {
+		return false
+	}
+	t.tokens -= cost
+	return true
+}
+
+// refundTime is how long until the bucket could cover cost.
+func (t *tenant) refundTime(cost float64) time.Duration {
+	if t.quota.Rate <= 0 {
+		return retryFloor
+	}
+	need := cost - t.tokens
+	if need <= 0 {
+		return retryFloor
+	}
+	return time.Duration(need / t.quota.Rate * float64(time.Second))
+}
+
+// underLimit reports whether the tenant may take one more slot.
+func (t *tenant) underLimit() bool {
+	return t.quota.MaxConcurrent <= 0 || t.holding < t.quota.MaxConcurrent
+}
+
+func (t *tenant) weight() float64 {
+	if t.quota.Weight > 0 {
+		return t.quota.Weight
+	}
+	return 1
+}
+
+// waiter is one queued request.
+type waiter struct {
+	t        *tenant
+	class    Class
+	cost     float64
+	deadline time.Time // zero: none
+	granted  chan struct{}
+	ticket   *Ticket // set before granted is closed
+	gone     bool    // left the queue (canceled); skip on dispatch
+}
+
+// Ticket is a granted compute slot. Release returns the slot and feeds the
+// observed service time into the drain-rate estimate; it is idempotent.
+type Ticket struct {
+	c     *Controller
+	t     *tenant
+	cost  float64
+	began time.Time
+	once  sync.Once
+}
+
+// Release returns the slot. Safe to call more than once.
+func (tk *Ticket) Release() {
+	tk.once.Do(func() { tk.c.release(tk) })
+}
+
+// Controller is the admission queue. Construct with New; safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu        sync.Mutex
+	free      int
+	inService int
+	svcCost   float64 // summed cost of in-service tickets
+	tenants   map[string]*tenant
+	// queues[class] is the per-class dequeue order: waiters are granted by
+	// class priority, then weighted-fair across tenants, then earliest
+	// deadline first within a tenant.
+	queues   [NumClasses][]*waiter
+	waiting  int
+	level    int
+	slotRate float64 // EWMA cost units drained per second per busy slot
+
+	admitted   [NumClasses]int64
+	shed       [NumClasses]int64
+	shedReason [numReasons]int64
+	canceled   int64 // waiters whose client hung up while queued
+	shifts     int64 // brownout level transitions
+}
+
+// New returns a ready Controller with Config defaults resolved. It panics
+// on Slots < 1 — the caller owns pool sizing.
+func New(cfg Config) *Controller {
+	if cfg.Slots < 1 {
+		panic("admit: Config.Slots must be >= 1")
+	}
+	if cfg.QueueBudget == 0 {
+		cfg.QueueBudget = 2 * time.Second
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 16 * cfg.Slots
+	}
+	if cfg.ShedBackgroundAt <= 0 {
+		cfg.ShedBackgroundAt = max(1, cfg.MaxQueue/4)
+	}
+	if cfg.ShedExpensiveAt <= 0 {
+		cfg.ShedExpensiveAt = max(cfg.ShedBackgroundAt, cfg.MaxQueue/2)
+	}
+	if cfg.ShedCheapAt <= 0 {
+		cfg.ShedCheapAt = max(cfg.ShedExpensiveAt, 3*cfg.MaxQueue/4)
+	}
+	// a misordered explicit ladder is forced monotone so a level can never
+	// shed a higher class while admitting a lower one
+	cfg.ShedExpensiveAt = max(cfg.ShedExpensiveAt, cfg.ShedBackgroundAt)
+	cfg.ShedCheapAt = max(cfg.ShedCheapAt, cfg.ShedExpensiveAt)
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Controller{
+		cfg:     cfg,
+		free:    cfg.Slots,
+		tenants: make(map[string]*tenant),
+	}
+}
+
+// Acquire asks for a compute slot for one request. It returns a Ticket
+// (release it when the run completes), a *ShedError when the request is
+// shed, or ctx.Err() when the client hung up while queued. cost below 1 is
+// clamped to 1.
+func (c *Controller) Acquire(ctx context.Context, tenantName string, class Class, cost float64) (*Ticket, error) {
+	if class >= NumClasses {
+		class = Background
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	now := c.cfg.Now()
+
+	c.mu.Lock()
+	t := c.tenant(tenantName, now)
+
+	// 1. brownout ladder: the cheapest check, and the one that must win —
+	// under overload the ladder's verdict is the system's verdict
+	if c.levelSheds(class) {
+		err := c.shedLocked(class, ReasonBrownout, c.retryAfterLocked())
+		c.mu.Unlock()
+		return nil, err
+	}
+	// 2. hard queue cap
+	if c.waiting >= c.cfg.MaxQueue {
+		err := c.shedLocked(class, ReasonQueueFull, c.retryAfterLocked())
+		c.mu.Unlock()
+		return nil, err
+	}
+	// 3. tenant rate quota
+	if !t.take(cost, now) {
+		err := c.shedLocked(class, ReasonRate, clampRetry(t.refundTime(cost)))
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	// 4. immediate grant: a free slot with the tenant under its
+	// concurrency cap. Any waiter still queued at this instant is blocked
+	// on its own tenant's concurrency cap (dispatch is eager), so taking
+	// the slot keeps the pool busy rather than jumping a runnable queue.
+	if c.free > 0 && t.underLimit() {
+		tk := c.grantLocked(t, class, cost, now)
+		c.mu.Unlock()
+		return tk, nil
+	}
+
+	// 5. wait estimate vs budget and client deadline: shed now, before
+	// queueing, when the wait cannot be worth it. Tokens are refunded —
+	// the request never ran.
+	est := c.estWaitLocked(class, cost)
+	if c.cfg.QueueBudget > 0 && est > c.cfg.QueueBudget {
+		t.tokens += cost
+		err := c.shedLocked(class, ReasonBudget, clampRetry(est))
+		c.mu.Unlock()
+		return nil, err
+	}
+	var deadline time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+		if now.Add(est).After(dl) {
+			t.tokens += cost
+			err := c.shedLocked(class, ReasonDeadline, c.retryAfterLocked())
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+
+	// 6. queue up
+	w := &waiter{t: t, class: class, cost: cost, deadline: deadline, granted: make(chan struct{})}
+	c.enqueueLocked(w)
+	c.mu.Unlock()
+
+	select {
+	case <-w.granted:
+		return w.ticket, nil
+	case <-ctx.Done():
+	}
+
+	// the client hung up (or its deadline fired) while we were queued:
+	// leave without consuming a slot — unless the grant raced the
+	// cancellation, in which case the slot is ours and must go back
+	c.mu.Lock()
+	select {
+	case <-w.granted:
+		c.mu.Unlock()
+		w.ticket.Release()
+	default:
+		w.gone = true
+		w.t.waiting--
+		c.waiting--
+		c.updateLevelLocked()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			err := c.shedLocked(w.class, ReasonDeadline, c.retryAfterLocked())
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.canceled++
+		c.mu.Unlock()
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return nil, &ShedError{Reason: ReasonDeadline, Class: class, RetryAfter: c.RetryAfter()}
+	}
+	return nil, ctx.Err()
+}
+
+// NoteBypass counts a request that serves without admission — a session
+// delta on an open session — so the admitted counters describe all served
+// traffic, not just the queued part.
+func (c *Controller) NoteBypass(class Class) {
+	c.mu.Lock()
+	c.admitted[class]++
+	c.mu.Unlock()
+}
+
+// RetryAfter is the controller's current backoff hint: the time to drain
+// the present backlog at the observed drain rate, clamped to [1s, 60s].
+func (c *Controller) RetryAfter() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retryAfterLocked()
+}
+
+// Level is the current brownout level: 0 (all classes admitted) through 3
+// (only Interactive and cache hits serve).
+func (c *Controller) Level() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// tenant returns (creating on first use) the accounting record for a name,
+// sweeping idle records when the table outgrows maxTenants.
+func (c *Controller) tenant(name string, now time.Time) *tenant {
+	t := c.tenants[name]
+	if t != nil {
+		return t
+	}
+	if len(c.tenants) >= maxTenants {
+		for n, o := range c.tenants {
+			if o.holding == 0 && o.waiting == 0 {
+				delete(c.tenants, n)
+			}
+		}
+	}
+	q, ok := c.cfg.Quotas[name]
+	if !ok {
+		q = c.cfg.DefaultQuota
+	}
+	t = &tenant{name: name, quota: q, filled: now}
+	if q.Rate > 0 {
+		if t.tokens = q.Burst; t.tokens <= 0 {
+			t.tokens = q.Rate
+		}
+	}
+	// a tenant (re)entering contention starts at the active minimum
+	// virtual time: no credit hoarded while idle, no debt either
+	t.vt = c.minActiveVT()
+	c.tenants[name] = t
+	return t
+}
+
+// minActiveVT is the smallest virtual time among tenants currently holding
+// or waiting; 0 when none are.
+func (c *Controller) minActiveVT() float64 {
+	min := math.Inf(1)
+	for _, t := range c.tenants {
+		if (t.holding > 0 || t.waiting > 0) && t.vt < min {
+			min = t.vt
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// levelSheds reports whether the current brownout level sheds a class.
+func (c *Controller) levelSheds(class Class) bool {
+	switch class {
+	case Background:
+		return c.level >= 1
+	case Expensive:
+		return c.level >= 2
+	case Cheap:
+		return c.level >= 3
+	}
+	return false // Interactive is never brownout-shed
+}
+
+// updateLevelLocked recomputes the ladder level from the queue depth.
+func (c *Controller) updateLevelLocked() {
+	lvl := 0
+	switch {
+	case c.waiting >= c.cfg.ShedCheapAt:
+		lvl = 3
+	case c.waiting >= c.cfg.ShedExpensiveAt:
+		lvl = 2
+	case c.waiting >= c.cfg.ShedBackgroundAt:
+		lvl = 1
+	}
+	if lvl != c.level {
+		c.level = lvl
+		c.shifts++
+	}
+}
+
+// shedLocked counts one shed and builds its error.
+func (c *Controller) shedLocked(class Class, reason Reason, retry time.Duration) *ShedError {
+	c.shed[class]++
+	c.shedReason[reason]++
+	return &ShedError{Reason: reason, Class: class, RetryAfter: clampRetry(retry)}
+}
+
+// drainRate is the fleet-of-slots drain rate in cost units per second; 0
+// when no completion has been observed yet.
+func (c *Controller) drainRate() float64 {
+	return c.slotRate * float64(c.cfg.Slots)
+}
+
+// estWaitLocked estimates how long a new waiter of the given class would
+// queue: the cost queued at its priority or better, plus the in-service
+// remainder (half the running cost, on average), over the observed drain
+// rate. With no drain data yet the estimate is optimistic zero — the
+// budget shed arms itself as soon as the first run completes.
+func (c *Controller) estWaitLocked(class Class, cost float64) time.Duration {
+	rate := c.drainRate()
+	if rate <= 0 {
+		return 0
+	}
+	ahead := c.svcCost / 2
+	for cl := Class(0); cl <= class; cl++ {
+		for _, w := range c.queues[cl] {
+			if !w.gone {
+				ahead += w.cost
+			}
+		}
+	}
+	return time.Duration((ahead + cost) / rate * float64(time.Second))
+}
+
+// retryAfterLocked is RetryAfter's body: full backlog over drain rate.
+func (c *Controller) retryAfterLocked() time.Duration {
+	rate := c.drainRate()
+	if rate <= 0 {
+		return retryFloor
+	}
+	backlog := c.svcCost / 2
+	for cl := Class(0); cl < NumClasses; cl++ {
+		for _, w := range c.queues[cl] {
+			if !w.gone {
+				backlog += w.cost
+			}
+		}
+	}
+	return clampRetry(time.Duration(backlog / rate * float64(time.Second)))
+}
+
+// enqueueLocked inserts a waiter: per class, ordered earliest-deadline
+// first with deadline-less waiters FIFO at the back.
+func (c *Controller) enqueueLocked(w *waiter) {
+	q := c.queues[w.class]
+	i := len(q)
+	if !w.deadline.IsZero() {
+		for i > 0 {
+			prev := q[i-1]
+			if prev.gone || prev.deadline.IsZero() || prev.deadline.After(w.deadline) {
+				i--
+				continue
+			}
+			break
+		}
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = w
+	c.queues[w.class] = q
+	w.t.waiting++
+	c.waiting++
+	c.updateLevelLocked()
+}
+
+// grantLocked hands a slot to a request that never queued.
+func (c *Controller) grantLocked(t *tenant, class Class, cost float64, now time.Time) *Ticket {
+	c.free--
+	c.inService++
+	c.svcCost += cost
+	t.holding++
+	t.vt += cost / t.weight()
+	c.admitted[class]++
+	return &Ticket{c: c, t: t, cost: cost, began: now}
+}
+
+// release returns a ticket's slot, folds the observed per-slot drain rate
+// into the EWMA, and dispatches freed capacity to waiters.
+func (c *Controller) release(tk *Ticket) {
+	now := c.cfg.Now()
+	secs := now.Sub(tk.began).Seconds()
+	if secs < 1e-3 {
+		secs = 1e-3
+	}
+	sample := tk.cost / secs
+
+	c.mu.Lock()
+	if c.slotRate == 0 {
+		c.slotRate = sample
+	} else {
+		c.slotRate = (1-drainAlpha)*c.slotRate + drainAlpha*sample
+	}
+	c.free++
+	c.inService--
+	c.svcCost -= tk.cost
+	tk.t.holding--
+	c.dispatchLocked(now)
+	c.updateLevelLocked()
+	c.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to queued waiters: classes in priority
+// order; within a class the under-limit tenant with the least virtual time
+// wins, and within a tenant the earliest deadline (queue order) wins.
+func (c *Controller) dispatchLocked(now time.Time) {
+	for c.free > 0 {
+		w := c.nextLocked()
+		if w == nil {
+			return
+		}
+		c.free--
+		c.inService++
+		c.svcCost += w.cost
+		w.t.holding++
+		w.t.waiting--
+		w.t.vt += w.cost / w.t.weight()
+		c.waiting--
+		c.admitted[w.class]++
+		w.ticket = &Ticket{c: c, t: w.t, cost: w.cost, began: now}
+		close(w.granted)
+	}
+}
+
+// nextLocked picks the next dispatchable waiter, compacting canceled
+// entries as it scans.
+func (c *Controller) nextLocked() *waiter {
+	for cl := Class(0); cl < NumClasses; cl++ {
+		q := compact(c.queues[cl])
+		c.queues[cl] = q
+		var best *waiter
+		var bestIdx int
+		for i, w := range q {
+			if !w.t.underLimit() {
+				continue
+			}
+			if best == nil || w.t.vt < best.t.vt {
+				best, bestIdx = w, i
+			}
+		}
+		if best != nil {
+			c.queues[cl] = append(q[:bestIdx], q[bestIdx+1:]...)
+			return best
+		}
+	}
+	return nil
+}
+
+// compact drops canceled waiters from a queue in place.
+func compact(q []*waiter) []*waiter {
+	out := q[:0]
+	for _, w := range q {
+		if !w.gone {
+			out = append(out, w)
+		}
+	}
+	// zero the tail so canceled waiters are collectable
+	for i := len(out); i < len(q); i++ {
+		q[i] = nil
+	}
+	return out
+}
+
+func clampRetry(d time.Duration) time.Duration {
+	if d < retryFloor {
+		return retryFloor
+	}
+	if d > retryCeil {
+		return retryCeil
+	}
+	return d
+}
+
+// Stats is the controller's counter snapshot, folded into the service
+// /stats (and /metrics) surface.
+type Stats struct {
+	// BrownoutLevel is the current ladder level (0..3) and BrownoutShifts
+	// the number of level transitions since start.
+	BrownoutLevel  int   `json:"brownout_level"`
+	BrownoutShifts int64 `json:"brownout_shifts"`
+	// QueueDepth is the current number of queued requests (per class
+	// below); InService the slots currently held.
+	QueueDepth            int `json:"queue_depth"`
+	QueueDepthInteractive int `json:"queue_depth_interactive"`
+	QueueDepthCheap       int `json:"queue_depth_cheap"`
+	QueueDepthExpensive   int `json:"queue_depth_expensive"`
+	QueueDepthBackground  int `json:"queue_depth_background"`
+	InService             int `json:"in_service"`
+	// DrainCostPerSec is the observed drain rate (cost units per second
+	// across all slots) that Retry-After and wait estimates derive from.
+	DrainCostPerSec float64 `json:"drain_cost_per_sec"`
+	// Admitted/Shed count requests per class; Canceled counts waiters
+	// whose client hung up while queued (they never consumed a slot).
+	AdmittedInteractive int64 `json:"admitted_interactive"`
+	AdmittedCheap       int64 `json:"admitted_cheap"`
+	AdmittedExpensive   int64 `json:"admitted_expensive"`
+	AdmittedBackground  int64 `json:"admitted_background"`
+	ShedInteractive     int64 `json:"shed_interactive"`
+	ShedCheap           int64 `json:"shed_cheap"`
+	ShedExpensive       int64 `json:"shed_expensive"`
+	ShedBackground      int64 `json:"shed_background"`
+	ShedBrownout        int64 `json:"shed_brownout"`
+	ShedRate            int64 `json:"shed_rate"`
+	ShedQueueFull       int64 `json:"shed_queue_full"`
+	ShedBudget          int64 `json:"shed_budget"`
+	ShedDeadline        int64 `json:"shed_deadline"`
+	Canceled            int64 `json:"canceled_in_queue"`
+	// Tenants is the live accounting-record count.
+	Tenants int `json:"tenants"`
+}
+
+// StatsSnapshot returns the current counters.
+func (c *Controller) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	depth := func(cl Class) int {
+		n := 0
+		for _, w := range c.queues[cl] {
+			if !w.gone {
+				n++
+			}
+		}
+		return n
+	}
+	return Stats{
+		BrownoutLevel:         c.level,
+		BrownoutShifts:        c.shifts,
+		QueueDepth:            c.waiting,
+		QueueDepthInteractive: depth(Interactive),
+		QueueDepthCheap:       depth(Cheap),
+		QueueDepthExpensive:   depth(Expensive),
+		QueueDepthBackground:  depth(Background),
+		InService:             c.inService,
+		DrainCostPerSec:       c.drainRate(),
+		AdmittedInteractive:   c.admitted[Interactive],
+		AdmittedCheap:         c.admitted[Cheap],
+		AdmittedExpensive:     c.admitted[Expensive],
+		AdmittedBackground:    c.admitted[Background],
+		ShedInteractive:       c.shed[Interactive],
+		ShedCheap:             c.shed[Cheap],
+		ShedExpensive:         c.shed[Expensive],
+		ShedBackground:        c.shed[Background],
+		ShedBrownout:          c.shedReason[ReasonBrownout],
+		ShedRate:              c.shedReason[ReasonRate],
+		ShedQueueFull:         c.shedReason[ReasonQueueFull],
+		ShedBudget:            c.shedReason[ReasonBudget],
+		ShedDeadline:          c.shedReason[ReasonDeadline],
+		Canceled:              c.canceled,
+		Tenants:               len(c.tenants),
+	}
+}

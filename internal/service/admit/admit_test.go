@@ -1,0 +1,494 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives token refill and drain-rate accounting without real
+// sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func mustAcquire(t *testing.T, c *Controller, tenant string, class Class, cost float64) *Ticket {
+	t.Helper()
+	tk, err := c.Acquire(context.Background(), tenant, class, cost)
+	if err != nil {
+		t.Fatalf("Acquire(%s, %v, %v): %v", tenant, class, cost, err)
+	}
+	return tk
+}
+
+func shedReason(t *testing.T, err error) Reason {
+	t.Helper()
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("want ShedError, got %v", err)
+	}
+	if se.RetryAfter < time.Second || se.RetryAfter > 60*time.Second {
+		t.Fatalf("RetryAfter %v outside [1s, 60s]", se.RetryAfter)
+	}
+	return se.Reason
+}
+
+// waitDepth polls until the controller reports the wanted queue depth —
+// the only synchronization available to observe another goroutine's
+// enqueue.
+func waitDepth(t *testing.T, c *Controller, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.StatsSnapshot().QueueDepth == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %d (at %d)", want, c.StatsSnapshot().QueueDepth)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{Slots: 4})
+	if c.cfg.QueueBudget != 2*time.Second {
+		t.Fatalf("QueueBudget default: %v", c.cfg.QueueBudget)
+	}
+	if c.cfg.MaxQueue != 64 {
+		t.Fatalf("MaxQueue default: %d", c.cfg.MaxQueue)
+	}
+	if c.cfg.ShedBackgroundAt != 16 || c.cfg.ShedExpensiveAt != 32 || c.cfg.ShedCheapAt != 48 {
+		t.Fatalf("ladder defaults: %d/%d/%d", c.cfg.ShedBackgroundAt, c.cfg.ShedExpensiveAt, c.cfg.ShedCheapAt)
+	}
+	// a misordered explicit ladder is forced monotone
+	c = New(Config{Slots: 1, MaxQueue: 100, ShedBackgroundAt: 50, ShedExpensiveAt: 10, ShedCheapAt: 20})
+	if c.cfg.ShedExpensiveAt < c.cfg.ShedBackgroundAt || c.cfg.ShedCheapAt < c.cfg.ShedExpensiveAt {
+		t.Fatalf("ladder not monotone: %d/%d/%d", c.cfg.ShedBackgroundAt, c.cfg.ShedExpensiveAt, c.cfg.ShedCheapAt)
+	}
+}
+
+func TestNewPanicsWithoutSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(Config{}) did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+// TestTokenBucket pins the rate-quota semantics: the bucket starts at
+// burst, spends per cost, refuses (ReasonRate) when short, and refills at
+// Rate per second of fake time. A rate shed never consumes a slot.
+func TestTokenBucket(t *testing.T) {
+	clk := newClock()
+	c := New(Config{
+		Slots:  4,
+		Quotas: map[string]Quota{"metered": {Rate: 10, Burst: 20}},
+		Now:    clk.now,
+	})
+	tk := mustAcquire(t, c, "metered", Cheap, 20) // drains the whole burst
+	tk.Release()
+
+	if _, err := c.Acquire(context.Background(), "metered", Cheap, 1); shedReason(t, err) != ReasonRate {
+		t.Fatal("empty bucket did not shed with ReasonRate")
+	}
+	st := c.StatsSnapshot()
+	if st.ShedRate != 1 || st.ShedCheap != 1 || st.InService != 0 {
+		t.Fatalf("after rate shed: %+v", st)
+	}
+
+	clk.advance(time.Second) // refills 10 units
+	mustAcquire(t, c, "metered", Cheap, 10).Release()
+	if _, err := c.Acquire(context.Background(), "metered", Cheap, 1); shedReason(t, err) != ReasonRate {
+		t.Fatal("bucket refilled more than Rate × elapsed")
+	}
+	// an unmetered tenant is untouched by the metered tenant's bucket
+	mustAcquire(t, c, "free", Cheap, 1e6).Release()
+}
+
+// TestQueueGrantOnRelease pins the basic queue cycle: with the one slot
+// held, the next request queues; Release grants it.
+func TestQueueGrantOnRelease(t *testing.T) {
+	clk := newClock()
+	c := New(Config{Slots: 1, Now: clk.now})
+	first := mustAcquire(t, c, "a", Cheap, 1)
+
+	granted := make(chan *Ticket)
+	go func() {
+		tk, err := c.Acquire(context.Background(), "b", Cheap, 1)
+		if err != nil {
+			panic(err)
+		}
+		granted <- tk
+	}()
+	waitDepth(t, c, 1)
+	select {
+	case <-granted:
+		t.Fatal("second request granted while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	first.Release()
+	tk := <-granted
+	tk.Release()
+
+	st := c.StatsSnapshot()
+	if st.AdmittedCheap != 2 || st.QueueDepth != 0 || st.InService != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+// TestTicketReleaseIdempotent: double Release must not free two slots.
+func TestTicketReleaseIdempotent(t *testing.T) {
+	c := New(Config{Slots: 1})
+	tk := mustAcquire(t, c, "a", Cheap, 1)
+	tk.Release()
+	tk.Release()
+	c.mu.Lock()
+	free := c.free
+	c.mu.Unlock()
+	if free != 1 {
+		t.Fatalf("free slots %d after double release, want 1", free)
+	}
+}
+
+// TestBrownoutLadder drives the queue depth across the three thresholds
+// and asserts each level sheds exactly the classes below it — and that
+// Interactive is never brownout-shed, even at the top of the ladder.
+func TestBrownoutLadder(t *testing.T) {
+	clk := newClock()
+	c := New(Config{
+		Slots: 1, MaxQueue: 100,
+		ShedBackgroundAt: 2, ShedExpensiveAt: 4, ShedCheapAt: 6,
+		QueueBudget: -1, // disable budget shedding; this test is about the ladder
+		Now:         clk.now,
+	})
+	hold := mustAcquire(t, c, "hold", Cheap, 1)
+
+	var wg sync.WaitGroup
+	queueOne := func(tenant string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := c.Acquire(context.Background(), tenant, Interactive, 1)
+			if err != nil {
+				panic(err)
+			}
+			tk.Release()
+		}()
+	}
+
+	// depth 2 → level 1: Background sheds, Expensive still queues
+	queueOne("w1")
+	waitDepth(t, c, 1)
+	queueOne("w2")
+	waitDepth(t, c, 2)
+	if c.Level() != 1 {
+		t.Fatalf("level at depth 2: %d", c.Level())
+	}
+	if _, err := c.Acquire(context.Background(), "bg", Background, 1); shedReason(t, err) != ReasonBrownout {
+		t.Fatal("Background not brownout-shed at level 1")
+	}
+
+	// depth 4 → level 2: Expensive sheds too
+	queueOne("w3")
+	queueOne("w4")
+	waitDepth(t, c, 4)
+	if c.Level() != 2 {
+		t.Fatalf("level at depth 4: %d", c.Level())
+	}
+	if _, err := c.Acquire(context.Background(), "exp", Expensive, 1); shedReason(t, err) != ReasonBrownout {
+		t.Fatal("Expensive not brownout-shed at level 2")
+	}
+
+	// depth 6 → level 3: Cheap sheds; Interactive still queues
+	queueOne("w5")
+	queueOne("w6")
+	waitDepth(t, c, 6)
+	if c.Level() != 3 {
+		t.Fatalf("level at depth 6: %d", c.Level())
+	}
+	if _, err := c.Acquire(context.Background(), "cheap", Cheap, 1); shedReason(t, err) != ReasonBrownout {
+		t.Fatal("Cheap not brownout-shed at level 3")
+	}
+	queueOne("vip") // Interactive queues even at level 3
+	waitDepth(t, c, 7)
+
+	free := func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.free
+	}
+	if free() != 0 {
+		t.Fatalf("sheds consumed slots: free=%d", free())
+	}
+
+	hold.Release()
+	wg.Wait()
+	st := c.StatsSnapshot()
+	if st.BrownoutLevel != 0 || st.QueueDepth != 0 {
+		t.Fatalf("ladder did not step down after drain: %+v", st)
+	}
+	if st.ShedBrownout != 3 || st.BrownoutShifts < 4 {
+		t.Fatalf("ladder counters: %+v", st)
+	}
+	if st.AdmittedInteractive != 7 || st.AdmittedCheap != 1 {
+		t.Fatalf("admitted counters: %+v", st)
+	}
+}
+
+// TestQueueFullShed: the hard cap sheds even classes the ladder admits.
+func TestQueueFullShed(t *testing.T) {
+	clk := newClock()
+	c := New(Config{
+		Slots: 1, MaxQueue: 2,
+		ShedBackgroundAt: 50, ShedExpensiveAt: 50, ShedCheapAt: 50,
+		QueueBudget: -1,
+		Now:         clk.now,
+	})
+	hold := mustAcquire(t, c, "hold", Cheap, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := c.Acquire(context.Background(), "w", Interactive, 1)
+			if err != nil {
+				panic(err)
+			}
+			tk.Release()
+		}()
+		waitDepth(t, c, i+1)
+	}
+	if _, err := c.Acquire(context.Background(), "late", Interactive, 1); shedReason(t, err) != ReasonQueueFull {
+		t.Fatal("over-cap request not shed with ReasonQueueFull")
+	}
+	hold.Release()
+	wg.Wait()
+}
+
+// TestBudgetShed: once a drain rate is observed, a request whose estimated
+// wait exceeds QueueBudget is shed immediately with a drain-derived
+// Retry-After — and its rate tokens are refunded.
+func TestBudgetShed(t *testing.T) {
+	clk := newClock()
+	c := New(Config{
+		Slots: 1, MaxQueue: 100, QueueBudget: 2 * time.Second,
+		ShedBackgroundAt: 50, ShedExpensiveAt: 50, ShedCheapAt: 50,
+		Quotas: map[string]Quota{"m": {Rate: 10000, Burst: 10000}},
+		Now:    clk.now,
+	})
+	// teach the controller its drain rate: 1000 cost units over 1s
+	tk := mustAcquire(t, c, "m", Cheap, 1000)
+	clk.advance(time.Second)
+	tk.Release()
+	if st := c.StatsSnapshot(); st.DrainCostPerSec != 1000 {
+		t.Fatalf("drain rate %v, want 1000", st.DrainCostPerSec)
+	}
+
+	hold := mustAcquire(t, c, "hold", Cheap, 1000)
+	// estimated wait ≈ (500 in-service remainder + 5000 own) / 1000 = 5.5s > 2s
+	_, err := c.Acquire(context.Background(), "m", Cheap, 5000)
+	if shedReason(t, err) != ReasonBudget {
+		t.Fatalf("want budget shed, got %v", err)
+	}
+	var se *ShedError
+	errors.As(err, &se)
+	if se.RetryAfter < 2*time.Second {
+		t.Fatalf("budget shed Retry-After %v below the estimated wait", se.RetryAfter)
+	}
+	// the shed refunded its tokens: the same cost is admittable once the
+	// slot frees
+	hold.Release()
+	mustAcquire(t, c, "m", Cheap, 5000).Release()
+}
+
+// TestDeadlineShedWhileQueued: a queued request whose client deadline
+// fires leaves the queue as a deadline shed, never consuming a slot.
+func TestDeadlineShedWhileQueued(t *testing.T) {
+	clk := newClock()
+	c := New(Config{Slots: 1, MaxQueue: 100,
+		ShedBackgroundAt: 50, ShedExpensiveAt: 50, ShedCheapAt: 50, Now: clk.now})
+	hold := mustAcquire(t, c, "hold", Cheap, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Acquire(ctx, "late", Cheap, 1)
+	if shedReason(t, err) != ReasonDeadline {
+		t.Fatalf("want deadline shed, got %v", err)
+	}
+	st := c.StatsSnapshot()
+	if st.ShedDeadline != 1 || st.QueueDepth != 0 {
+		t.Fatalf("after deadline shed: %+v", st)
+	}
+	hold.Release()
+	if got := c.StatsSnapshot().InService; got != 0 {
+		t.Fatalf("in service after drain: %d", got)
+	}
+}
+
+// TestCancelLeavesQueue: a plain client cancellation surfaces ctx.Err()
+// (not a ShedError), leaves the queue, and never consumes a slot.
+func TestCancelLeavesQueue(t *testing.T) {
+	clk := newClock()
+	c := New(Config{Slots: 1, MaxQueue: 100,
+		ShedBackgroundAt: 50, ShedExpensiveAt: 50, ShedCheapAt: 50, Now: clk.now})
+	hold := mustAcquire(t, c, "hold", Cheap, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error)
+	go func() {
+		_, err := c.Acquire(ctx, "canceler", Cheap, 1)
+		done <- err
+	}()
+	waitDepth(t, c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	st := c.StatsSnapshot()
+	if st.Canceled != 1 || st.QueueDepth != 0 {
+		t.Fatalf("after cancel: %+v", st)
+	}
+	hold.Release()
+	// the canceled waiter must not absorb the freed slot
+	mustAcquire(t, c, "next", Cheap, 1).Release()
+}
+
+// TestWeightedFairDequeue: two tenants with 3:1 weights contending for one
+// slot drain in weighted order — the heavy tenant's four requests all
+// complete within the first five grants.
+func TestWeightedFairDequeue(t *testing.T) {
+	clk := newClock()
+	c := New(Config{
+		Slots: 1, MaxQueue: 100,
+		ShedBackgroundAt: 50, ShedExpensiveAt: 50, ShedCheapAt: 50,
+		QueueBudget: -1,
+		Quotas: map[string]Quota{
+			"heavy": {Weight: 3},
+			"light": {Weight: 1},
+		},
+		Now: clk.now,
+	})
+	hold := mustAcquire(t, c, "warm", Cheap, 1)
+
+	order := make(chan string, 8)
+	var wg sync.WaitGroup
+	queue := func(tenant string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := c.Acquire(context.Background(), tenant, Cheap, 1)
+			if err != nil {
+				panic(err)
+			}
+			order <- tenant
+			tk.Release()
+		}()
+	}
+	// enqueue one at a time so queue order (the vt tie-break) is fixed
+	for i := 0; i < 4; i++ {
+		queue("heavy")
+		waitDepth(t, c, 2*i+1)
+		queue("light")
+		waitDepth(t, c, 2*i+2)
+	}
+	hold.Release()
+	wg.Wait()
+	close(order)
+
+	var got []string
+	for tenant := range order {
+		got = append(got, tenant)
+	}
+	heavyDone := 0
+	for i, tenant := range got {
+		if tenant == "heavy" {
+			heavyDone = i
+		}
+	}
+	if heavyDone > 4 {
+		t.Fatalf("heavy (weight 3) finished at grant %d of 8; order %v", heavyDone+1, got)
+	}
+	light := 0
+	for _, tenant := range got[:5] {
+		if tenant == "light" {
+			light++
+		}
+	}
+	if light == 0 {
+		t.Fatalf("light tenant starved across the first five grants: %v", got)
+	}
+}
+
+// TestConcurrencyQuota: a tenant at MaxConcurrent queues (not sheds) until
+// it frees a slot, while other tenants pass it in the queue.
+func TestConcurrencyQuota(t *testing.T) {
+	clk := newClock()
+	c := New(Config{
+		Slots: 2, MaxQueue: 100,
+		ShedBackgroundAt: 50, ShedExpensiveAt: 50, ShedCheapAt: 50,
+		QueueBudget: -1,
+		Quotas:      map[string]Quota{"capped": {MaxConcurrent: 1}},
+		Now:         clk.now,
+	})
+	first := mustAcquire(t, c, "capped", Cheap, 1)
+
+	queued := make(chan *Ticket)
+	go func() {
+		tk, err := c.Acquire(context.Background(), "capped", Cheap, 1)
+		if err != nil {
+			panic(err)
+		}
+		queued <- tk
+	}()
+	waitDepth(t, c, 1)
+	select {
+	case <-queued:
+		t.Fatal("tenant exceeded MaxConcurrent")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// another tenant takes the free slot past the blocked waiter
+	other := mustAcquire(t, c, "other", Cheap, 1)
+	other.Release()
+
+	first.Release()
+	tk := <-queued
+	tk.Release()
+}
+
+func TestNoteBypass(t *testing.T) {
+	c := New(Config{Slots: 1})
+	c.NoteBypass(Interactive)
+	c.NoteBypass(Interactive)
+	if got := c.StatsSnapshot().AdmittedInteractive; got != 2 {
+		t.Fatalf("bypass count %d, want 2", got)
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	c := New(Config{Slots: 1})
+	if got := c.RetryAfter(); got != time.Second {
+		t.Fatalf("cold RetryAfter %v, want the 1s floor", got)
+	}
+	if got := clampRetry(5 * time.Minute); got != 60*time.Second {
+		t.Fatalf("clamp ceiling: %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// handleMetrics serves the full Stats surface in Prometheus text
+// exposition format (version 0.0.4): every numeric field of the /stats
+// JSON, flattened to metric names under the sched_ prefix with nested
+// blocks joined by '_' (admission.queue_depth becomes
+// sched_admission_queue_depth). The flattening is driven by the JSON
+// encoding of Stats itself, so a counter added to /stats appears here
+// without a second registration site — fleets can autoscale on queue
+// depth and hit rate without a JSON-scraping sidecar.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.StatsSnapshot()
+	raw, err := json.Marshal(&st)
+	if err != nil {
+		http.Error(w, "metrics: stats not serializable", http.StatusInternalServerError)
+		return
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		http.Error(w, "metrics: stats not decodable", http.StatusInternalServerError)
+		return
+	}
+	var b strings.Builder
+	writeMetricTree(&b, "sched", tree)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeMetricTree flattens one decoded JSON object into exposition lines,
+// keys sorted so scrapes are byte-stable across requests. Every metric is
+// declared a gauge: monotone counters are gauges that happen to only
+// grow, and one uniform type keeps the exporter registration-free.
+func writeMetricTree(b *strings.Builder, prefix string, obj map[string]any) {
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name := prefix + "_" + k
+		switch v := obj[k].(type) {
+		case map[string]any:
+			writeMetricTree(b, name, v)
+		case float64:
+			fmt.Fprintf(b, "# TYPE %s gauge\n%s %s\n", name, name, strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			n := 0
+			if v {
+				n = 1
+			}
+			fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", name, name, n)
+		}
+	}
+}

@@ -187,12 +187,17 @@ func sameMembers(a, b []string) bool {
 // fetch relays one raw request body to the owner's internal fill endpoint,
 // tagged with the epoch the owner was resolved under. The caller owns the
 // returned response (status dispatch, body limits, breaker verdict).
-func (p *peerSet) fetch(ctx context.Context, owner string, epoch uint64, body []byte) (*http.Response, error) {
+func (p *peerSet) fetch(ctx context.Context, owner string, epoch uint64, body []byte, tenant string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/cache/peer", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ringEpochHeader, strconv.FormatUint(epoch, 10))
+	if tenant != "" && tenant != defaultTenant {
+		// forward the client's identity so the owner's admission charges
+		// the real tenant, not one shared relay bucket
+		req.Header.Set(apiKeyHeader, tenant)
+	}
 	return p.client.Do(req)
 }

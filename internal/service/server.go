@@ -18,6 +18,7 @@ import (
 
 	"oneport/internal/heuristics"
 	"oneport/internal/sched"
+	"oneport/internal/service/admit"
 	"oneport/internal/service/breaker"
 	"oneport/internal/service/session"
 )
@@ -88,20 +89,29 @@ type Config struct {
 	// ring-replicated — see DESIGN.md "Session layer".
 	MaxSessions int
 	SessionTTL  time.Duration
+
+	// Admission, when non-nil, puts a deadline- and priority-aware
+	// admission queue with per-tenant quotas and a brownout ladder in
+	// front of the compute pool (see internal/service/admit): cold runs
+	// are cost-estimated, classed, and queued or shed before any pool
+	// slot is taken; cache hits and session deltas bypass it entirely.
+	// Slots defaults to PoolSize. nil keeps the bare bounded pool.
+	Admission *admit.Config
 }
 
 // Server executes scheduling requests on a bounded worker pool with pooled
 // probe scratch and an LRU result cache. It is safe for concurrent use;
 // construct with New.
 type Server struct {
-	cfg      Config
-	sem      chan struct{}
-	scratch  sync.Map // procs int -> *sync.Pool of *heuristics.Scratch
-	cache    *resultCache
-	flights  flightGroup
-	peers    *peerSet // nil: single-replica
-	sessions *session.Manager
-	start    time.Time
+	cfg       Config
+	sem       chan struct{}
+	scratch   sync.Map // procs int -> *sync.Pool of *heuristics.Scratch
+	cache     *resultCache
+	flights   flightGroup
+	peers     *peerSet          // nil: single-replica
+	admission *admit.Controller // nil: bare bounded pool
+	sessions  *session.Manager
+	start     time.Time
 
 	requests   atomic.Int64 // single /schedule jobs accepted
 	batches    atomic.Int64 // /batch payloads accepted
@@ -114,8 +124,10 @@ type Server struct {
 	peerFills  atomic.Int64 // inbound /cache/peer fill requests accepted
 	peerErrors atomic.Int64 // owner fetches that failed and degraded to local compute
 	timeouts   atomic.Int64 // runs aborted at the RequestTimeout deadline (503)
+	shed       atomic.Int64 // requests refused by admission control (503)
 	errors     atomic.Int64
 	inFlight   atomic.Int64 // scheduler runs currently executing
+	svcNanos   atomic.Int64 // EWMA of compute durations, for Retry-After hints
 
 	// testHook, when non-nil, runs inside compute between the scratch
 	// borrow and the heuristic call. Tests use it to inject panics (the
@@ -138,13 +150,22 @@ func New(cfg Config) *Server {
 	if cfg.StreamBytes == 0 {
 		cfg.StreamBytes = defaultStreamBytes
 	}
+	var ctrl *admit.Controller
+	if cfg.Admission != nil {
+		ac := *cfg.Admission
+		if ac.Slots <= 0 {
+			ac.Slots = cfg.PoolSize
+		}
+		ctrl = admit.New(ac)
+	}
 	return &Server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.PoolSize),
-		cache:    newResultCache(cfg.CacheSize),
-		peers:    newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient, cfg.Breaker),
-		sessions: session.NewManager(session.Config{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
-		start:    time.Now(),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.PoolSize),
+		cache:     newResultCache(cfg.CacheSize),
+		peers:     newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient, cfg.Breaker),
+		admission: ctrl,
+		sessions:  session.NewManager(session.Config{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
+		start:     time.Now(),
 	}
 }
 
@@ -205,7 +226,7 @@ func (s *Server) Run(req *Request) Response {
 		s.hits.Add(1)
 		return resp
 	}
-	return s.runFlight(req, key, model)
+	return s.runFlight(req, key, model, s.laneFor(req))
 }
 
 // runFlight executes the scheduler for a normalized request under
@@ -214,7 +235,7 @@ func (s *Server) Run(req *Request) Response {
 // rest wait and share its response (counted in coalesced). The leader
 // re-checks the cache because a flight that completed between a caller's
 // miss and its leadership has already populated the entry.
-func (s *Server) runFlight(req *Request, key string, model sched.Model) Response {
+func (s *Server) runFlight(req *Request, key string, model sched.Model, ln lane) Response {
 	resp, _ := s.flights.do(key,
 		func() { s.coalesced.Add(1) },
 		func() (Response, []byte) {
@@ -223,7 +244,7 @@ func (s *Server) runFlight(req *Request, key string, model sched.Model) Response
 				return resp, nil
 			}
 			s.misses.Add(1)
-			return s.compute(req, key, model), nil
+			return s.compute(req, key, model, ln), nil
 		})
 	return resp
 }
@@ -246,7 +267,7 @@ const maxServeAttempts = 3
 // body is a wire stream, not bytes): the leader carries it out via the
 // returned relay and streams it to its own client; followers see
 // resp.relayStreamed and retry.
-func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha256.Size]byte, key string, model sched.Model, fromPeer bool, raw []byte) (Response, []byte, *peerRelay) {
+func (s *Server) serveFlight(req *Request, sum, body [sha256.Size]byte, key string, model sched.Model, fromPeer bool, raw []byte, ln lane) (Response, []byte, *peerRelay) {
 	var relay *peerRelay
 	resp, enc := s.flights.do(key,
 		func() { s.coalesced.Add(1) },
@@ -256,7 +277,7 @@ func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha25
 				return resp, nil
 			}
 			if !fromPeer && s.peers != nil {
-				resp, enc, rel, ok := s.peerFill(ctx, sum, body, key, raw)
+				resp, enc, rel, ok := s.peerFill(ln.ctx, sum, body, key, raw, ln.tenant)
 				if rel != nil {
 					relay = rel
 					return Response{relayStreamed: true}, nil
@@ -266,7 +287,7 @@ func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha25
 				}
 			}
 			s.misses.Add(1)
-			return s.compute(req, key, model), nil
+			return s.compute(req, key, model, ln), nil
 		})
 	return resp, enc, relay
 }
@@ -281,13 +302,23 @@ func (s *Server) serveFlight(ctx context.Context, req *Request, sum, body [sha25
 // restocked it with the dead run's buffers, which a mid-fan-out panic can
 // leave referenced by in-flight probe workers — dropping the one Scratch
 // is the alias-free option, and the pool regrows a fresh one on demand.
-func (s *Server) compute(req *Request, key string, model sched.Model) (resp Response) {
-	s.sem <- struct{}{}
+func (s *Server) compute(req *Request, key string, model sched.Model, ln lane) (resp Response) {
+	if s.admission != nil {
+		// admission decides BEFORE any pool slot is taken: a shed costs
+		// queue bookkeeping only, never compute capacity. The ticket IS
+		// the slot (admit.Config.Slots mirrors PoolSize), so the bare
+		// semaphore is bypassed — two gates would deadlock under burst.
+		tk, err := s.admission.Acquire(ln.ctx, ln.tenant, ln.class, ln.cost)
+		if err != nil {
+			return s.shedResponse(key, err)
+		}
+		defer tk.Release()
+	} else {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
 	s.inFlight.Add(1)
-	defer func() {
-		s.inFlight.Add(-1)
-		<-s.sem
-	}()
+	defer s.inFlight.Add(-1)
 
 	pool := s.scratchPool(req.Platform.NumProcs())
 	sc := pool.Get().(*heuristics.Scratch)
@@ -321,6 +352,7 @@ func (s *Server) compute(req *Request, key string, model sched.Model) (resp Resp
 	began := time.Now()
 	schedule, err := fn(req.Graph, req.Platform, model)
 	elapsed := time.Since(began)
+	s.observeServiceTime(elapsed)
 	if err != nil {
 		s.errors.Add(1)
 		if errors.Is(err, heuristics.ErrCanceled) {
@@ -360,8 +392,14 @@ func (s *Server) compute(req *Request, key string, model sched.Model) (resp Resp
 // returns responses in input order. Per-job failures are reported in the
 // matching Response.Error; one bad job never fails its neighbours. Batch
 // jobs always compute locally (no peer forwarding), but identical jobs
-// still coalesce through the singleflight.
+// still coalesce through the singleflight. Under admission control every
+// batch job is Background class — the first traffic the brownout ladder
+// sheds.
 func (s *Server) RunBatch(b *Batch) BatchResponse {
+	return s.runBatch(context.Background(), b, defaultTenant)
+}
+
+func (s *Server) runBatch(ctx context.Context, b *Batch, tenant string) BatchResponse {
 	out := BatchResponse{Responses: make([]Response, len(b.Requests))}
 	workers := s.cfg.PoolSize
 	if workers > len(b.Requests) {
@@ -378,12 +416,29 @@ func (s *Server) RunBatch(b *Batch) BatchResponse {
 				if i >= len(b.Requests) {
 					return
 				}
-				out.Responses[i] = s.Run(&b.Requests[i])
+				out.Responses[i] = s.runBatchJob(ctx, &b.Requests[i], tenant)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// runBatchJob is Run with a batch job's admission identity: the caller's
+// tenant and context, class forced to Background regardless of cost.
+func (s *Server) runBatchJob(ctx context.Context, req *Request, tenant string) Response {
+	model, err := req.normalize()
+	if err != nil {
+		s.errors.Add(1)
+		return Response{Error: err.Error()}
+	}
+	key := CanonicalKey(req)
+	if resp, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		return resp
+	}
+	return s.runFlight(req, key, model,
+		lane{ctx: ctx, tenant: tenant, class: admit.Background, cost: estimateCost(req)})
 }
 
 // Handler returns the server's HTTP surface:
@@ -398,6 +453,7 @@ func (s *Server) RunBatch(b *Batch) BatchResponse {
 //	POST   /ring                live membership swap (admin token required)
 //	GET    /healthz             liveness
 //	GET    /stats               counters (requests, cache hits/misses, ...)
+//	GET    /metrics             the same counters in Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /schedule", s.handleSchedule)
@@ -410,6 +466,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ring", s.handleRingPost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -493,6 +550,11 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 	}
 	sum := CanonicalSum(&req)
 	key := hex.EncodeToString(sum[:])
+	class, cost := classifyRequest(&req)
+	// the lane's ctx is the client's: a queued request whose client hangs
+	// up (or whose deadline passes) leaves the admission queue without
+	// ever consuming a pool slot
+	ln := lane{ctx: r.Context(), tenant: tenantOf(r), class: class, cost: cost}
 
 	// everything below the byte index runs under singleflight: a canonical
 	// hit under a new byte spelling, a peer fill for a key another replica
@@ -502,7 +564,7 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 	var enc []byte
 	for attempt := 0; ; attempt++ {
 		var relay *peerRelay
-		resp, enc, relay = s.serveFlight(r.Context(), &req, sum, body, key, model, fromPeer, buf.Bytes())
+		resp, enc, relay = s.serveFlight(&req, sum, body, key, model, fromPeer, buf.Bytes(), ln)
 		if relay != nil {
 			// this request led a stream-marked fill: pipe the owner's body
 			// straight to the client, no staging
@@ -517,7 +579,7 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 		// fresh relay — and after the budget compute locally outside the flight
 		if attempt >= maxServeAttempts-1 {
 			s.misses.Add(1)
-			resp, enc = s.compute(&req, key, model), nil
+			resp, enc = s.compute(&req, key, model, ln), nil
 			break
 		}
 	}
@@ -529,9 +591,12 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 	}
 	status := http.StatusOK
 	switch {
+	case resp.shed:
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(resp.retryAfter))
 	case resp.timedOut:
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	case resp.serverFault:
 		status = http.StatusInternalServerError
 	case resp.Error != "":
@@ -586,7 +651,7 @@ type peerRelay struct {
 // owner's fault (Failure); an owner 4xx and a ring-epoch 409 prove the
 // owner alive (Success); our own client hanging up proves nothing
 // (Cancel). ok=false always degrades to local compute.
-func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key string, raw []byte) (Response, []byte, *peerRelay, bool) {
+func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key string, raw []byte, tenant string) (Response, []byte, *peerRelay, bool) {
 	owner, isSelf, epoch, active := s.peers.owner(sum)
 	if !active || isSelf {
 		return Response{}, nil, nil, false
@@ -597,7 +662,7 @@ func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key 
 	var hr *http.Response
 	for attempt := 1; ; attempt++ {
 		var err error
-		hr, err = s.peers.fetch(ctx, owner, epoch, raw)
+		hr, err = s.peers.fetch(ctx, owner, epoch, raw, tenant)
 		if err == nil {
 			break
 		}
@@ -620,6 +685,16 @@ func (s *Server) peerFill(ctx context.Context, sum, body [sha256.Size]byte, key 
 		// the membership push reaches both sides.
 		drainClose(hr.Body)
 		s.peers.skews.Add(1)
+		s.peers.breakers.Success(owner)
+		return Response{}, nil, nil, false
+	case hr.StatusCode == http.StatusServiceUnavailable:
+		// the owner is shedding load (admission queue full, brownout, or
+		// a compute deadline): explicit backpressure from a live peer, not
+		// a fault — settling Failure here would let overload masquerade as
+		// peer death and cascade breaker opens across the fleet. Degrade
+		// to local compute under this replica's own admission verdict.
+		drainClose(hr.Body)
+		s.peerErrors.Add(1)
 		s.peers.breakers.Success(owner)
 		return Response{}, nil, nil, false
 	case hr.StatusCode >= 500:
@@ -745,7 +820,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batches.Add(1)
 	s.batchJobs.Add(int64(len(b.Requests)))
-	out := s.RunBatch(&b)
+	out := s.runBatch(r.Context(), &b, tenantOf(r))
 	if s.cfg.StreamBytes > 0 {
 		est := 0
 		for i := range out.Responses {
@@ -819,8 +894,15 @@ type Stats struct {
 	SessionReplayedTasks int64 `json:"session_replayed_tasks"`
 	// Timeouts counts runs aborted at Config.RequestTimeout (503s).
 	Timeouts int64 `json:"timeouts"`
-	Errors   int64 `json:"errors"`
-	InFlight int64 `json:"in_flight"`
+	// Shed counts requests refused by admission control before any pool
+	// slot was taken (503 + computed Retry-After). Admission is the live
+	// admission-queue state — brownout level, per-class queue depths and
+	// admit/shed counters, drain rate, per-tenant accounting — and nil
+	// when admission control is disabled.
+	Shed      int64        `json:"shed"`
+	Admission *admit.Stats `json:"admission,omitempty"`
+	Errors    int64        `json:"errors"`
+	InFlight  int64        `json:"in_flight"`
 }
 
 // StatsSnapshot returns the current counters.
@@ -840,7 +922,7 @@ func (s *Server) StatsSnapshot() Stats {
 		brk = s.peers.breakers.Stats(time.Now())
 	}
 	sess := s.sessions.StatsSnapshot()
-	return Stats{
+	st := Stats{
 		UptimeS:              time.Since(s.start).Seconds(),
 		PoolSize:             s.cfg.PoolSize,
 		Requests:             s.requests.Load(),
@@ -868,9 +950,15 @@ func (s *Server) StatsSnapshot() Stats {
 		SessionEvictions:     sess.Evictions,
 		SessionReplayedTasks: sess.ReplayedTasks,
 		Timeouts:             s.timeouts.Load(),
+		Shed:                 s.shed.Load(),
 		Errors:               s.errors.Load(),
 		InFlight:             s.inFlight.Load(),
 	}
+	if s.admission != nil {
+		as := s.admission.StatsSnapshot()
+		st.Admission = &as
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -896,6 +984,11 @@ func (s *Server) RingEpoch() uint64 {
 	}
 	return s.peers.epoch()
 }
+
+// Admission exposes the admission controller so in-process subsystems —
+// the sweep worker surface — can gate their own traffic on the same
+// slots and brownout ladder. nil when admission control is disabled.
+func (s *Server) Admission() *admit.Controller { return s.admission }
 
 // PeerBreakers exposes the per-peer circuit breakers so every peer path in
 // the process — /schedule relays and sweep fills alike — shares one view

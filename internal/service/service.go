@@ -16,7 +16,21 @@
 // Sweep-shaped payloads can be batched (POST /batch) through the same pool.
 // The sharded sweep protocol built on top lives in the sweep subpackage.
 //
-// Endpoints: POST /schedule, POST /batch, GET /healthz, GET /stats.
+// Overload is handled in front of the pool, not inside it. With admission
+// control enabled (Config.Admission, schedserve -admission), every
+// non-cache-hit run is cost-estimated (task count × a per-heuristic
+// weight), classified (interactive / cheap / expensive / background) and
+// admitted through internal/service/admit: per-tenant token-bucket and
+// concurrency quotas (tenant = X-API-Key header, "default" otherwise),
+// weighted-fair dequeue, a deadline-aware bounded queue, and a brownout
+// ladder that sheds the lowest classes first as the queue deepens. A shed
+// is always an immediate 503 with a numeric Retry-After derived from the
+// measured queue drain rate — never a request that burned a pool slot —
+// and cache hits and session deltas bypass admission entirely. GET
+// /metrics exports the full stats surface in Prometheus text format.
+//
+// Endpoints: POST /schedule, POST /batch, GET /healthz, GET /stats,
+// GET /metrics.
 package service
 
 import (
@@ -143,6 +157,12 @@ type Response struct {
 	// peer relay to its own client: there is nothing shareable, so
 	// followers retry their flight (bounded by maxServeAttempts).
 	relayStreamed bool
+	// shed marks an Error as an admission-control refusal — answered 503
+	// with retryAfter (whole seconds) in the Retry-After header, computed
+	// from the queue's observed drain rate. A shed response never
+	// consumed a pool slot.
+	shed       bool
+	retryAfter int
 }
 
 // Batch is the payload of POST /batch: independent requests executed

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"oneport/internal/heuristics"
+	"oneport/internal/service/admit"
 	"oneport/internal/service/session"
 )
 
@@ -61,6 +62,19 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
 		return
 	}
+	if s.admission != nil {
+		// a session open is a cold run — it pays admission like /schedule
+		// (deltas on the open session are Interactive and always serve).
+		// The ticket is held across Open because the run consumes real
+		// compute; the client's context bounds the queue wait.
+		class, cost := classifyRequest(&req)
+		tk, aerr := s.admission.Acquire(r.Context(), tenantOf(r), class, cost)
+		if aerr != nil {
+			s.writeShed(w, aerr)
+			return
+		}
+		defer tk.Release()
+	}
 	ctx, cancel := s.sessionCtx(r)
 	defer cancel()
 	id, info, err := s.sessions.Open(ctx, session.Params{
@@ -102,6 +116,12 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	if s.admission != nil {
+		// deltas on an open session never queue and are never shed — the
+		// warm state is already paid for; the bypass is counted so the
+		// brownout ladder's "always serve" traffic stays observable
+		s.admission.NoteBypass(admit.Interactive)
+	}
 	ctx, cancel := s.sessionCtx(r)
 	defer cancel()
 	info, err := s.sessions.Delta(ctx, id, d)
@@ -171,7 +191,7 @@ func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
 	case errors.Is(err, heuristics.ErrCanceled):
 		s.timeouts.Add(1)
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		if d := s.cfg.RequestTimeout; d > 0 {
 			err = fmt.Errorf("service: session run exceeded the %s request deadline", d)
 		}

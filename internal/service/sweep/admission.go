@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"oneport/internal/service/admit"
+)
+
+// Sweep traffic is the first class the scheduling service's brownout
+// ladder sheds, and the worker surface enforces the same verdict: when an
+// admission controller is installed (cmd/schedserve -worker -admission),
+// every inbound shard acquires ONE Background ticket for its summed job
+// cost before any lane starts. A shed answers 503 with a numeric
+// Retry-After, which the coordinator treats as backpressure — back off
+// and retry — never as a worker fault (no breaker trip, no retirement).
+
+// sweepTenant is the accounting bucket all sweep-shard traffic charges;
+// it keeps fill load visible (and quotable) separately from API tenants.
+const sweepTenant = "sweep"
+
+// admitGate is the installed controller; nil means shards run ungated.
+var admitGate atomic.Pointer[admit.Controller]
+
+// EnableAdmission installs (or with nil, removes) the admission controller
+// gating this process's /sweep/run surface. cmd/schedserve passes the
+// scheduling service's controller so shards and cold /schedule runs
+// contend for the same slots under one brownout ladder.
+func EnableAdmission(c *admit.Controller) { admitGate.Store(c) }
+
+// jobCost mirrors the service's cost model (task count × heuristic
+// weight) for sweep jobs: a figure job runs the HEFT-vs-ILHA bundle at
+// Size tasks, a B-sweep job one ILHA run.
+func jobCost(j Job) float64 {
+	n := float64(j.Size)
+	if n < 1 {
+		n = 1
+	}
+	if j.Kind == KindFigure {
+		return n * 4
+	}
+	return n * 3
+}
+
+func shardCost(jobs []Job) float64 {
+	total := 0.0
+	for _, j := range jobs {
+		total += jobCost(j)
+	}
+	return total
+}
+
+// admitShard gates one inbound shard: returns a release func when
+// admitted (possibly a no-op when no controller is installed), or writes
+// the 503 + Retry-After itself and returns ok=false.
+func admitShard(w http.ResponseWriter, r *http.Request, jobs []Job) (func(), bool) {
+	c := admitGate.Load()
+	if c == nil {
+		return func() {}, true
+	}
+	tk, err := c.Acquire(r.Context(), sweepTenant, admit.Background, shardCost(jobs))
+	if err != nil {
+		retry := 1
+		var se *admit.ShedError
+		if errors.As(err, &se) {
+			if secs := int(math.Ceil(se.RetryAfter.Seconds())); secs > retry {
+				retry = secs
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("sweep: shard shed: %w", err))
+		return nil, false
+	}
+	return tk.Release, true
+}
+
+// maxWorkerBackoffs bounds how many consecutive 503s the coordinator
+// absorbs for one chunk on one worker before falling back to the normal
+// failover path (requeue elsewhere, retire the worker for this run).
+const maxWorkerBackoffs = 10
+
+// maxBackoffSleep caps one overload back-off sleep regardless of what
+// Retry-After the worker advertised.
+const maxBackoffSleep = 30 * time.Second
+
+// overloadError marks a worker 503: explicit backpressure from a live
+// worker, carrying its Retry-After. It is deliberately NOT a breaker
+// failure — overload must never masquerade as worker death.
+type overloadError struct {
+	worker     string
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("sweep: worker %s overloaded (retry after %s): %s", e.worker, e.retryAfter, e.msg)
+}
+
+// backoff is the sleep before retrying: the worker's hint, clamped.
+func (e *overloadError) backoff() time.Duration {
+	d := e.retryAfter
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > maxBackoffSleep {
+		d = maxBackoffSleep
+	}
+	return d
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -58,6 +59,11 @@ func Handler() http.Handler {
 				return
 			}
 		}
+		release, ok := admitShard(w, r, sh.Jobs)
+		if !ok {
+			return // admitShard answered 503 + Retry-After
+		}
+		defer release()
 		res, err := runShard(&sh, !local)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -103,6 +109,7 @@ type Coordinator struct {
 type RunStats struct {
 	Chunks    int // dispatched units of work
 	Requeues  int // chunks re-fed to the queue after a worker failure
+	Backoffs  int // 503 overload responses absorbed by waiting and retrying
 	CacheHits int // jobs the workers served from their result caches
 	RingFills int // jobs the workers filled from their ring owners
 }
@@ -207,10 +214,32 @@ func (c *Coordinator) Run(ctx context.Context, pl *platform.Platform, jobs []Job
 }
 
 // pullChunks is one worker's dispatch loop: pull, post, collect; on failure
-// requeue the chunk and retire.
+// requeue the chunk and retire. A 503 is not a failure: the worker is
+// shedding load, so the chunk waits out the advertised Retry-After and
+// retries the same worker (bounded by maxWorkerBackoffs) before falling
+// back to the failover path.
 func (c *Coordinator) pullChunks(ctx context.Context, worker string, pl *platform.Platform, r *wsRun) {
 	for ch := range r.queue {
-		res, err := c.dispatch(ctx, worker, &Shard{Platform: pl, Jobs: ch.jobs})
+		sh := &Shard{Platform: pl, Jobs: ch.jobs}
+		res, err := c.dispatch(ctx, worker, sh)
+		for backoffs := 0; err != nil && ctx.Err() == nil && backoffs < maxWorkerBackoffs; backoffs++ {
+			var oe *overloadError
+			if !errors.As(err, &oe) {
+				break
+			}
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				return
+			}
+			r.stats.Backoffs++
+			r.mu.Unlock()
+			select {
+			case <-ctx.Done():
+			case <-time.After(oe.backoff()):
+			}
+			res, err = c.dispatch(ctx, worker, sh)
+		}
 		if err == nil {
 			r.mu.Lock()
 			r.all = append(r.all, res.Results...)
@@ -260,11 +289,16 @@ func (c *Coordinator) dispatch(ctx context.Context, worker string, sh *Shard) (*
 		return nil, fmt.Errorf("sweep: worker %s: circuit breaker open", worker)
 	}
 	res, err := c.postShard(ctx, worker, sh)
+	var oe *overloadError
 	switch {
 	case err == nil:
 		c.Breakers.Success(worker)
 	case ctx.Err() != nil:
 		c.Breakers.Cancel(worker)
+	case errors.As(err, &oe):
+		// a 503 proves the worker alive and answering — overload is
+		// backpressure, never a breaker fault
+		c.Breakers.Success(worker)
 	default:
 		c.Breakers.Failure(worker, time.Now())
 	}
@@ -294,6 +328,13 @@ func (c *Coordinator) postShard(ctx context.Context, worker string, sh *Shard) (
 		_ = json.NewDecoder(io.LimitReader(resp.Body, maxShardErrorBytes)).Decode(&e)
 		if e.Error == "" {
 			e.Error = resp.Status
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			retry := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+			return nil, &overloadError{worker: worker, retryAfter: retry, msg: e.Error}
 		}
 		return nil, fmt.Errorf("sweep: worker %s: %s", worker, e.Error)
 	}
