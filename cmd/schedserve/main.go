@@ -46,7 +46,14 @@
 // replica that is also a ring member fills cold sweep jobs from the job
 // key's owning worker through the same ring and circuit breakers.
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
+// -session-journal-dir makes sessions durable: the open and every acked
+// delta are write-ahead-journaled (length-prefixed, checksummed records;
+// -session-fsync picks always/none), and a restarted replica replays the
+// directory back into byte-identical sessions before /readyz reports
+// ready. On SIGINT/SIGTERM the server first syncs every journal and hands
+// its live sessions to each id's ring owner (POST /session/peer/import on
+// the survivors; requests for moved sessions answer 307 + X-Session-Owner
+// so clients re-pin), then stops accepting connections and drains
 // in-flight runs for up to -drain before exiting.
 //
 // Coordinator mode feeds a figure sweep or a B-sweep to running workers
@@ -85,6 +92,7 @@ import (
 	"oneport/internal/service"
 	"oneport/internal/service/admit"
 	"oneport/internal/service/breaker"
+	"oneport/internal/service/journal"
 	"oneport/internal/service/sweep"
 	"oneport/internal/testbeds"
 )
@@ -103,6 +111,8 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "in-flight drain timeout on SIGINT/SIGTERM")
 		maxSess  = flag.Int("max-sessions", 0, "scheduling-session table capacity (0: default 256)")
 		sessTTL  = flag.Duration("session-ttl", 0, "idle TTL before a session may be evicted (0: default 15m; negative: never)")
+		sessDir  = flag.String("session-journal-dir", "", "directory for per-session write-ahead journals; sessions survive crashes and restarts (empty: volatile sessions)")
+		sessSync = flag.String("session-fsync", "always", "journal fsync policy: always (acked deltas survive power loss) or none (page cache only; requires -session-journal-dir)")
 
 		admission    = flag.Bool("admission", false, "enable admission control: deadline-aware queueing, per-tenant quotas, brownout ladder")
 		queueBudget  = flag.Duration("queue-budget", 0, "max estimated admission-queue wait before shedding (0: default 2s; requires -admission)")
@@ -132,14 +142,34 @@ func main() {
 	default:
 		var admCfg *admit.Config
 		admCfg, err = admissionConfig(*admission, *queueBudget, *tenantQuotas)
+		var jstore *journal.Store
 		if err == nil {
-			err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain, *maxSess, *sessTTL, admCfg)
+			jstore, err = journalStore(*sessDir, *sessSync)
+		}
+		if err == nil {
+			err = serve(*addr, *pool, *cacheSz, *probePar, *worker, *self, *peers, *admin, *timeout, *drain, *maxSess, *sessTTL, admCfg, jstore)
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedserve:", err)
 		os.Exit(1)
 	}
+}
+
+// journalStore resolves the session-journal flags: nil when no directory
+// is given, an error when -session-fsync is tuned without one.
+func journalStore(dir, fsync string) (*journal.Store, error) {
+	pol, err := journal.ParsePolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		if pol != journal.SyncAlways {
+			return nil, fmt.Errorf("-session-fsync requires -session-journal-dir")
+		}
+		return nil, nil
+	}
+	return journal.Open(journal.Config{Dir: dir, Policy: pol})
 }
 
 // admissionConfig resolves the admission flags: nil when disabled, an
@@ -162,7 +192,7 @@ func admissionConfig(enabled bool, queueBudget time.Duration, quotaSpec string) 
 	return cfg, nil
 }
 
-func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration, maxSessions int, sessionTTL time.Duration, admCfg *admit.Config) error {
+func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, adminToken string, timeout, drain time.Duration, maxSessions int, sessionTTL time.Duration, admCfg *admit.Config, jstore *journal.Store) error {
 	var peerList []string
 	if peers != "" {
 		if self == "" {
@@ -178,8 +208,24 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, a
 		Self: self, Peers: peerList,
 		AdminToken: adminToken, RequestTimeout: timeout,
 		MaxSessions: maxSessions, SessionTTL: sessionTTL,
-		Admission: admCfg,
+		SessionJournal: jstore,
+		Admission:      admCfg,
 	})
+	if jstore != nil {
+		// replay journaled sessions concurrently with serving: /readyz
+		// stays not-ready until the replay finishes, so load balancers
+		// hold traffic while pinned ids are still being rebuilt
+		go func() {
+			recovered, failed, err := srv.RecoverSessions(context.Background())
+			if err != nil {
+				log.Printf("schedserve: session recovery failed: %v", err)
+				return
+			}
+			if recovered > 0 || failed > 0 {
+				log.Printf("schedserve: recovered %d journaled sessions (%d failed)", recovered, failed)
+			}
+		}()
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	role := "scheduler"
@@ -225,10 +271,16 @@ func serve(addr string, pool, cacheSz, probePar int, worker bool, self, peers, a
 		return err
 	case <-ctx.Done():
 		stop() // restore default handling: a second signal kills immediately
-		log.Printf("schedserve: shutdown signal; draining %d in-flight runs (timeout %v)",
-			srv.StatsSnapshot().InFlight, drain)
 		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
+		// flush+sync journals and hand live sessions to their ring owners
+		// BEFORE closing the listener: the handoffs need the survivors
+		// reachable, and in-flight deltas finish or 307 while it runs
+		if moved, kept := srv.DrainSessions(sctx); moved > 0 || kept > 0 {
+			log.Printf("schedserve: session handoff: %d moved to ring owners, %d kept journaled", moved, kept)
+		}
+		log.Printf("schedserve: shutdown signal; draining %d in-flight runs (timeout %v)",
+			srv.StatsSnapshot().InFlight, drain)
 		if err := hs.Shutdown(sctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}

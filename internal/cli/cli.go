@@ -70,6 +70,24 @@ func ParseModel(name string) (sched.Model, error) {
 	}
 }
 
+// ModelName maps a parsed model back to the primary token ParseModel
+// accepts for it, so serialized state (cache keys, session journals,
+// handoff snapshots) round-trips through one canonical spelling.
+func ModelName(m sched.Model) string {
+	switch m {
+	case sched.MacroDataflow:
+		return "macro"
+	case sched.UniPort:
+		return "uniport"
+	case sched.OnePortNoOverlap:
+		return "nooverlap"
+	case sched.LinkContention:
+		return "linkcontention"
+	default:
+		return "oneport"
+	}
+}
+
 // ParseInts parses a comma-separated integer list like "100,200,300".
 func ParseInts(spec string) ([]int, error) {
 	var out []int

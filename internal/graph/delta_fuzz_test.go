@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDeltaApply throws arbitrary JSON at the delta decoder and Apply,
+// asserting the two properties the session layer relies on for untrusted
+// client input: no panic on any input, and atomic apply-or-reject — a
+// failed delta returns no graph, a successful one returns a valid graph,
+// and the input graph is never mutated either way. The seed corpus mirrors
+// the adversarial suite in delta_test.go: cycle introduction, dangling and
+// duplicate edges, self loops, NaN/negative costs, missing fields, unknown
+// ops, huge ids.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte(`[{"op":"add_task","weight":3,"label":"t"}]`))
+	f.Add([]byte(`[{"op":"add_edge","from":0,"to":1,"data":2}]`))
+	f.Add([]byte(`[{"op":"set_weight","task":1,"weight":7}]`))
+	f.Add([]byte(`[{"op":"set_data","from":0,"to":2,"data":9}]`))
+	f.Add([]byte(`[{"op":"add_edge","from":2,"to":0,"data":1}]`))  // cycle
+	f.Add([]byte(`[{"op":"add_edge","from":1,"to":1,"data":1}]`))  // self loop
+	f.Add([]byte(`[{"op":"add_edge","from":0,"to":99,"data":1}]`)) // dangling
+	f.Add([]byte(`[{"op":"add_edge","from":0,"to":1,"data":2},{"op":"add_edge","from":0,"to":1,"data":2}]`))
+	f.Add([]byte(`[{"op":"set_weight","task":-4,"weight":1}]`))
+	f.Add([]byte(`[{"op":"set_weight","task":1,"weight":-1}]`))
+	f.Add([]byte(`[{"op":"add_task"}]`)) // missing weight
+	f.Add([]byte(`[{"op":"explode"}]`))  // unknown op
+	f.Add([]byte(`[{"op":"add_task","weight":1e308},{"op":"add_task","weight":1e308}]`))
+	f.Add([]byte(`[{"op":"set_data","from":2147483647,"to":-2147483648,"data":0}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Delta
+		if json.Unmarshal(data, &d) != nil {
+			return // undecodable input is rejected upstream by the HTTP layer
+		}
+		// a small diamond with one spare node: enough shape for edge ops,
+		// cycles and duplicate detection to be reachable from the corpus
+		g := New(4)
+		g.AddNode(1, "a")
+		g.AddNode(2, "b")
+		g.AddNode(3, "c")
+		g.AddNode(4, "d")
+		if err := g.AddEdge(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(0, 2, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(1, 3, 1); err != nil {
+			t.Fatal(err)
+		}
+		before, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ng, eff, aerr := d.Apply(g)
+
+		after, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(before) != string(after) {
+			t.Fatalf("Apply mutated its input graph:\nbefore %s\nafter  %s", before, after)
+		}
+		if aerr != nil {
+			if ng != nil {
+				t.Fatalf("failed Apply returned a graph alongside error %v", aerr)
+			}
+			return
+		}
+		if ng == nil {
+			t.Fatal("successful Apply returned a nil graph")
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("accepted delta produced an invalid graph: %v", err)
+		}
+		if got, want := ng.NumNodes(), g.NumNodes()+eff.Added; got != want {
+			t.Fatalf("NumNodes = %d, want %d (Added = %d)", got, want, eff.Added)
+		}
+		for _, v := range eff.Dirty {
+			if v < 0 || v >= ng.NumNodes() {
+				t.Fatalf("dirty id %d outside the new graph's %d nodes", v, ng.NumNodes())
+			}
+		}
+	})
+}

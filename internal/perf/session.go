@@ -3,19 +3,23 @@ package perf
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"oneport/internal/exp"
 	"oneport/internal/graph"
 	"oneport/internal/heuristics"
 	"oneport/internal/platform"
 	"oneport/internal/sched"
+	"oneport/internal/service/journal"
 	"oneport/internal/service/session"
 	"oneport/internal/testbeds"
 )
 
 // sessionSpecs benchmarks the scheduling-session subsystem: one small delta
 // against a warm ~300-task session (prefix replay on warm state) versus the
-// cold full run a sessionless client would pay for the same change. The
+// cold full run a sessionless client would pay for the same change, plus
+// the same warm delta on a journaled session (fsync-always write-ahead log
+// per delta) so the durability tax of PR 9 stays a measured number. The
 // graph is a fork-join with a chain tail — every path runs through the
 // re-weighted tail task, so the commit order is stable and everything but
 // that task replays, while the cold run re-probes every task including the
@@ -40,6 +44,23 @@ func sessionSpecs() []Spec {
 	tune := &heuristics.Tuning{ProbeParallelism: 1, Scratch: heuristics.NewScratch()}
 	coldIter := 0
 
+	jdir, err := os.MkdirTemp("", "oneport-perf-journal-")
+	if err != nil {
+		panic(err)
+	}
+	jstore, err := journal.Open(journal.Config{Dir: jdir, Policy: journal.SyncAlways})
+	if err != nil {
+		panic(err)
+	}
+	jm := session.NewManager(session.Config{Journal: jstore})
+	jid, _, err := jm.Open(context.Background(), session.Params{
+		Graph: g, Platform: pl, Heuristic: "heft", Model: sched.OnePort, ProbePar: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	jIter := 0
+
 	fp := func(v float64) *float64 { return &v }
 	ip := func(v int) *int { return &v }
 	return []Spec{
@@ -60,6 +81,30 @@ func sessionSpecs() []Spec {
 					return nil, fmt.Errorf("replayed %d of %d tasks", info.Replayed, n)
 				}
 				return map[string]float64{"replayed": float64(info.Replayed)}, nil
+			},
+		},
+		{
+			Name:      "session-delta-journaled-forkjoin300",
+			perOp:     float64(n),
+			perOpUnit: "tasks",
+			work: func() (map[string]float64, error) {
+				jIter++
+				d := session.Delta{Graph: graph.Delta{{
+					Op: "set_weight", Task: ip(n - 1), Weight: fp(float64(10 + jIter%7)),
+				}}}
+				info, err := jm.Delta(context.Background(), jid, d)
+				if err != nil {
+					return nil, err
+				}
+				if info.Replayed < n-1 {
+					return nil, fmt.Errorf("replayed %d of %d tasks", info.Replayed, n)
+				}
+				js := jstore.StatsSnapshot()
+				return map[string]float64{
+					"replayed":            float64(info.Replayed),
+					"journal_bytes":       float64(js.AppendedBytes),
+					"journal_compactions": float64(js.Compactions),
+				}, nil
 			},
 		},
 		{

@@ -1,0 +1,72 @@
+package platform
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDeltaApply drives the platform delta decoder and Apply with
+// arbitrary JSON: no input may panic, a failed delta returns no platform,
+// a successful one returns a platform New accepted (so every invariant
+// held), and the input platform is never mutated. Seeds mirror the
+// adversarial suite: removing the last processor, out-of-range ids,
+// negative and non-finite costs, null links, missing fields.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte(`[{"op":"add_proc","cycle":6,"link":1}]`))
+	f.Add([]byte(`[{"op":"add_proc","cycle":6,"links":[1,null,2]}]`))
+	f.Add([]byte(`[{"op":"remove_proc","proc":1}]`))
+	f.Add([]byte(`[{"op":"remove_proc","proc":0},{"op":"remove_proc","proc":0},{"op":"remove_proc","proc":0}]`))
+	f.Add([]byte(`[{"op":"set_cycle","proc":2,"cycle":10}]`))
+	f.Add([]byte(`[{"op":"set_cycle","proc":-1,"cycle":10}]`))
+	f.Add([]byte(`[{"op":"set_cycle","proc":0,"cycle":-3}]`))
+	f.Add([]byte(`[{"op":"set_link","from":0,"to":2,"cost":2}]`))
+	f.Add([]byte(`[{"op":"set_link","from":0,"to":2}]`)) // cut the wire
+	f.Add([]byte(`[{"op":"set_link","from":0,"to":0,"cost":1}]`))
+	f.Add([]byte(`[{"op":"set_link","from":99,"to":0,"cost":1}]`))
+	f.Add([]byte(`[{"op":"add_proc"}]`))
+	f.Add([]byte(`[{"op":"warp"}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Delta
+		if json.Unmarshal(data, &d) != nil {
+			return
+		}
+		pl, err := Uniform([]float64{6, 6, 10}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		npl, aerr := d.Apply(pl)
+
+		after, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(before) != string(after) {
+			t.Fatalf("Apply mutated its input platform:\nbefore %s\nafter  %s", before, after)
+		}
+		if aerr != nil {
+			if npl != nil {
+				t.Fatalf("failed Apply returned a platform alongside error %v", aerr)
+			}
+			return
+		}
+		if npl == nil || npl.NumProcs() < 1 {
+			t.Fatalf("successful Apply returned %v", npl)
+		}
+		// anything Apply accepts must round-trip through the strict codec
+		out, err := json.Marshal(npl)
+		if err != nil {
+			t.Fatalf("accepted platform fails to marshal: %v", err)
+		}
+		var back Platform
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("accepted platform fails its own codec: %v", err)
+		}
+	})
+}

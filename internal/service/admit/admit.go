@@ -458,6 +458,11 @@ func (c *Controller) RetryAfter() time.Duration {
 	return c.retryAfterLocked()
 }
 
+// MaxBrownoutLevel is the ladder's top rung: every class but Interactive
+// is shed. Readiness probes treat a replica stuck here as not-ready — a
+// load balancer should stop feeding it new cold traffic.
+const MaxBrownoutLevel = 3
+
 // Level is the current brownout level: 0 (all classes admitted) through 3
 // (only Interactive and cache hits serve).
 func (c *Controller) Level() int {

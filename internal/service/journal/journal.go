@@ -1,0 +1,454 @@
+// Package journal is the session durability layer: one append-only
+// write-ahead log per scheduling session, holding the session's opening
+// state and every accepted delta in order. Because a session's warm state
+// is a deterministic function of (open request, ordered delta log) — the
+// incremental-oracle suites pin warm == cold — replaying a journal through
+// the cold-run path reconstructs the exact pre-crash state, so the journal
+// IS the session for durability purposes.
+//
+// Records are length-prefixed and checksummed (CRC-32C over kind+payload);
+// a crash mid-append leaves a torn tail that Recover truncates back to the
+// last intact record — exactly the un-acked suffix, since the manager
+// appends (and, under SyncAlways, fsyncs) before acking any delta. Once a
+// log outgrows Config.CompactBytes the manager folds the whole state into
+// one snapshot record and the log restarts from it (write-temp + rename,
+// crash-safe in both directions).
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Record kinds. A log is one open (or snapshot) record followed by zero or
+// more delta records; anything else is treated as a tear.
+const (
+	kindOpen     = 1 // the session's opening state
+	kindDelta    = 2 // one accepted delta batch
+	kindSnapshot = 3 // compaction: full state replacing everything before it
+)
+
+// recHeaderLen is the fixed record framing: 4-byte little-endian payload
+// length, 1 byte kind; the payload is followed by a 4-byte CRC-32C over
+// kind+payload.
+const recHeaderLen = 5
+
+// maxRecordBytes bounds one record's payload — matching the HTTP layer's
+// body cap, since every journaled payload arrived through it. A length
+// prefix above the cap is corruption, not a record to allocate for.
+const maxRecordBytes = 64 << 20
+
+// DefaultCompactBytes is the log size past which the manager is told to
+// compact (Config.CompactBytes zero value).
+const DefaultCompactBytes = 1 << 20
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the service runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appends reach the disk.
+type Policy int
+
+const (
+	// SyncAlways fsyncs after every record: an acked delta survives power
+	// loss, not just process death. The default.
+	SyncAlways Policy = iota
+	// SyncNone leaves flushing to the OS: acked deltas survive a process
+	// crash (the write hit the page cache before the ack) but a machine
+	// crash may lose a tail — Recover truncates it and the session resumes
+	// from the surviving prefix.
+	SyncNone
+)
+
+// ParsePolicy maps the -session-fsync flag values onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "none", "never":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown fsync policy %q (want always or none)", s)
+	}
+}
+
+// Config sizes a Store.
+type Config struct {
+	// Dir holds one <id>.wal file per live session. Created if missing.
+	Dir string
+	// Policy is the fsync policy (zero value: SyncAlways).
+	Policy Policy
+	// CompactBytes is the log size above which the session manager folds
+	// the state into a snapshot record (0: DefaultCompactBytes).
+	CompactBytes int64
+}
+
+// Store owns a journal directory and its counters. Safe for concurrent
+// use; individual Logs serialize their own appends.
+type Store struct {
+	cfg Config
+
+	appends     atomic.Int64
+	bytes       atomic.Int64
+	compactions atomic.Int64
+	tornTails   atomic.Int64
+}
+
+// Stats is the Store's counter snapshot, folded into the service /stats.
+type Stats struct {
+	// Appends counts journaled records (opens, deltas and snapshots) and
+	// AppendedBytes their on-disk size including framing.
+	Appends       int64 `json:"appends"`
+	AppendedBytes int64 `json:"appended_bytes"`
+	// Compactions counts snapshot rewrites; TornTails counts logs whose
+	// tail failed the length/checksum scan on recovery and was truncated.
+	Compactions int64 `json:"compactions"`
+	TornTails   int64 `json:"torn_tails"`
+}
+
+// Open creates the journal directory if needed and returns the Store.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("journal: Config.Dir is required")
+	}
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = DefaultCompactBytes
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Store{cfg: cfg}, nil
+}
+
+// CompactBytes returns the resolved compaction threshold.
+func (st *Store) CompactBytes() int64 { return st.cfg.CompactBytes }
+
+// StatsSnapshot returns the current counters.
+func (st *Store) StatsSnapshot() Stats {
+	return Stats{
+		Appends:       st.appends.Load(),
+		AppendedBytes: st.bytes.Load(),
+		Compactions:   st.compactions.Load(),
+		TornTails:     st.tornTails.Load(),
+	}
+}
+
+// validID accepts lowercase-hex session ids only: the id becomes a file
+// name, so anything else (path separators, dots) must be rejected here no
+// matter what the HTTP layer let through.
+func validID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *Store) path(id string) string {
+	return filepath.Join(st.cfg.Dir, id+".wal")
+}
+
+// Create starts a session's log with its opening-state record, replacing
+// any leftover file under the same id (an import re-placing a stale copy:
+// the incoming snapshot supersedes whatever the old file held). The open
+// record is always synced — it is the ack of the open itself.
+func (st *Store) Create(id string, open []byte) (*Log, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("journal: invalid session id %q", id)
+	}
+	f, err := os.OpenFile(st.path(id), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	l := &Log{st: st, id: id, f: f}
+	if err := l.append(kindOpen, open, true); err != nil {
+		f.Close()
+		os.Remove(st.path(id))
+		return nil, err
+	}
+	return l, nil
+}
+
+// Remove deletes a session's journal file (eviction, close, handoff).
+// Removing a file that does not exist is not an error.
+func (st *Store) Remove(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("journal: invalid session id %q", id)
+	}
+	if err := os.Remove(st.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Log is one session's append-only journal, open for writing. Appends
+// serialize on its mutex.
+type Log struct {
+	st *Store
+	id string
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	closed bool
+}
+
+// encodeRecord frames one record for a single Write call.
+func encodeRecord(kind byte, payload []byte) []byte {
+	buf := make([]byte, recHeaderLen+len(payload)+4)
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	buf[4] = kind
+	copy(buf[recHeaderLen:], payload)
+	crc := crc32.Checksum(buf[4:recHeaderLen+len(payload)], crcTable)
+	binary.LittleEndian.PutUint32(buf[recHeaderLen+len(payload):], crc)
+	return buf
+}
+
+// Append journals one accepted delta. Under SyncAlways the record is on
+// disk when Append returns — the caller acks only after.
+func (l *Log) Append(payload []byte) error {
+	return l.append(kindDelta, payload, l.st.cfg.Policy == SyncAlways)
+}
+
+func (l *Log) append(kind byte, payload []byte, sync bool) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("journal: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecordBytes)
+	}
+	rec := encodeRecord(kind, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("journal: log %s is closed", l.id)
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	l.size += int64(len(rec))
+	l.st.appends.Add(1)
+	l.st.bytes.Add(int64(len(rec)))
+	return nil
+}
+
+// Size returns the log's current on-disk size.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Compact replaces the whole log with a single snapshot record holding the
+// session's current state. The snapshot is written to a temp file, synced,
+// and renamed over the log, so a crash at any point leaves either the old
+// log or the new snapshot — never a mix. On success the Log continues on
+// the new file.
+func (l *Log) Compact(snapshot []byte) error {
+	if len(snapshot) > maxRecordBytes {
+		return fmt.Errorf("journal: snapshot of %d bytes exceeds the %d-byte cap", len(snapshot), maxRecordBytes)
+	}
+	rec := encodeRecord(kindSnapshot, snapshot)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("journal: log %s is closed", l.id)
+	}
+	path := l.st.path(l.id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(rec); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// the snapshot is durable but the log can take no more appends;
+		// surface the fault so the next delta fails instead of acking
+		// un-journaled
+		l.closed = true
+		l.f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.size = int64(len(rec))
+	l.st.appends.Add(1)
+	l.st.bytes.Add(int64(len(rec)))
+	l.st.compactions.Add(1)
+	return nil
+}
+
+// Sync flushes the log to disk regardless of policy (the drain path syncs
+// every journal before handing sessions off).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file. Further appends fail; the file stays on disk
+// (Remove deletes it).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Replay is one recovered session journal: the opening (or last snapshot)
+// state, the delta payloads journaled after it, and the Log re-opened for
+// further appends.
+type Replay struct {
+	ID     string
+	Open   []byte
+	Deltas [][]byte
+	Log    *Log
+}
+
+// Recover scans the journal directory: orphan compaction temp files are
+// removed, each log's torn tail (short header, short payload, checksum
+// mismatch, oversize length, or a second open/snapshot record where a
+// delta belongs) is truncated back to the last intact record, and logs
+// with no intact open record are deleted — their open was never acked.
+// The returned Logs are positioned for appends; the caller owns them.
+func (st *Store) Recover() ([]Replay, error) {
+	ents, err := os.ReadDir(st.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var out []Replay
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".wal.tmp") {
+			// a compaction that never renamed: the original log is intact
+			os.Remove(filepath.Join(st.cfg.Dir, name))
+			continue
+		}
+		id, ok := strings.CutSuffix(name, ".wal")
+		if !ok || !validID(id) {
+			continue
+		}
+		rp, err := st.recoverLog(id)
+		if err != nil {
+			return nil, err
+		}
+		if rp != nil {
+			out = append(out, *rp)
+		}
+	}
+	return out, nil
+}
+
+// recoverLog scans one log file. Returns nil (and removes the file) when
+// it holds no intact open record.
+func (st *Store) recoverLog(id string) (*Replay, error) {
+	path := st.path(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	rp := &Replay{ID: id}
+	good := int64(0) // offset just past the last intact, in-sequence record
+	torn := false
+	for off := 0; off < len(data); {
+		rest := data[off:]
+		if len(rest) < recHeaderLen+4 {
+			torn = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n > maxRecordBytes || len(rest) < recHeaderLen+n+4 {
+			torn = true
+			break
+		}
+		kind := rest[4]
+		payload := rest[recHeaderLen : recHeaderLen+n]
+		want := binary.LittleEndian.Uint32(rest[recHeaderLen+n:])
+		if crc32.Checksum(rest[4:recHeaderLen+n], crcTable) != want {
+			torn = true
+			break
+		}
+		switch {
+		case rp.Open == nil && (kind == kindOpen || kind == kindSnapshot):
+			rp.Open = append([]byte(nil), payload...)
+		case rp.Open != nil && kind == kindDelta:
+			rp.Deltas = append(rp.Deltas, append([]byte(nil), payload...))
+		default:
+			// a record that cannot follow what came before it — treat the
+			// rest of the file as a tear
+			torn = true
+		}
+		if torn {
+			break
+		}
+		off += recHeaderLen + n + 4
+		good = int64(off)
+	}
+	if rp.Open == nil {
+		// nothing acked under this id: the open record itself never made it
+		os.Remove(path)
+		if torn {
+			st.tornTails.Add(1)
+		}
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if good < int64(len(data)) {
+		st.tornTails.Add(1)
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	rp.Log = &Log{st: st, id: id, f: f, size: good}
+	return rp, nil
+}

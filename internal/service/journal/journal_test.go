@@ -1,0 +1,294 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, pol Policy) *Store {
+	t.Helper()
+	st, err := Open(Config{Dir: t.TempDir(), Policy: pol})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+// reopen builds a second Store over the same directory, as a restart does.
+func reopen(t *testing.T, st *Store) *Store {
+	t.Helper()
+	n, err := Open(st.cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return n
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := open(t, SyncAlways)
+	l, err := st.Create("ab12", []byte(`{"open":true}`))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	deltas := [][]byte{[]byte(`{"d":1}`), []byte(`{"d":2}`), []byte(`{"d":3}`)}
+	for _, d := range deltas {
+		if err := l.Append(d); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	reps, err := reopen(t, st).Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("Recover returned %d replays, want 1", len(reps))
+	}
+	rp := reps[0]
+	defer rp.Log.Close()
+	if rp.ID != "ab12" || !bytes.Equal(rp.Open, []byte(`{"open":true}`)) {
+		t.Fatalf("replay = %q open %q", rp.ID, rp.Open)
+	}
+	if len(rp.Deltas) != len(deltas) {
+		t.Fatalf("recovered %d deltas, want %d", len(rp.Deltas), len(deltas))
+	}
+	for i := range deltas {
+		if !bytes.Equal(rp.Deltas[i], deltas[i]) {
+			t.Fatalf("delta %d = %q want %q", i, rp.Deltas[i], deltas[i])
+		}
+	}
+	// the recovered log takes further appends at the right offset
+	if err := rp.Log.Append([]byte(`{"d":4}`)); err != nil {
+		t.Fatalf("post-recovery Append: %v", err)
+	}
+	reps2, err := reopen(t, st).Recover()
+	if err != nil || len(reps2) != 1 || len(reps2[0].Deltas) != 4 {
+		t.Fatalf("second recovery: %d replays, err %v", len(reps2), err)
+	}
+	reps2[0].Log.Close()
+}
+
+// TestTornTail chops bytes off the end of a valid log at every possible
+// length and checks recovery always yields an intact prefix of the acked
+// records, with the torn tail truncated so appends continue cleanly.
+func TestTornTail(t *testing.T) {
+	st := open(t, SyncNone)
+	l, err := st.Create("0c", []byte("open"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("delta-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+	path := st.path("0c")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openLen := recHeaderLen + 4 + 4 // "open" record's framed size
+
+	for cut := 0; cut < len(full); cut++ {
+		sub := reopen(t, st)
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reps, err := sub.Recover()
+		if err != nil {
+			t.Fatalf("cut %d: Recover: %v", cut, err)
+		}
+		if cut < openLen {
+			// open record torn: nothing was acked, file must be gone
+			if len(reps) != 0 {
+				t.Fatalf("cut %d: got %d replays, want 0", cut, len(reps))
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("cut %d: torn-open file not removed", cut)
+			}
+			continue
+		}
+		if len(reps) != 1 {
+			t.Fatalf("cut %d: got %d replays, want 1", cut, len(reps))
+		}
+		rp := reps[0]
+		if !bytes.Equal(rp.Open, []byte("open")) {
+			t.Fatalf("cut %d: open = %q", cut, rp.Open)
+		}
+		for i, d := range rp.Deltas {
+			if want := fmt.Sprintf("delta-%d", i); string(d) != want {
+				t.Fatalf("cut %d: delta %d = %q want %q", cut, i, d, want)
+			}
+		}
+		// appending after truncation then recovering again must see the
+		// surviving prefix plus the new record — no interleaved garbage
+		if err := rp.Log.Append([]byte("after")); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		rp.Log.Close()
+		reps2, err := reopen(t, st).Recover()
+		if err != nil || len(reps2) != 1 {
+			t.Fatalf("cut %d: re-recover: %d replays, err %v", cut, len(reps2), err)
+		}
+		got := reps2[0]
+		if want := len(rp.Deltas) + 1; len(got.Deltas) != want {
+			t.Fatalf("cut %d: %d deltas after re-append, want %d", cut, len(got.Deltas), want)
+		}
+		if string(got.Deltas[len(got.Deltas)-1]) != "after" {
+			t.Fatalf("cut %d: last delta = %q", cut, got.Deltas[len(got.Deltas)-1])
+		}
+		got.Log.Close()
+	}
+}
+
+func TestCorruptMiddleTruncatesFrom(t *testing.T) {
+	st := open(t, SyncNone)
+	l, _ := st.Create("dd", []byte("open"))
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	l.Close()
+	path := st.path("dd")
+	data, _ := os.ReadFile(path)
+	// flip a byte inside the first delta's payload: its CRC fails, and
+	// everything from it on is discarded even though "two" is intact
+	openLen := recHeaderLen + 4 + 4
+	data[openLen+recHeaderLen] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	reps, err := reopen(t, st).Recover()
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("Recover: %d replays, err %v", len(reps), err)
+	}
+	defer reps[0].Log.Close()
+	if len(reps[0].Deltas) != 0 {
+		t.Fatalf("recovered %d deltas past a corrupt record, want 0", len(reps[0].Deltas))
+	}
+	if st2 := reopen(t, st); st2.StatsSnapshot().TornTails != 0 {
+		t.Fatal("fresh store should have zero counters")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	st := open(t, SyncAlways)
+	l, _ := st.Create("ee", []byte("open"))
+	for i := 0; i < 10; i++ {
+		l.Append([]byte("delta"))
+	}
+	before := l.Size()
+	if err := l.Compact([]byte("snapshot-state")); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if l.Size() >= before {
+		t.Fatalf("size %d not reduced from %d", l.Size(), before)
+	}
+	// the log continues after compaction
+	if err := l.Append([]byte("post")); err != nil {
+		t.Fatalf("Append after Compact: %v", err)
+	}
+	l.Close()
+
+	reps, err := reopen(t, st).Recover()
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("Recover: %d replays, err %v", len(reps), err)
+	}
+	rp := reps[0]
+	defer rp.Log.Close()
+	if string(rp.Open) != "snapshot-state" {
+		t.Fatalf("open = %q, want the snapshot", rp.Open)
+	}
+	if len(rp.Deltas) != 1 || string(rp.Deltas[0]) != "post" {
+		t.Fatalf("deltas = %q", rp.Deltas)
+	}
+	if st.StatsSnapshot().Compactions != 1 {
+		t.Fatalf("compactions = %d", st.StatsSnapshot().Compactions)
+	}
+}
+
+func TestRecoverCleansOrphanTmp(t *testing.T) {
+	st := open(t, SyncNone)
+	l, _ := st.Create("ff", []byte("open"))
+	l.Close()
+	// a compaction that crashed before rename
+	tmp := st.path("ff") + ".tmp"
+	os.WriteFile(tmp, []byte("half-written"), 0o644)
+
+	reps, err := reopen(t, st).Recover()
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("Recover: %d replays, err %v", len(reps), err)
+	}
+	reps[0].Log.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("orphan .tmp survived recovery")
+	}
+}
+
+func TestCreateReplacesAndRemove(t *testing.T) {
+	st := open(t, SyncNone)
+	l1, _ := st.Create("aa", []byte("first"))
+	l1.Append([]byte("stale"))
+	l1.Close()
+	l2, err := st.Create("aa", []byte("second"))
+	if err != nil {
+		t.Fatalf("Create over existing: %v", err)
+	}
+	l2.Close()
+	reps, _ := reopen(t, st).Recover()
+	if len(reps) != 1 || string(reps[0].Open) != "second" || len(reps[0].Deltas) != 0 {
+		t.Fatalf("replay after replace = %+v", reps)
+	}
+	reps[0].Log.Close()
+	if err := st.Remove("aa"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := st.Remove("aa"); err != nil {
+		t.Fatalf("Remove of missing file: %v", err)
+	}
+	if reps, _ := reopen(t, st).Recover(); len(reps) != 0 {
+		t.Fatalf("%d replays after Remove", len(reps))
+	}
+}
+
+func TestInvalidIDs(t *testing.T) {
+	st := open(t, SyncNone)
+	for _, id := range []string{"", "../evil", "UPPER", "has.dot", "a/b", "zz zz"} {
+		if _, err := st.Create(id, []byte("x")); err == nil {
+			t.Errorf("Create(%q) accepted", id)
+		}
+	}
+	// a foreign file in the dir is ignored, not parsed
+	os.WriteFile(filepath.Join(st.cfg.Dir, "README.txt"), []byte("hi"), 0o644)
+	if reps, err := st.Recover(); err != nil || len(reps) != 0 {
+		t.Fatalf("Recover with foreign file: %d replays, err %v", len(reps), err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for spec, want := range map[string]Policy{"always": SyncAlways, "": SyncAlways, "none": SyncNone, "NEVER": SyncNone} {
+		got, err := ParsePolicy(spec)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", spec, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	st := open(t, SyncNone)
+	l, _ := st.Create("bb", []byte("open"))
+	l.Close()
+	if err := l.Append([]byte("x")); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync on closed log: %v", err)
+	}
+}

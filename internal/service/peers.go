@@ -137,6 +137,28 @@ func (p *peerSet) owner(sum [sha256.Size]byte) (member string, isSelf bool, epoc
 	return member, member == p.self, st.epoch, true
 }
 
+// survivorOwner maps a sum to its owner on the ring of the current
+// epoch's members minus self — the ring DrainSessions hands sessions to.
+// A draining replica uses it to redirect traffic for sessions that hashed
+// to itself: they were shipped to the survivor owner, not the full-ring
+// one. ok is false when the fleet is inactive or self is the only member.
+func (p *peerSet) survivorOwner(sum [sha256.Size]byte) (member string, ok bool) {
+	st := p.state.Load()
+	if !st.active() {
+		return "", false
+	}
+	var survivors []string
+	for _, m := range st.members() {
+		if m != p.self {
+			survivors = append(survivors, m)
+		}
+	}
+	if len(survivors) == 0 {
+		return "", false
+	}
+	return ring.New(survivors, 0).Owner(sum), true
+}
+
 // swap installs a new membership epoch. Epochs are strictly monotonic: a
 // push below the current epoch is stale (rejected), a push at the current
 // epoch is accepted only as an idempotent replay of the identical member

@@ -20,6 +20,7 @@ import (
 	"oneport/internal/sched"
 	"oneport/internal/service/admit"
 	"oneport/internal/service/breaker"
+	"oneport/internal/service/journal"
 	"oneport/internal/service/session"
 )
 
@@ -85,10 +86,19 @@ type Config struct {
 	// MaxSessions bounds the scheduling-session table (0: the session
 	// package default) and SessionTTL the idle time after which a session
 	// may be evicted to admit a new one (0: package default; negative:
-	// sessions never expire). Sessions are replica-local state, never
-	// ring-replicated — see DESIGN.md "Session layer".
+	// sessions never expire). Session warm state is replica-local, but
+	// with SessionJournal set sessions survive crashes (write-ahead delta
+	// journal, replayed by RecoverSessions) and follow the ring on drain
+	// (DrainSessions ships each one to its key's owner) — see DESIGN.md
+	// "Session durability & handoff".
 	MaxSessions int
 	SessionTTL  time.Duration
+	// SessionJournal, when non-nil, is the per-session write-ahead journal
+	// store (internal/service/journal): opens and deltas are journaled
+	// before they are acked, and the server reports not-ready on /readyz
+	// until RecoverSessions has replayed the directory. nil keeps sessions
+	// volatile.
+	SessionJournal *journal.Store
 
 	// Admission, when non-nil, puts a deadline- and priority-aware
 	// admission queue with per-tenant quotas and a brownout ladder in
@@ -129,6 +139,10 @@ type Server struct {
 	inFlight   atomic.Int64 // scheduler runs currently executing
 	svcNanos   atomic.Int64 // EWMA of compute durations, for Retry-After hints
 
+	draining         atomic.Bool  // drain begun: opens/imports refused, readyz not-ready
+	recovering       atomic.Bool  // journal replay in progress: readyz not-ready
+	sessionRedirects atomic.Int64 // session requests 307ed to the id's ring owner
+
 	// testHook, when non-nil, runs inside compute between the scratch
 	// borrow and the heuristic call. Tests use it to inject panics (the
 	// recovery path cannot be reached through valid inputs) and to gate
@@ -158,15 +172,32 @@ func New(cfg Config) *Server {
 		}
 		ctrl = admit.New(ac)
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.PoolSize),
 		cache:     newResultCache(cfg.CacheSize),
 		peers:     newPeerSet(cfg.Self, cfg.Peers, cfg.PeerClient, cfg.Breaker),
 		admission: ctrl,
-		sessions:  session.NewManager(session.Config{MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL}),
-		start:     time.Now(),
+		sessions: session.NewManager(session.Config{
+			MaxSessions: cfg.MaxSessions, TTL: cfg.SessionTTL, Journal: cfg.SessionJournal}),
+		start: time.Now(),
 	}
+	// a journal directory may hold acked sessions: stay not-ready until
+	// RecoverSessions has replayed it, so a load balancer never routes a
+	// pinned client to a replica that would 404 its session
+	s.recovering.Store(cfg.SessionJournal != nil)
+	return s
+}
+
+// RecoverSessions replays the session journal directory (no-op without
+// Config.SessionJournal) and clears the not-ready gate /readyz holds while
+// the replay runs. Callers embedding the server should invoke it once,
+// before or concurrently with serving; session ids are random, so traffic
+// for ids still mid-replay simply 404s (or 307s) until their journal is
+// done.
+func (s *Server) RecoverSessions(ctx context.Context) (recovered, failed int, err error) {
+	defer s.recovering.Store(false)
+	return s.sessions.Recover(ctx)
 }
 
 // scratchPool returns the Scratch pool for platforms with the given
@@ -447,11 +478,14 @@ func (s *Server) runBatchJob(ctx context.Context, req *Request, tenant string) R
 //	POST   /batch               {"requests":[...]} -> {"responses":[...]}
 //	POST   /session             open a scheduling session (body: a Request)
 //	POST   /session/{id}/delta  apply a delta batch, get the re-schedule
+//	GET    /session/{id}/export session snapshot for a peer import
 //	DELETE /session/{id}        close a session
+//	POST   /session/peer/import replica-internal session handoff receive
 //	POST   /cache/peer          replica-internal distributed-cache fill
 //	GET    /ring                current membership epoch (admin token required)
 //	POST   /ring                live membership swap (admin token required)
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness (process up)
+//	GET    /readyz              readiness (not draining/recovering/browned out)
 //	GET    /stats               counters (requests, cache hits/misses, ...)
 //	GET    /metrics             the same counters in Prometheus text format
 func (s *Server) Handler() http.Handler {
@@ -460,11 +494,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /session", s.handleSessionOpen)
 	mux.HandleFunc("POST /session/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("GET /session/{id}/export", s.handleSessionExport)
 	mux.HandleFunc("DELETE /session/{id}", s.handleSessionClose)
+	mux.HandleFunc("POST /session/peer/import", s.handleSessionImport)
 	mux.HandleFunc("POST /cache/peer", s.handleCachePeer)
 	mux.HandleFunc("GET /ring", s.handleRingGet)
 	mux.HandleFunc("POST /ring", s.handleRingPost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -834,12 +871,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &out)
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// Restart decisions belong here; routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
 		"uptime_s": time.Since(s.start).Seconds(),
 	})
 }
+
+// handleReadyz is the routing probe: 200 only when sending this replica
+// fresh traffic is useful. It reports 503 while draining (the replica is
+// handing its sessions away and refusing opens), while session-journal
+// recovery is still replaying (pinned clients would 404), and while the
+// brownout ladder sits at its top level (every new cold run would only be
+// shed). Liveness stays on /healthz — a not-ready replica must not be
+// restarted, just skipped.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	reason := ""
+	switch {
+	case s.draining.Load():
+		reason = "draining"
+	case s.recovering.Load():
+		reason = "recovering sessions"
+	case s.admission != nil && s.admission.Level() >= admit.MaxBrownoutLevel:
+		reason = "browned out"
+	}
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// Draining reports whether DrainSessions has begun shutting this replica
+// down.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Stats is the counters snapshot served by GET /stats.
 type Stats struct {
@@ -892,6 +959,21 @@ type Stats struct {
 	SessionDeltas        int64 `json:"session_deltas"`
 	SessionEvictions     int64 `json:"session_evictions"`
 	SessionReplayedTasks int64 `json:"session_replayed_tasks"`
+	// SessionsRecovered counts sessions rebuilt from their write-ahead
+	// journals after a restart, SessionRecoveryFailed journals whose
+	// replay failed (left on disk), SessionsImported sessions accepted
+	// from a draining peer, SessionsHandedOff sessions this replica
+	// shipped to their ring owners on drain, and SessionRedirects session
+	// requests answered 307 + X-Session-Owner because the id lives on
+	// another replica. Draining is set once DrainSessions has begun.
+	// Journal is the journal store's counters (nil with no journal).
+	SessionsRecovered     int64          `json:"sessions_recovered"`
+	SessionRecoveryFailed int64          `json:"session_recovery_failed"`
+	SessionsImported      int64          `json:"sessions_imported"`
+	SessionsHandedOff     int64          `json:"sessions_handed_off"`
+	SessionRedirects      int64          `json:"session_redirects"`
+	Draining              bool           `json:"draining"`
+	Journal               *journal.Stats `json:"journal,omitempty"`
 	// Timeouts counts runs aborted at Config.RequestTimeout (503s).
 	Timeouts int64 `json:"timeouts"`
 	// Shed counts requests refused by admission control before any pool
@@ -923,36 +1005,46 @@ func (s *Server) StatsSnapshot() Stats {
 	}
 	sess := s.sessions.StatsSnapshot()
 	st := Stats{
-		UptimeS:              time.Since(s.start).Seconds(),
-		PoolSize:             s.cfg.PoolSize,
-		Requests:             s.requests.Load(),
-		Batches:              s.batches.Load(),
-		BatchJobs:            s.batchJobs.Load(),
-		CacheHits:            s.hits.Load(),
-		CacheBodyHits:        s.bodyHits.Load(),
-		CacheMisses:          s.misses.Load(),
-		Coalesced:            s.coalesced.Load(),
-		CacheLen:             s.cache.len(),
-		CacheSize:            s.cfg.CacheSize,
-		Peers:                peers,
-		PeerHits:             s.peerHits.Load(),
-		PeerFills:            s.peerFills.Load(),
-		PeerErrors:           s.peerErrors.Load(),
-		RingEpoch:            ringEpoch,
-		RingSwaps:            ringSwaps,
-		PeerEpochSkew:        epochSkew,
-		BreakersOpen:         brk.Open,
-		BreakerOpens:         brk.Opens,
-		BreakerTrips:         brk.Trips,
-		SessionsOpen:         sess.Open,
-		SessionsBytes:        sess.Bytes,
-		SessionDeltas:        sess.Deltas,
-		SessionEvictions:     sess.Evictions,
-		SessionReplayedTasks: sess.ReplayedTasks,
-		Timeouts:             s.timeouts.Load(),
-		Shed:                 s.shed.Load(),
-		Errors:               s.errors.Load(),
-		InFlight:             s.inFlight.Load(),
+		UptimeS:               time.Since(s.start).Seconds(),
+		PoolSize:              s.cfg.PoolSize,
+		Requests:              s.requests.Load(),
+		Batches:               s.batches.Load(),
+		BatchJobs:             s.batchJobs.Load(),
+		CacheHits:             s.hits.Load(),
+		CacheBodyHits:         s.bodyHits.Load(),
+		CacheMisses:           s.misses.Load(),
+		Coalesced:             s.coalesced.Load(),
+		CacheLen:              s.cache.len(),
+		CacheSize:             s.cfg.CacheSize,
+		Peers:                 peers,
+		PeerHits:              s.peerHits.Load(),
+		PeerFills:             s.peerFills.Load(),
+		PeerErrors:            s.peerErrors.Load(),
+		RingEpoch:             ringEpoch,
+		RingSwaps:             ringSwaps,
+		PeerEpochSkew:         epochSkew,
+		BreakersOpen:          brk.Open,
+		BreakerOpens:          brk.Opens,
+		BreakerTrips:          brk.Trips,
+		SessionsOpen:          sess.Open,
+		SessionsBytes:         sess.Bytes,
+		SessionDeltas:         sess.Deltas,
+		SessionEvictions:      sess.Evictions,
+		SessionReplayedTasks:  sess.ReplayedTasks,
+		SessionsRecovered:     sess.Recovered,
+		SessionRecoveryFailed: sess.RecoveryFailed,
+		SessionsImported:      sess.Imported,
+		SessionsHandedOff:     sess.HandedOff,
+		SessionRedirects:      s.sessionRedirects.Load(),
+		Draining:              s.draining.Load(),
+		Timeouts:              s.timeouts.Load(),
+		Shed:                  s.shed.Load(),
+		Errors:                s.errors.Load(),
+		InFlight:              s.inFlight.Load(),
+	}
+	if s.cfg.SessionJournal != nil {
+		js := s.cfg.SessionJournal.StatsSnapshot()
+		st.Journal = &js
 	}
 	if s.admission != nil {
 		as := s.admission.StatsSnapshot()

@@ -110,20 +110,7 @@ func (r *Request) normalize() (sched.Model, error) {
 
 // canonicalModelName maps a parsed model back to the primary token
 // cli.ParseModel accepts for it.
-func canonicalModelName(m sched.Model) string {
-	switch m {
-	case sched.MacroDataflow:
-		return "macro"
-	case sched.UniPort:
-		return "uniport"
-	case sched.OnePortNoOverlap:
-		return "nooverlap"
-	case sched.LinkContention:
-		return "linkcontention"
-	default:
-		return "oneport"
-	}
-}
+func canonicalModelName(m sched.Model) string { return cli.ModelName(m) }
 
 // Response is the outcome of one scheduling job. For batch entries that
 // failed, Error is set and every other field is zero.

@@ -12,16 +12,24 @@
 // per-session mutex — concurrent deltas never interleave or tear state —
 // while different sessions run concurrently.
 //
-// Sessions are deliberately NOT replicated across the cache ring: the warm
-// state is pointer-rich process-local memory, so a session is sticky to the
-// replica that opened it (see DESIGN.md "Session layer" for the interaction
-// with ring epochs).
+// The warm state itself (Scratch, frontier engine, recorded run) is
+// pointer-rich process memory and is never shipped anywhere. What makes
+// sessions durable and relocatable anyway is determinism: a session's
+// state is a pure function of (open request, ordered delta log) — the
+// incremental-oracle suites pin warm == cold — so the compact log IS the
+// session. With Config.Journal set, the Manager write-ahead-journals the
+// open and every delta before acking it (internal/service/journal), and
+// Recover rebuilds every acked session byte-identically after a crash by
+// replaying its journal through the same cold-run path. Export/Import/
+// Handoff move a session between replicas by the same token: serialize
+// (state snapshot, delta count), rebuild cold on the receiver.
 package session
 
 import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +40,7 @@ import (
 	"oneport/internal/heuristics"
 	"oneport/internal/platform"
 	"oneport/internal/sched"
+	"oneport/internal/service/journal"
 )
 
 // Defaults for Config zero values.
@@ -63,6 +72,11 @@ type Config struct {
 	// Now is the clock (nil: time.Now). Tests inject a fake to drive
 	// TTL eviction deterministically.
 	Now func() time.Time
+	// Journal, when non-nil, write-ahead-journals every session: the open
+	// and each accepted delta hit the Store before the client sees the
+	// ack, and Recover replays the journals after a restart. nil keeps
+	// sessions volatile.
+	Journal *journal.Store
 }
 
 // Params opens a session: the same fields a /schedule request carries,
@@ -124,6 +138,12 @@ type Session struct {
 	prev   *heuristics.PrevRun
 	deltas int
 	bytes  int64 // footprint estimate currently accounted to the Manager
+	// log is the session's write-ahead journal (nil when the Manager runs
+	// without one). closed marks a session handed off to another replica:
+	// a delta that was blocked on mu while the handoff ran must fail with
+	// ErrNotFound rather than ack into state nobody owns anymore.
+	log    *journal.Log
+	closed bool
 }
 
 // Manager owns the bounded session table. Safe for concurrent use.
@@ -137,6 +157,11 @@ type Manager struct {
 	deltas    atomic.Int64
 	evictions atomic.Int64
 	replayed  atomic.Int64
+
+	recovered     atomic.Int64 // sessions rebuilt from journals after a restart
+	recoverFailed atomic.Int64 // journals whose replay failed (kept on disk)
+	imported      atomic.Int64 // sessions accepted from a draining peer
+	handedOff     atomic.Int64 // sessions shipped to their ring owner on drain
 }
 
 // NewManager returns a Manager with Config defaults resolved.
@@ -189,15 +214,42 @@ func (m *Manager) Open(ctx context.Context, p Params) (string, *RunInfo, error) 
 	if res.Order != nil {
 		s.prev = &heuristics.PrevRun{Order: res.Order, Schedule: res.Schedule}
 	}
+	if err := m.journalCreate(s); err != nil {
+		// no durable open record means no ack: the client retries and the
+		// table never holds a session a crash would silently lose
+		m.drop(s)
+		return "", nil, err
+	}
 	m.account(s)
 	m.opened.Add(1)
 	return s.id, m.info(s, res, elapsed), nil
 }
 
+// journalCreate starts a session's write-ahead log from its current state
+// (caller holds s.mu). A failure is a server fault: the session must not
+// be acked without its durable open record.
+func (m *Manager) journalCreate(s *Session) error {
+	if m.cfg.Journal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(m.snapshotLocked(s))
+	if err != nil {
+		return fmt.Errorf("%w: journal open: %v", ErrFault, err)
+	}
+	log, err := m.cfg.Journal.Create(s.id, payload)
+	if err != nil {
+		return fmt.Errorf("%w: journal open: %v", ErrFault, err)
+	}
+	s.log = log
+	return nil
+}
+
 // Delta applies one delta batch to a session and re-schedules. Deltas to
 // the same session serialize on its mutex; a failed delta (validation
 // error, cancellation, fault) leaves the session's graph, platform and
-// recorded run exactly as they were.
+// recorded run exactly as they were. With a journal configured, the delta
+// is journaled — and under SyncAlways, on disk — before this returns
+// success: an acked delta survives a crash.
 func (m *Manager) Delta(ctx context.Context, id string, d Delta) (*RunInfo, error) {
 	if len(d.Graph) == 0 && len(d.Platform) == 0 {
 		return nil, fmt.Errorf("session: empty delta (need graph and/or platform ops)")
@@ -208,7 +260,16 @@ func (m *Manager) Delta(ctx context.Context, id string, d Delta) (*RunInfo, erro
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return m.deltaLocked(ctx, s, d, true)
+}
 
+// deltaLocked applies one delta under s.mu. journaled=false is the replay
+// path: the delta came FROM the journal, so it is neither re-journaled nor
+// counted as fresh client traffic.
+func (m *Manager) deltaLocked(ctx context.Context, s *Session, d Delta, journaled bool) (*RunInfo, error) {
+	if s.closed {
+		return nil, ErrNotFound
+	}
 	ng, dirty := s.g, []bool(nil)
 	if len(d.Graph) > 0 {
 		var eff graph.Effect
@@ -242,6 +303,19 @@ func (m *Manager) Delta(ctx context.Context, id string, d Delta) (*RunInfo, erro
 		s.g, s.pl = og, opl
 		return nil, err
 	}
+	if journaled && s.log != nil {
+		// write-ahead before the ack: a delta the journal cannot hold is a
+		// failed delta, and the session rolls back to the state its journal
+		// still describes
+		payload, jerr := json.Marshal(&d)
+		if jerr == nil {
+			jerr = s.log.Append(payload)
+		}
+		if jerr != nil {
+			s.g, s.pl = og, opl
+			return nil, fmt.Errorf("%w: journal append: %v", ErrFault, jerr)
+		}
+	}
 	if res.Order != nil {
 		s.prev = &heuristics.PrevRun{Order: res.Order, Schedule: res.Schedule}
 	} else {
@@ -249,8 +323,17 @@ func (m *Manager) Delta(ctx context.Context, id string, d Delta) (*RunInfo, erro
 	}
 	s.deltas++
 	m.account(s)
-	m.deltas.Add(1)
-	m.replayed.Add(int64(res.Replayed))
+	if journaled {
+		m.deltas.Add(1)
+		m.replayed.Add(int64(res.Replayed))
+	}
+	if journaled && s.log != nil && s.log.Size() > m.cfg.Journal.CompactBytes() {
+		// fold the log into one snapshot record; a failed compaction is
+		// non-fatal — the long log is still a correct journal
+		if snap, err := json.Marshal(m.snapshotLocked(s)); err == nil {
+			_ = s.log.Compact(snap)
+		}
+	}
 	return m.info(s, res, elapsed), nil
 }
 
@@ -307,10 +390,25 @@ func (m *Manager) lookup(id string) *Session {
 func (m *Manager) drop(s *Session) {
 	m.mu.Lock()
 	if _, ok := m.sessions[s.id]; ok {
-		delete(m.sessions, s.id)
-		m.bytes.Add(-atomic.LoadInt64(&s.bytes))
+		m.removeLocked(s)
 	}
 	m.mu.Unlock()
+}
+
+// removeLocked deletes a session from the table (caller holds m.mu),
+// closing its journal log and removing the file: a dropped session has no
+// acked state left to recover. Closing the log also fences any in-flight
+// delta still holding s.mu — its append fails instead of acking into a
+// removed session.
+func (m *Manager) removeLocked(s *Session) {
+	delete(m.sessions, s.id)
+	m.bytes.Add(-atomic.LoadInt64(&s.bytes))
+	if s.log != nil {
+		s.log.Close()
+		if m.cfg.Journal != nil {
+			_ = m.cfg.Journal.Remove(s.id)
+		}
+	}
 }
 
 // sweepLocked evicts every session idle past the TTL. Caller holds m.mu.
@@ -322,10 +420,9 @@ func (m *Manager) sweepLocked(now time.Time) {
 	if m.cfg.TTL < 0 {
 		return
 	}
-	for id, s := range m.sessions {
+	for _, s := range m.sessions {
 		if now.Sub(s.lastUsed) > m.cfg.TTL {
-			delete(m.sessions, id)
-			m.bytes.Add(-atomic.LoadInt64(&s.bytes))
+			m.removeLocked(s)
 			m.evictions.Add(1)
 		}
 	}
@@ -390,6 +487,14 @@ type Stats struct {
 	Deltas        int64 `json:"session_deltas"`
 	Evictions     int64 `json:"session_evictions"`
 	ReplayedTasks int64 `json:"session_replayed_tasks"`
+	// Recovered counts sessions rebuilt from journals after a restart and
+	// RecoveryFailed journals whose replay failed (kept on disk).
+	// Imported/HandedOff count sessions that moved between replicas on a
+	// drain (receiver/sender side respectively).
+	Recovered      int64 `json:"sessions_recovered"`
+	RecoveryFailed int64 `json:"session_recovery_failed"`
+	Imported       int64 `json:"sessions_imported"`
+	HandedOff      int64 `json:"sessions_handed_off"`
 }
 
 // StatsSnapshot returns the current counters.
@@ -398,12 +503,16 @@ func (m *Manager) StatsSnapshot() Stats {
 	open := len(m.sessions)
 	m.mu.Unlock()
 	return Stats{
-		Open:          open,
-		Bytes:         m.bytes.Load(),
-		Opened:        m.opened.Load(),
-		Deltas:        m.deltas.Load(),
-		Evictions:     m.evictions.Load(),
-		ReplayedTasks: m.replayed.Load(),
+		Open:           open,
+		Bytes:          m.bytes.Load(),
+		Opened:         m.opened.Load(),
+		Deltas:         m.deltas.Load(),
+		Evictions:      m.evictions.Load(),
+		ReplayedTasks:  m.replayed.Load(),
+		Recovered:      m.recovered.Load(),
+		RecoveryFailed: m.recoverFailed.Load(),
+		Imported:       m.imported.Load(),
+		HandedOff:      m.handedOff.Load(),
 	}
 }
 

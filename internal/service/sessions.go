@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,10 +21,18 @@ import (
 // /schedule takes, stream delta batches at it, read back re-schedules
 // that replayed the untouched prefix of the previous run.
 //
-// Sessions are replica-local, never ring-replicated: the warm state a
-// session holds (Scratch, frontier engine, recorded run) is process
-// memory, so clients must pin a session to the replica that opened it
-// (see DESIGN.md "Session layer" for the ring-epoch interaction).
+// A session's warm state lives on one replica at a time, but it is not
+// stuck there: a draining replica ships each session to its id's ring
+// owner (GET /session/{id}/export → POST /session/peer/import, epoch-
+// tagged like every replica-internal relay), and a replica that receives
+// a request for a session it doesn't hold answers 307 with the owner in
+// X-Session-Owner, so pinned clients re-pin without a proxy (see
+// DESIGN.md "Session durability & handoff").
+
+// sessionOwnerHeader names the replica a 307-redirected session request
+// should re-pin to (the redirect Location carries the full URL; the
+// header gives clients the base URL without parsing it back out).
+const sessionOwnerHeader = "X-Session-Owner"
 
 // SessionResponse is the reply of POST /session and
 // POST /session/{id}/delta: the usual scheduling response plus the
@@ -43,6 +52,9 @@ type SessionResponse struct {
 // Request (same normalization, same clamping), the reply the cold
 // schedule plus the session id to stream deltas at.
 func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWhileDraining(w) {
+		return
+	}
 	buf, release, err := s.readBody(w, r)
 	if err != nil {
 		return
@@ -126,6 +138,9 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	info, err := s.sessions.Delta(ctx, id, d)
 	if err != nil {
+		if s.redirectSession(w, r, id, err) {
+			return
+		}
 		s.writeSessionError(w, err)
 		return
 	}
@@ -139,11 +154,132 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionClose closes a session, releasing its warm state.
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
-	if err := s.sessions.Close(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	if err := s.sessions.Close(id); err != nil {
+		if s.redirectSession(w, r, id, err) {
+			return
+		}
 		s.writeSessionError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleSessionExport serializes a live session for a peer import (the
+// drain path pushes exports itself; this endpoint lets an operator — or a
+// future pull-based migration — lift a session out of a replica).
+func (s *Server) handleSessionExport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.sessions.Export(id)
+	if err != nil {
+		if s.redirectSession(w, r, id, err) {
+			return
+		}
+		s.writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSessionImport is the receiving half of a session handoff: a
+// draining peer posts a session Snapshot, this replica rebuilds it cold
+// (byte-identical to the sender's warm state) and journals it as its own.
+// Epoch rules match every replica-internal relay: a snapshot routed under
+// a different membership epoch is answered 409, and the sender keeps the
+// session journaled rather than placing it by a stale ownership map.
+func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	if s.refuseWhileDraining(w) {
+		return
+	}
+	cur := uint64(0)
+	if s.peers != nil {
+		cur = s.peers.epoch()
+	}
+	if got, err := strconv.ParseUint(r.Header.Get(ringEpochHeader), 10, 64); err != nil || got != cur {
+		if s.peers != nil {
+			s.peers.skews.Add(1)
+		}
+		w.Header().Set(ringEpochHeader, strconv.FormatUint(cur, 10))
+		writeJSON(w, http.StatusConflict, Response{Error: fmt.Sprintf(
+			"service: ring epoch mismatch: import tagged %q, serving epoch %d", r.Header.Get(ringEpochHeader), cur)})
+		return
+	}
+	buf, release, err := s.readBody(w, r)
+	if err != nil {
+		return
+	}
+	defer release()
+	var snap session.Snapshot
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, Response{Error: fmt.Sprintf("service: bad request body: %v", err)})
+		return
+	}
+	ctx, cancel := s.sessionCtx(r)
+	defer cancel()
+	id, info, err := s.sessions.Import(ctx, &snap)
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	s.writeSessionResponse(w, &SessionResponse{
+		SessionID: id,
+		Replayed:  info.Replayed,
+		Deltas:    info.Deltas,
+		Response:  sessionResult(info, snap.Heuristic, snap.Model),
+	})
+}
+
+// refuseWhileDraining answers 503 to session opens and imports once the
+// drain has begun: this replica is actively shipping sessions away, so
+// placing new ones here only creates more handoffs (or loses the race
+// with shutdown). Reports whether it wrote the refusal.
+func (s *Server) refuseWhileDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.errors.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, Response{Error: "service: replica draining"})
+	return true
+}
+
+// redirectSession turns an ErrNotFound for a session this replica does not
+// hold into a 307 at the id's ring owner, when a fleet is configured and
+// the owner is someone else: after a drain handoff (or a client pinned to
+// the wrong replica from the start), the client replays the same request
+// at the Location and re-pins to the X-Session-Owner base URL. Reports
+// whether it wrote the redirect.
+func (s *Server) redirectSession(w http.ResponseWriter, r *http.Request, id string, err error) bool {
+	if !errors.Is(err, session.ErrNotFound) || s.peers == nil {
+		return false
+	}
+	sum := sha256.Sum256([]byte(id))
+	owner, isSelf, _, ok := s.peers.owner(sum)
+	if !ok {
+		return false
+	}
+	if isSelf {
+		// This replica owns the id but doesn't hold the session. While
+		// draining that has one cause — DrainSessions shipped it to its
+		// owner on the SURVIVOR ring (self excluded) — so point there;
+		// otherwise the session is genuinely gone (expired, never opened)
+		// and a 404 is the honest answer.
+		if !s.draining.Load() {
+			return false
+		}
+		if owner, ok = s.peers.survivorOwner(sum); !ok {
+			return false
+		}
+	}
+	s.sessionRedirects.Add(1)
+	w.Header().Set(sessionOwnerHeader, owner)
+	w.Header().Set("Location", owner+r.URL.RequestURI())
+	writeJSON(w, http.StatusTemporaryRedirect, Response{Error: fmt.Sprintf(
+		"service: session %s is not held here; its ring owner is %s", id, owner)})
+	return true
 }
 
 // sessionCtx bounds one session run: the client's context (a session run
