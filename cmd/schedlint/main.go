@@ -1,0 +1,108 @@
+// Schedlint mechanically enforces the repo's documented invariants —
+// determinism (detorder, wallclock), pooling (scratchpair), locking
+// (lockio) and context propagation (ctxhttp) — as compiler-grade
+// diagnostics. It runs two ways:
+//
+//	schedlint ./...                       # standalone: loads and checks packages itself
+//	go vet -vettool=$(pwd)/schedlint ./... # driven by go vet (unitchecker protocol)
+//
+// Standalone mode exits 1 when any finding survives; vet mode follows
+// the unitchecker contract (plain diagnostics on stderr, exit 2).
+// Findings are suppressed per line with `//schedlint:allow <analyzer>
+// <justification>`; see DESIGN.md "Static analysis" for the policy.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"oneport/internal/analysis"
+)
+
+func main() {
+	var (
+		versionFlag = flag.String("V", "", "print version and exit (go vet tool protocol)")
+		flagsFlag   = flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet tool protocol)")
+		jsonFlag    = flag.Bool("json", false, "emit JSON diagnostics (go vet tool protocol)")
+		listFlag    = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: schedlint [packages]   (standalone)\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v schedlint) [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	case *listFlag:
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], *jsonFlag))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion answers `schedlint -V=full`, which cmd/go uses as the
+// tool's cache key: the output must change whenever the binary does, so
+// it embeds a hash of the executable.
+func printVersion() {
+	name := "schedlint"
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				sum = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, sum)
+}
+
+// standalone loads patterns itself and checks every policed package.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analysis.All(), false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package main
+
+// The go vet -vettool driving protocol ("unitchecker"): cmd/go invokes
+// the tool once per package with a single argument, the path to a JSON
+// config describing the compilation unit — source files, the import map
+// and the export-data file of every dependency (vet type-checks nothing
+// itself). The tool must type-check the unit, run its analyzers, write
+// the facts output file (empty here: no analyzer uses cross-package
+// facts), and report diagnostics on stderr with exit code 2 (or as JSON
+// on stdout with exit 0 when -json is set). This mirrors
+// golang.org/x/tools/go/analysis/unitchecker without the dependency —
+// the standard library's gc importer reads the export data vet hands us.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"oneport/internal/analysis"
+)
+
+// vetConfig is the subset of cmd/go's vet config the tool consumes.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	// ImportMap maps source-level import paths to canonical package
+	// paths; PackageFile maps canonical paths to export data files.
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// facts first: downstream units expect the vetx file to exist even
+	// though this suite records no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: write facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compilerOf(cfg), func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkg, err := analysis.CheckFiles(importPathOf(cfg), cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	pkg.ImportPath = cfg.ImportPath // keep any " [test]" marker out of prefix checks via Polices
+	diags, err := analysis.Run(pkg, analysis.All(), false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		return emitJSON(cfg, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func compilerOf(cfg vetConfig) string {
+	if cfg.Compiler == "" || cfg.Compiler == "gc" {
+		return "gc"
+	}
+	return cfg.Compiler
+}
+
+// importPathOf returns the unit's import path usable as a types package
+// path (the test-variant suffix " [pkg.test]" stripped).
+func importPathOf(cfg vetConfig) string {
+	p := cfg.ImportPath
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+// emitJSON prints diagnostics in the unitchecker JSON shape:
+// {"pkgpath": {"analyzer": [{posn, message}, ...]}}.
+func emitJSON(cfg vetConfig, diags []analysis.Diagnostic) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{cfg.ImportPath: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+// Package analysis is the repo's static-analysis layer: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, Diagnostic) built on the standard library's
+// go/ast + go/types, plus the analyzers that turn DESIGN.md's prose
+// invariants — byte-identical determinism, wall-clock-free compute,
+// Scratch borrow/lend pairing, no blocking I/O under service locks,
+// context-propagating outbound requests — into machine-checked rules.
+//
+// The x/tools module is deliberately not a dependency: the repo builds
+// with the standard library alone, and cmd/schedlint speaks the go vet
+// -vettool unitchecker protocol itself, so `go vet -vettool=$(which
+// schedlint) ./...` works with nothing installed beyond the toolchain.
+//
+// Findings can be suppressed per line with an annotation comment:
+//
+//	//schedlint:allow lockio — reason the invariant is intentionally bent
+//
+// The annotation names exactly the analyzers it silences (comma
+// separated); it applies to diagnostics on its own line or the line
+// directly below it, and every use must carry a justification after the
+// analyzer list (see DESIGN.md "Static analysis" for the policy).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //schedlint:allow
+	// annotations.
+	Name string
+	// Doc is the one-line invariant statement (shown by schedlint -help).
+	Doc string
+	// PackagePrefixes limits the analyzer to packages whose import path
+	// matches one of these prefixes (exact, or prefix + "/"). Empty means
+	// every package. The filter is applied by the driver, not Run, so
+	// fixture tests can exercise an analyzer on any package.
+	PackagePrefixes []string
+	// ExcludePrefixes carves packages back out of PackagePrefixes — e.g.
+	// lockio polices internal/service but not internal/service/journal,
+	// whose whole job is file I/O under its own lock.
+	ExcludePrefixes []string
+	// Run reports findings on one type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// FileNames maps each *ast.File to the path it was parsed from.
+	FileNames map[*ast.File]string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Polices reports whether a polices the package at importPath (the
+// prefix filter used in repo mode).
+func (a *Analyzer) Polices(importPath string) bool {
+	// vet runs the tool on test variants whose ImportPath carries a
+	// " [pkg.test]" suffix; the filter cares about the real path.
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	for _, ex := range a.ExcludePrefixes {
+		if importPath == ex || strings.HasPrefix(importPath, ex+"/") {
+			return false
+		}
+	}
+	if len(a.PackagePrefixes) == 0 {
+		return true
+	}
+	for _, p := range a.PackagePrefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies analyzers to one package and returns the surviving
+// diagnostics, sorted by position: package-prefix filters applied (unless
+// ignoreFilters — fixture tests set it), _test.go findings dropped, and
+// //schedlint:allow annotations honored.
+func Run(pkg *Package, analyzers []*Analyzer, ignoreFilters bool) ([]Diagnostic, error) {
+	allow := collectAllows(pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !ignoreFilters && !a.Polices(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue // invariants gate shipped code; tests may fake clocks etc.
+		}
+		if allow.allows(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// allowSet records //schedlint:allow annotations: filename -> line ->
+// set of analyzer names silenced on that line and the next.
+type allowSet map[string]map[int]map[string]bool
+
+const allowPrefix = "//schedlint:allow "
+
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				// names end at the first token that is not part of the
+				// comma-separated analyzer list; everything after is the
+				// required human justification.
+				names, _, _ := strings.Cut(rest, " ")
+				cpos := pkg.Fset.Position(c.Pos())
+				line := cpos.Line
+				m := set[cpos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					set[cpos.Filename] = m
+				}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					for _, l := range []int{line, line + 1} {
+						if m[l] == nil {
+							m[l] = map[string]bool{}
+						}
+						m[l][n] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) allows(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detorder,
+		Wallclock,
+		Scratchpair,
+		Lockio,
+		Ctxhttp,
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted pattern of a `// want "regexp"` comment.
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loadExpectations scans a fixture file for `// want "regexp"` comments;
+// each one demands a diagnostic on its own line whose message matches.
+func loadExpectations(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+		}
+		wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+	}
+	return wants
+}
+
+// runFixtureDir type-checks every .go file under testdata/<dir> as one
+// package and runs the given analyzers over it with package-prefix
+// filters disabled, then reconciles diagnostics against the fixture's
+// want comments: every want must be hit, and every diagnostic must be
+// wanted.
+func runFixtureDir(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures under testdata/%s (err: %v)", dir, err)
+	}
+	sort.Strings(paths)
+	pkg, err := CheckFiles("fixture/"+dir, paths, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, analyzers, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, p := range paths {
+		wants = append(wants, loadExpectations(t, p)...)
+	}
+	for _, d := range diags {
+		hit := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestAnalyzerFixtures runs each analyzer alone over its fixture
+// directory: flagged.go carries one want per true positive, clean.go
+// carries none and must stay silent.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			runFixtureDir(t, a.Name, []*Analyzer{a})
+		})
+	}
+}
+
+// TestAllowSuppressesOnlyNamedAnalyzer runs the full suite over a fixture
+// whose loop violates both detorder and wallclock but annotates away only
+// detorder: the wallclock diagnostic must survive and the detorder one
+// must not (an unexpected detorder diagnostic fails the reconciliation).
+func TestAllowSuppressesOnlyNamedAnalyzer(t *testing.T) {
+	runFixtureDir(t, "allow", All())
+}
+
+// TestAnalyzerNamesUnique guards the allow-annotation namespace: two
+// analyzers sharing a name would make //schedlint:allow ambiguous.
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}
+
+// TestRepositoryClean loads the whole module and asserts the suite finds
+// nothing: the repo's own code is the sixth fixture. This also exercises
+// the rules fixtures cannot reach — the scratchpair newState/reclaim
+// pairing and the exact-path package filters — against the real packages
+// they police.
+func TestRepositoryClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load returned only %d packages; module enumeration is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, All(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

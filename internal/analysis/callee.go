@@ -1,0 +1,125 @@
+package analysis
+
+// Shared call-resolution helpers: analyzers match calls against rules
+// keyed by (package path, function) or (package path, receiver type,
+// method), resolved through go/types so aliasing and embedding don't
+// fool the match the way a text grep would.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// callee identifies what a call expression invokes.
+type callee struct {
+	// PkgPath is the defining package ("net/http", "os", ...); empty for
+	// builtins and calls through local function values.
+	PkgPath string
+	// Recv is the receiver's type name for methods ("Client", "File",
+	// ...); empty for package-level functions.
+	Recv string
+	// Name is the function or method name; empty when the call target is
+	// not a named function (e.g. a call through a func-typed variable).
+	Name string
+	// Obj is the resolved object when one exists.
+	Obj types.Object
+}
+
+// resolveCallee classifies the target of call. Calls through func-typed
+// values resolve to the value's object (a *types.Var) with Name left
+// empty, so callers can distinguish "named function" from "function
+// value".
+func resolveCallee(info *types.Info, call *ast.CallExpr) callee {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return calleeFromObject(info.Uses[fun])
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// method or field selection x.f
+			obj := sel.Obj()
+			c := calleeFromObject(obj)
+			if fn, ok := obj.(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					c.Recv = namedTypeName(recv.Type())
+				}
+			}
+			return c
+		}
+		// qualified identifier pkg.F
+		return calleeFromObject(info.Uses[fun.Sel])
+	}
+	return callee{}
+}
+
+func calleeFromObject(obj types.Object) callee {
+	c := callee{Obj: obj}
+	if obj == nil {
+		return c
+	}
+	if obj.Pkg() != nil {
+		c.PkgPath = obj.Pkg().Path()
+	}
+	switch obj.(type) {
+	case *types.Func, *types.Builtin:
+		c.Name = obj.Name()
+	}
+	return c
+}
+
+// namedTypeName returns the bare name of t's named type, looking through
+// pointers ("*http.Client" -> "Client"); empty for unnamed types.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// typePkgPath returns the defining package path of t's named type,
+// looking through pointers; empty for unnamed types.
+func typePkgPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+// is reports whether the callee is pkgPath.name (recv == "") or a method
+// recv.name defined in pkgPath.
+func (c callee) is(pkgPath, recv, name string) bool {
+	return c.PkgPath == pkgPath && c.Recv == recv && c.Name == name
+}
+
+// render pretty-prints an expression for use as a stable key (matching
+// borrow/release pairs, lock/unlock pairs).
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// funcBodies yields every function body in the file along with its
+// declaration context: top-level funcs and methods, plus function
+// literals (labelled by their enclosing declaration).
+func funcBodies(f *ast.File, visit func(name string, fntype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Type, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", fn.Type, fn.Body)
+		}
+		return true
+	})
+}

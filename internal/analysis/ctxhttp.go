@@ -1,0 +1,53 @@
+package analysis
+
+// ctxhttp keeps cancellation propagating fleet-wide: every outbound
+// request — peer cache fills, ring relays, sweep dispatch, session
+// handoff imports — must be built with http.NewRequestWithContext and
+// the caller's context, so a client hangup or deadline tears down the
+// whole remote fan-out instead of leaking goroutines into dead work.
+// The context-free constructors (http.NewRequest) and the convenience
+// senders that bake in context.Background (http.Get, Client.Post, ...)
+// are flagged everywhere in the repo; _test.go files are exempt.
+
+import "go/ast"
+
+var Ctxhttp = &Analyzer{
+	Name: "ctxhttp",
+	Doc:  "outbound requests use http.NewRequestWithContext with the caller's context",
+	Run:  runCtxhttp,
+}
+
+func runCtxhttp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ce := resolveCallee(pass.TypesInfo, call)
+			if ce.PkgPath != "net/http" {
+				return true
+			}
+			switch {
+			case ce.Recv == "" && ce.Name == "NewRequest":
+				pass.Reportf(call.Pos(), "http.NewRequest drops the caller's context; use http.NewRequestWithContext so cancellation propagates to the peer")
+			case (ce.Recv == "" || ce.Recv == "Client") && isConvenienceSender(ce.Name):
+				recv := "http"
+				if ce.Recv == "Client" {
+					recv = "http.Client"
+				}
+				pass.Reportf(call.Pos(), "%s.%s sends with context.Background; build the request with http.NewRequestWithContext and send it with Client.Do", recv, ce.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isConvenienceSender(name string) bool {
+	switch name {
+	case "Get", "Post", "PostForm", "Head":
+		return true
+	}
+	return false
+}

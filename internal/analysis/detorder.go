@@ -1,0 +1,357 @@
+package analysis
+
+// detorder enforces the byte-identity promise (DESIGN.md "Frontier
+// engine", "Session layer"): schedule output, response encodings and
+// dequeue order must be identical across runs and replicas, so map
+// iteration — whose order Go randomizes per run — must never influence
+// a result. The analyzer flags every `range` over a map in the policed
+// packages unless the loop is provably order-insensitive:
+//
+//   - the body only performs commutative, exact updates (integer
+//     accumulation, map/slice keyed writes with pure right-hand sides,
+//     sync/atomic counter bumps, delete);
+//   - or the loop only collects keys/values into slices that are sorted
+//     later in the same function (the collect-then-sort idiom
+//     writeMetricTree uses).
+//
+// Genuinely order-free loops the classifier cannot prove (a min-fold
+// over values, say) carry a `//schedlint:allow detorder <why>`
+// annotation instead.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc:  "map iteration must not influence schedule output, response encoding, or dequeue order",
+	PackagePrefixes: []string{
+		"oneport/internal/heuristics",
+		"oneport/internal/sched",
+		"oneport/internal/exp",
+		"oneport/internal/service",
+	},
+	Run: runDetorder,
+}
+
+func runDetorder(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			inspectNoFuncLit(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				c := &detorderCheck{pass: pass, loop: rs}
+				c.stmtSafe(rs.Body)
+				if c.reason != "" {
+					pass.Reportf(rs.Pos(), "iteration over map %s is order-dependent (%s); iterate sorted keys, make the body commutative, or annotate //schedlint:allow detorder with why order cannot matter", render(pass.Fset, rs.X), c.reason)
+					return true
+				}
+				for _, ident := range c.collected {
+					if !sortedAfter(pass, body, rs, ident) {
+						pass.Reportf(rs.Pos(), "map iteration collects into %s, which is never sorted afterwards; sort it before use or annotate //schedlint:allow detorder with why order cannot matter", ident.Name)
+						return true
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// detorderCheck classifies one map-range body. reason is set to the
+// first order-dependence found; collected lists outer slices the loop
+// appends to (safe only if sorted afterwards).
+type detorderCheck struct {
+	pass      *Pass
+	loop      *ast.RangeStmt
+	reason    string
+	collected []*ast.Ident
+}
+
+func (c *detorderCheck) fail(reason string) {
+	if c.reason == "" {
+		c.reason = reason
+	}
+}
+
+// localTo reports whether ident's object is declared inside the loop
+// body — per-iteration state, which cannot carry order across
+// iterations.
+func (c *detorderCheck) localTo(ident *ast.Ident) bool {
+	obj := c.pass.TypesInfo.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.loop.Body.Pos() && obj.Pos() <= c.loop.Body.End()
+}
+
+func (c *detorderCheck) stmtSafe(s ast.Stmt) {
+	if c.reason != "" {
+		return
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range st.List {
+			c.stmtSafe(sub)
+		}
+	case *ast.AssignStmt:
+		c.assignSafe(st)
+	case *ast.IncDecStmt:
+		if !isExactCommutativeType(c.pass.TypeOf(st.X)) {
+			c.fail("increments non-integer state")
+		}
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			c.fail("non-call expression statement")
+			return
+		}
+		ce := resolveCallee(c.pass.TypesInfo, call)
+		switch {
+		case ce.Name == "delete" && ce.PkgPath == "":
+			// deleting keys is keyed addressing, order-free
+		case isAtomicCounterOp(ce):
+			// sync/atomic integer bumps commute
+		default:
+			c.fail("calls " + render(c.pass.Fset, call.Fun) + " whose effects may depend on iteration order")
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmtSafe(st.Init)
+		}
+		if !c.pureExpr(st.Cond) {
+			c.fail("branches on an impure condition")
+			return
+		}
+		c.stmtSafe(st.Body)
+		if st.Else != nil {
+			c.stmtSafe(st.Else)
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.stmtSafe(st.Init)
+		}
+		if st.Tag != nil && !c.pureExpr(st.Tag) {
+			c.fail("switches on an impure tag")
+			return
+		}
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CaseClause)
+			for _, e := range clause.List {
+				if !c.pureExpr(e) {
+					c.fail("switch case with impure expression")
+					return
+				}
+			}
+			for _, sub := range clause.Body {
+				c.stmtSafe(sub)
+			}
+		}
+	case *ast.RangeStmt:
+		// nested loops are fine as long as their bodies are; a nested
+		// map-range gets its own top-level classification.
+		c.stmtSafe(st.Body)
+	case *ast.ForStmt:
+		c.stmtSafe(st.Body)
+	case *ast.DeclStmt:
+		// local var/const declarations introduce per-iteration state
+	case *ast.BranchStmt:
+		if st.Tok != token.CONTINUE {
+			c.fail("breaks out of the loop, so the result depends on which keys were seen first")
+		}
+	case *ast.ReturnStmt:
+		c.fail("returns from inside the loop, so the result depends on which key was seen first")
+	default:
+		c.fail("statement the classifier cannot prove order-free")
+	}
+}
+
+func (c *detorderCheck) assignSafe(st *ast.AssignStmt) {
+	// collect-then-sort: xs = append(xs, ...) into an outer slice
+	if st.Tok == token.ASSIGN && len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		if lhs, ok := st.Lhs[0].(*ast.Ident); ok {
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				if ce := resolveCallee(c.pass.TypesInfo, call); ce.Name == "append" && ce.PkgPath == "" {
+					if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && base.Name == lhs.Name {
+						for _, arg := range call.Args[1:] {
+							if !c.pureExpr(arg) {
+								c.fail("appends an impure expression")
+								return
+							}
+						}
+						if !c.localTo(lhs) {
+							c.collected = append(c.collected, lhs)
+						}
+						return
+					}
+				}
+			}
+		}
+	}
+
+	switch st.Tok {
+	case token.DEFINE:
+		for _, rhs := range st.Rhs {
+			if !c.pureExpr(rhs) {
+				c.fail("computes an impure value")
+				return
+			}
+		}
+	case token.ASSIGN:
+		for _, rhs := range st.Rhs {
+			if !c.pureExpr(rhs) {
+				c.fail("computes an impure value")
+				return
+			}
+		}
+		for _, lhs := range st.Lhs {
+			c.lhsSafe(lhs)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.AND_NOT_ASSIGN, token.MUL_ASSIGN:
+		// commutative and exact only over integers: float accumulation is
+		// order-dependent in the low bits, string += is order itself
+		if !isExactCommutativeType(c.pass.TypeOf(st.Lhs[0])) {
+			c.fail("accumulates into non-integer state, where evaluation order changes the result")
+			return
+		}
+		if !c.pureExpr(st.Rhs[0]) {
+			c.fail("accumulates an impure expression")
+		}
+	default:
+		c.fail("uses an order-sensitive compound assignment")
+	}
+}
+
+func (c *detorderCheck) lhsSafe(lhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" || c.localTo(l) {
+			return
+		}
+		c.fail("assigns to " + l.Name + " declared outside the loop, so the final value depends on iteration order")
+	case *ast.IndexExpr:
+		// keyed writes: each key/index is written independently of order
+		if !c.pureExpr(l.X) || !c.pureExpr(l.Index) {
+			c.fail("writes through an impure index expression")
+		}
+	default:
+		c.fail("assigns through " + render(c.pass.Fset, lhs) + ", which the classifier cannot prove order-free")
+	}
+}
+
+// pureExpr reports whether e is free of calls with possible effects:
+// only builtins len/cap/min/max and type conversions are allowed.
+func (c *detorderCheck) pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		ce := resolveCallee(c.pass.TypesInfo, call)
+		switch ce.Name {
+		case "len", "cap", "min", "max", "abs":
+			if ce.PkgPath == "" {
+				return true
+			}
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// isExactCommutativeType reports whether accumulating into t commutes
+// exactly: integers do; floats lose low bits order-dependently, strings
+// and everything else are order itself.
+func isExactCommutativeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isAtomicCounterOp reports sync/atomic integer mutations (Add, Store,
+// CompareAndSwap on the atomic integer kinds), which commute.
+func isAtomicCounterOp(ce callee) bool {
+	if ce.PkgPath != "sync/atomic" {
+		return false
+	}
+	switch ce.Name {
+	case "Add", "Store", "CompareAndSwap", "AddInt32", "AddInt64", "AddUint32", "AddUint64":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether ident is passed to a sort call after the
+// loop, inside the enclosing function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, loop *ast.RangeStmt, ident *ast.Ident) bool {
+	obj := pass.TypesInfo.ObjectOf(ident)
+	found := false
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() || len(call.Args) == 0 {
+			return true
+		}
+		ce := resolveCallee(pass.TypesInfo, call)
+		if !isSortFunc(ce) {
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if pass.TypesInfo.ObjectOf(arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortFunc(ce callee) bool {
+	switch ce.PkgPath {
+	case "sort":
+		switch ce.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch ce.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// inspectNoFuncLit walks n without descending into function literals:
+// their bodies are separate functions for every per-function analysis.
+func inspectNoFuncLit(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(m)
+	})
+}

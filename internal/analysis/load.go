@@ -1,0 +1,148 @@
+package analysis
+
+// The standalone loader: resolve package patterns with `go list -json
+// -deps`, then type-check the module's own packages from source in
+// dependency order, importing the standard library through the
+// toolchain's compiled export data (go/importer). This is what
+// `schedlint ./...` uses when it is not being driven by go vet (the vet
+// path gets files and export data handed to it in the unitchecker
+// config instead — see cmd/schedlint).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+}
+
+// Load type-checks the packages matching patterns (plus their in-module
+// dependencies) and returns them in dependency order. Standard-library
+// imports resolve through compiled export data, so only module code is
+// parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	fset := token.NewFileSet()
+	std := importer.Default()
+	checked := map[string]*Package{}
+	imp := &moduleImporter{std: std, checked: checked}
+	var loaded []*Package
+	for _, lp := range pkgs { // -deps guarantees dependencies first
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo (unsupported)", lp.ImportPath)
+		}
+		pkg, err := checkPackage(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[lp.ImportPath] = pkg
+		loaded = append(loaded, pkg)
+	}
+	return loaded, nil
+}
+
+// CheckFiles parses and type-checks one ad-hoc package from explicit
+// file paths (fixture tests use this), importing through imp when
+// non-nil, else the toolchain default importer.
+func CheckFiles(importPath string, paths []string, imp types.Importer) (*Package, error) {
+	fset := token.NewFileSet()
+	if imp == nil {
+		imp = importer.Default()
+	}
+	return checkFiles(fset, importPath, paths, imp)
+}
+
+func checkPackage(fset *token.FileSet, lp *listPackage, imp types.Importer) (*Package, error) {
+	paths := make([]string, 0, len(lp.GoFiles))
+	for _, f := range lp.GoFiles {
+		paths = append(paths, filepath.Join(lp.Dir, f))
+	}
+	return checkFiles(fset, lp.ImportPath, paths, imp)
+}
+
+func checkFiles(fset *token.FileSet, importPath string, paths []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(paths))
+	names := make(map[*ast.File]string, len(paths))
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+		names[f] = path
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		FileNames:  names,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// moduleImporter resolves module-local imports from the already-checked
+// set and everything else (the standard library) from compiled export
+// data.
+type moduleImporter struct {
+	std     types.Importer
+	checked map[string]*Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,279 @@
+package analysis
+
+// lockio keeps blocking I/O out of service/session critical sections:
+// an outbound HTTP exchange, file write or fsync performed while a
+// sync.Mutex/RWMutex is held turns one slow peer or disk into a
+// pile-up of every goroutine behind that lock (and under the admission
+// controller, into queue collapse). The analyzer is lexical and
+// per-function: it tracks mutexes locked in the function body —
+// including ones released only by defer — and flags, while any is
+// held, calls to
+//
+//   - request-sending net/http functions and methods,
+//   - net dialing,
+//   - os file creation/write/sync helpers,
+//   - the journal Store/Log mutating surface (Append/Sync/Compact/
+//     Create/Remove — fsync-bearing by design),
+//   - function-typed parameters (a callback the caller controls may
+//     block arbitrarily — the session Handoff export-under-lock is the
+//     documented, annotated exception).
+//
+// internal/service/journal itself is excluded: serializing file writes
+// under its own lock is that package's entire job. Helpers that run
+// with a caller-held lock (the *Locked naming convention) are outside
+// a lexical analyzer's reach; the convention is policed by review.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var Lockio = &Analyzer{
+	Name: "lockio",
+	Doc:  "no blocking I/O while holding a service/session mutex",
+	PackagePrefixes: []string{
+		"oneport/internal/service",
+	},
+	ExcludePrefixes: []string{
+		"oneport/internal/service/journal",
+	},
+	Run: runLockio,
+}
+
+// lockioBlocking matches callees that perform blocking I/O.
+func lockioBlocking(ce callee) bool {
+	switch ce.PkgPath {
+	case "net/http":
+		switch ce.Name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return ce.Recv == "" || ce.Recv == "Client"
+		}
+	case "net":
+		switch ce.Name {
+		case "Dial", "DialTimeout", "DialContext":
+			return true
+		}
+	case "os":
+		if ce.Recv == "File" {
+			switch ce.Name {
+			case "Write", "WriteString", "WriteAt", "ReadFrom", "Sync", "Truncate":
+				return true
+			}
+		}
+		if ce.Recv == "" {
+			switch ce.Name {
+			case "WriteFile", "ReadFile", "Create", "CreateTemp", "Open", "OpenFile", "Rename", "Remove", "RemoveAll", "Mkdir", "MkdirAll":
+				return true
+			}
+		}
+	case "oneport/internal/service/journal":
+		switch ce.Recv + "." + ce.Name {
+		case "Log.Append", "Log.Sync", "Log.Compact", "Store.Create", "Store.Remove", "Store.Recover":
+			return true
+		}
+	}
+	return false
+}
+
+func runLockio(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, fntype *ast.FuncType, body *ast.BlockStmt) {
+			params := paramFuncObjs(pass, fntype)
+			checkLockedRegions(pass, body, params, map[string]bool{})
+		})
+	}
+	return nil
+}
+
+// paramFuncObjs collects the function-typed parameters of fn: calling
+// one while locked hands the critical section to arbitrary caller code.
+func paramFuncObjs(pass *Pass, fntype *ast.FuncType) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	if fntype.Params == nil {
+		return objs
+	}
+	for _, field := range fntype.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				objs[obj] = true
+			}
+		}
+	}
+	return objs
+}
+
+// checkLockedRegions walks stmts in order, maintaining the set of
+// mutex expressions currently held. Branch bodies get a copy of the
+// set: a lock state change inside a branch does not leak past it
+// (the `if cond { mu.Unlock(); return }` early-exit idiom).
+func checkLockedRegions(pass *Pass, body *ast.BlockStmt, params map[types.Object]bool, held map[string]bool) {
+	for _, s := range body.List {
+		lockioStmt(pass, s, params, held)
+	}
+}
+
+func lockioStmt(pass *Pass, s ast.Stmt, params map[types.Object]bool, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if mu, op := mutexOp(pass, st.X); mu != "" {
+			switch op {
+			case "Lock", "RLock":
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				delete(held, mu)
+			}
+			return
+		}
+		reportBlockingCalls(pass, st.X, params, held)
+	case *ast.DeferStmt:
+		if mu, op := mutexOp(pass, st.Call); mu != "" && (op == "Unlock" || op == "RUnlock") {
+			// deferred unlock: the lock stays held for the rest of the
+			// function, which the held set already reflects
+			return
+		}
+		// deferred work runs during unwinding, possibly with locks held;
+		// too order-dependent for a lexical pass — skip
+	case *ast.BlockStmt:
+		checkLockedRegions(pass, st, params, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			lockioStmt(pass, st.Init, params, held)
+		}
+		reportBlockingCalls(pass, st.Cond, params, held)
+		lockioStmt(pass, st.Body, params, copyHeld(held))
+		if st.Else != nil {
+			lockioStmt(pass, st.Else, params, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		lockioStmt(pass, st.Body, params, copyHeld(held))
+	case *ast.RangeStmt:
+		reportBlockingCalls(pass, st.X, params, held)
+		lockioStmt(pass, st.Body, params, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			lockioStmt(pass, st.Init, params, held)
+		}
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CaseClause)
+			sub := copyHeld(held)
+			for _, cs := range clause.Body {
+				lockioStmt(pass, cs, params, sub)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CaseClause)
+			sub := copyHeld(held)
+			for _, cs := range clause.Body {
+				lockioStmt(pass, cs, params, sub)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CommClause)
+			sub := copyHeld(held)
+			for _, cs := range clause.Body {
+				lockioStmt(pass, cs, params, sub)
+			}
+		}
+	case *ast.GoStmt:
+		// the spawned goroutine does not hold this function's locks
+	case *ast.LabeledStmt:
+		lockioStmt(pass, st.Stmt, params, held)
+	default:
+		// assignments, returns, sends: scan embedded expressions
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok {
+				reportBlockingCall(pass, e, params, held)
+			}
+			return true
+		})
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// mutexOp recognizes mu.Lock()/Unlock()/RLock()/RUnlock() calls on
+// sync.Mutex/RWMutex values and returns the rendered mutex expression.
+func mutexOp(pass *Pass, e ast.Expr) (mu, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil || typePkgPath(t) != "sync" {
+		return "", ""
+	}
+	switch namedTypeName(t) {
+	case "Mutex", "RWMutex":
+		return render(pass.Fset, sel.X), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// reportBlockingCalls scans one expression tree (skipping closures).
+func reportBlockingCalls(pass *Pass, e ast.Expr, params map[types.Object]bool, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok {
+			reportBlockingCall(pass, expr, params, held)
+		}
+		return true
+	})
+}
+
+func reportBlockingCall(pass *Pass, e ast.Expr, params map[types.Object]bool, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	ce := resolveCallee(pass.TypesInfo, call)
+	lock := anyKey(held)
+	if lockioBlocking(ce) {
+		pass.Reportf(call.Pos(), "blocking I/O (%s) while holding %s; move the I/O outside the critical section or annotate //schedlint:allow lockio with the documented reason", render(pass.Fset, call.Fun), lock)
+		return
+	}
+	if ce.Obj != nil && params[ce.Obj] {
+		pass.Reportf(call.Pos(), "calling caller-supplied function %s while holding %s; the callback may block on I/O — hoist it out of the critical section or annotate //schedlint:allow lockio with the documented reason", render(pass.Fset, call.Fun), lock)
+	}
+}
+
+func anyKey(m map[string]bool) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

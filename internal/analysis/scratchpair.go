@@ -1,0 +1,141 @@
+package analysis
+
+// scratchpair enforces the pooling invariant (DESIGN.md "Serving
+// layer"): every pooled borrow is returned on all paths, including
+// panic paths, which in Go means the release is registered with defer
+// before the borrowed value is used. Two borrow shapes exist in this
+// repo:
+//
+//   - sync.Pool: p.Get() must pair with a p.Put(...) that sits inside a
+//     defer (either `defer p.Put(x)` or inside a deferred closure — the
+//     panic-drop pattern in Server.compute counts: the deferred closure
+//     decides, but it runs on every unwind);
+//   - heuristics.Scratch: newState(g, pl, model, tune) with a non-nil
+//     tune lends the Scratch's buffers to the state, so the caller must
+//     `defer tune.reclaim(s)`.
+//
+// Ownership-transfer helpers that hand the release obligation to their
+// caller (readBody returns a release closure) are the documented
+// exception and carry //schedlint:allow scratchpair annotations.
+
+import (
+	"go/ast"
+)
+
+var Scratchpair = &Analyzer{
+	Name: "scratchpair",
+	Doc:  "every Scratch/pool borrow is released on all paths via defer",
+	PackagePrefixes: []string{
+		"oneport/internal/heuristics",
+		"oneport/internal/service",
+	},
+	Run: runScratchpair,
+}
+
+func runScratchpair(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			checkPoolPairs(pass, body)
+			checkScratchLend(pass, body)
+		})
+	}
+	return nil
+}
+
+// checkPoolPairs matches sync.Pool Get calls against Put calls on the
+// same pool expression within one function.
+func checkPoolPairs(pass *Pass, body *ast.BlockStmt) {
+	type pairing struct {
+		getPos      ast.Node
+		putDeferred bool
+		putAnywhere bool
+	}
+	pools := map[string]*pairing{}
+
+	// record Get/Put sites; deferred closures belong to this function's
+	// frame, so walk them here with the deferred flag set.
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch t := m.(type) {
+			case *ast.DeferStmt:
+				if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				} else {
+					walk(t.Call, true)
+				}
+				return false
+			case *ast.FuncLit:
+				return false // separate function; analyzed on its own
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(t.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recvT := pass.TypeOf(sel.X)
+				if recvT == nil || typePkgPath(recvT) != "sync" || namedTypeName(recvT) != "Pool" {
+					return true
+				}
+				key := render(pass.Fset, sel.X)
+				switch sel.Sel.Name {
+				case "Get":
+					if pools[key] == nil {
+						pools[key] = &pairing{getPos: t}
+					}
+				case "Put":
+					p := pools[key]
+					if p == nil {
+						p = &pairing{}
+						pools[key] = p
+					}
+					p.putAnywhere = true
+					if inDefer {
+						p.putDeferred = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for key, p := range pools {
+		if p.getPos == nil || p.putDeferred {
+			continue
+		}
+		if p.putAnywhere {
+			pass.Reportf(p.getPos.Pos(), "%s.Get is released only on non-panic paths; move the %s.Put into a defer so a panicking borrower cannot leak the scratch", key, key)
+		} else {
+			pass.Reportf(p.getPos.Pos(), "%s.Get has no matching %s.Put in this function; release via defer, or annotate //schedlint:allow scratchpair if ownership transfers to the caller", key, key)
+		}
+	}
+}
+
+// checkScratchLend requires a deferred Tuning.reclaim in every function
+// that creates a state with a non-nil Tuning (newState lends the
+// Scratch's buffers into the state).
+func checkScratchLend(pass *Pass, body *ast.BlockStmt) {
+	var lend *ast.CallExpr
+	reclaimDeferred := false
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.DeferStmt:
+			ce := resolveCallee(pass.TypesInfo, t.Call)
+			if ce.is("oneport/internal/heuristics", "Tuning", "reclaim") {
+				reclaimDeferred = true
+			}
+			return false
+		case *ast.CallExpr:
+			ce := resolveCallee(pass.TypesInfo, t)
+			if ce.is("oneport/internal/heuristics", "", "newState") && len(t.Args) == 4 {
+				if id, ok := ast.Unparen(t.Args[3]).(*ast.Ident); !ok || id.Name != "nil" {
+					lend = t
+				}
+			}
+		}
+		return true
+	})
+	if lend != nil && !reclaimDeferred {
+		pass.Reportf(lend.Pos(), "newState lends the Tuning's Scratch to the run but this function never defers tune.reclaim(s); the borrow leaks on error and panic paths")
+	}
+}

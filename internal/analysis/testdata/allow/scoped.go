@@ -1,0 +1,16 @@
+package allow
+
+import "time"
+
+// mixed holds a detorder violation and a wallclock violation in one
+// loop. The annotation names only detorder, so detorder must be silenced
+// and wallclock must still fire — an allow suppresses exactly the
+// analyzers it names.
+func mixed(m map[string]int) time.Time {
+	var last time.Time
+	//schedlint:allow detorder fixture: order provably irrelevant here
+	for range m {
+		last = time.Now() // want "reads the wall clock"
+	}
+	return last
+}

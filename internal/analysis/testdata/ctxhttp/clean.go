@@ -1,0 +1,14 @@
+package ctxhttp
+
+import (
+	"context"
+	"net/http"
+)
+
+func fetchWithContext(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}

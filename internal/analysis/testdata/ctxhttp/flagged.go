@@ -1,0 +1,11 @@
+package ctxhttp
+
+import "net/http"
+
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want "context.Background"
+}
+
+func build(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "drops the caller's context"
+}

@@ -1,0 +1,19 @@
+package detorder
+
+import "fmt"
+
+// emit writes rows to the output in map order: the canonical violation.
+func emit(m map[string]int) {
+	for k, v := range m { // want "order-dependent"
+		fmt.Println(k, v)
+	}
+}
+
+// collectUnsorted gathers keys but never sorts them before returning.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted afterwards"
+		keys = append(keys, k)
+	}
+	return keys
+}

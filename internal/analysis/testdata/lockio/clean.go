@@ -1,0 +1,19 @@
+package lockio
+
+import (
+	"net/http"
+	"sync"
+)
+
+type relay struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+// forward copies state under the lock and does the round-trip outside it.
+func (r *relay) forward(c *http.Client, req *http.Request) (*http.Response, error) {
+	r.mu.Lock()
+	r.busy = true
+	r.mu.Unlock()
+	return c.Do(req)
+}

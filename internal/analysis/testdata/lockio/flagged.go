@@ -1,0 +1,27 @@
+package lockio
+
+import (
+	"net/http"
+	"sync"
+)
+
+type server struct {
+	mu     sync.Mutex
+	client *http.Client
+}
+
+// relay round-trips to a peer while holding the mutex: every other
+// request stalls behind the network.
+func (s *server) relay(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.client.Do(req) // want "blocking I/O"
+}
+
+// withCallback runs a caller-supplied function under the lock; the
+// callback may block on anything.
+func (s *server) withCallback(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn() // want "caller-supplied function"
+}

@@ -1,0 +1,12 @@
+package scratchpair
+
+import "sync"
+
+var keyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// safe releases on every path, panics included.
+func safe() int {
+	b := keyPool.Get().(*[]byte)
+	defer keyPool.Put(b)
+	return len(*b)
+}

@@ -1,0 +1,20 @@
+package scratchpair
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// leaky borrows and never releases.
+func leaky() int {
+	b := bufPool.Get().(*[]byte) // want "no matching bufPool.Put"
+	return len(*b)
+}
+
+// nonPanicSafe releases, but not via defer: a panic between Get and Put
+// leaks the scratch.
+func nonPanicSafe() int {
+	b := bufPool.Get().(*[]byte) // want "released only on non-panic paths"
+	n := len(*b)
+	bufPool.Put(b)
+	return n
+}

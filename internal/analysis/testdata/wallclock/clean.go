@@ -1,0 +1,16 @@
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// age takes the clock reading from the caller: the injected-clock idiom.
+func age(now, then time.Time) time.Duration {
+	return now.Sub(then)
+}
+
+// seeded builds an explicit generator; methods on it are reproducible.
+func seeded(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,14 @@
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "process-seeded global generator"
+}

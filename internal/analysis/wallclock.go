@@ -1,0 +1,70 @@
+package analysis
+
+// wallclock keeps the deterministic compute packages free of ambient
+// nondeterminism: a schedule must be a pure function of (graph,
+// platform, heuristic, tuning), so reading the wall clock or the
+// process-seeded global math/rand generator inside them breaks the
+// byte-identity promise (and the warm==cold session oracle) in ways no
+// example test reliably catches. Injected clocks (a Now func in a
+// Config) and explicitly seeded rand.New(rand.NewSource(seed))
+// generators are fine — only the ambient sources are banned. _test.go
+// files are exempt.
+
+import "go/ast"
+
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall-clock or process-seeded rand reads in deterministic compute packages",
+	PackagePrefixes: []string{
+		"oneport/internal/heuristics",
+		"oneport/internal/sched",
+		"oneport/internal/graph",
+		"oneport/internal/platform",
+		"oneport/internal/bound",
+		"oneport/internal/loadbalance",
+		"oneport/internal/npc",
+		"oneport/internal/exp",
+		"oneport/internal/testbeds",
+	},
+	Run: runWallclock,
+}
+
+// wallclockBanned are the ambient time reads: package-level functions of
+// "time" that sample the process clock.
+var wallclockBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// randConstructors are the explicit-seed entry points of math/rand and
+// math/rand/v2 — the allowed way to get randomness in compute code.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ce := resolveCallee(pass.TypesInfo, call)
+			if ce.Recv != "" {
+				return true // methods run on explicit state (rand.Rand, time.Timer)
+			}
+			switch ce.PkgPath {
+			case "time":
+				if wallclockBanned[ce.Name] {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic compute package; inject a clock through the caller's Tuning/Config instead", ce.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if ce.Name != "" && !randConstructors[ce.Name] {
+					pass.Reportf(call.Pos(), "%s.%s uses the process-seeded global generator; use rand.New(rand.NewSource(seed)) so runs are reproducible", ce.PkgPath, ce.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

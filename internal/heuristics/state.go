@@ -290,6 +290,7 @@ func (s *state) clone() *state {
 	for i := 0; i < n; i++ {
 		total += s.compute[i].Len() + s.send[i].Len() + s.recv[i].Len()
 	}
+	//schedlint:allow detorder — integer size sum; Len() is a pure getter
 	for _, w := range s.wires {
 		total += w.Len()
 	}
@@ -306,6 +307,9 @@ func (s *state) clone() *state {
 	if len(s.wires) > 0 {
 		c.wires = make(map[[2]int]*sched.Intervals, len(s.wires))
 		wi := 3 * n
+		// each wire clones into its own keyed entry; map order only decides
+		// arena layout, which no schedule output ever observes
+		//schedlint:allow detorder — per-key clone, order decides layout only
 		for k, w := range s.wires {
 			base[wi] = w.CloneUsing(&arena)
 			c.wires[k] = &base[wi]

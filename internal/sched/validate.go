@@ -193,8 +193,23 @@ func validatePorts(g *graph.Graph, s *Schedule, procs int, model Model) error {
 				wires[k] = append(wires[k], Interval{Start: h.Start, End: h.Finish})
 			}
 		}
-		for k, wins := range wires {
-			if err := checkDisjoint(fmt.Sprintf("link-contention violation: wire %d<->%d messages", k[0], k[1]), wins); err != nil {
+		// check wires in sorted key order: with several violating wires,
+		// WHICH violation is reported must not depend on map order — the
+		// error string reaches the service response, and two replicas
+		// answering the same request with different errors breaks the
+		// byte-identity promise
+		keys := make([][2]int, 0, len(wires))
+		for k := range wires {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			if err := checkDisjoint(fmt.Sprintf("link-contention violation: wire %d<->%d messages", k[0], k[1]), wires[k]); err != nil {
 				return err
 			}
 		}

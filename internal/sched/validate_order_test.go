@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"oneport/internal/graph"
+	"oneport/internal/platform"
+)
+
+// multiWireViolation builds a schedule that is valid under MacroDataflow
+// but violates LinkContention on TWO distinct wires — (0,1) and (2,3) —
+// each carrying a pair of overlapping messages. With more than one
+// violating wire, WHICH one Validate reports is only well-defined if the
+// wires are checked in a deterministic order.
+func multiWireViolation(t *testing.T) (*graph.Graph, *platform.Platform, *Schedule) {
+	t.Helper()
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddNode(1, "")
+	}
+	// two independent producer/consumer pairs per wire
+	g.MustEdge(0, 2, 1) // proc 0 -> proc 1
+	g.MustEdge(1, 3, 1) // proc 0 -> proc 1
+	g.MustEdge(4, 6, 1) // proc 2 -> proc 3
+	g.MustEdge(5, 7, 1) // proc 2 -> proc 3
+	pl, err := platform.Uniform([]float64{1, 1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSchedule(8, 4)
+	// producers on proc 0 and proc 2, back to back
+	s.SetTask(0, 0, 0, 1)
+	s.SetTask(1, 0, 1, 2)
+	s.SetTask(4, 2, 0, 1)
+	s.SetTask(5, 2, 1, 2)
+	// consumers on proc 1 and proc 3, after their comms land
+	s.SetTask(2, 1, 2.5, 3.5)
+	s.SetTask(3, 1, 3.5, 4.5)
+	s.SetTask(6, 3, 2.5, 3.5)
+	s.SetTask(7, 3, 3.5, 4.5)
+	// each wire carries two messages overlapping on [2,2.5)
+	s.AddComm(CommEvent{FromTask: 0, ToTask: 2, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 1.5, Finish: 2.5}}})
+	s.AddComm(CommEvent{FromTask: 1, ToTask: 3, Data: 1,
+		Hops: []Hop{{FromProc: 0, ToProc: 1, Start: 2, Finish: 3}}})
+	s.AddComm(CommEvent{FromTask: 4, ToTask: 6, Data: 1,
+		Hops: []Hop{{FromProc: 2, ToProc: 3, Start: 1.5, Finish: 2.5}}})
+	s.AddComm(CommEvent{FromTask: 5, ToTask: 7, Data: 1,
+		Hops: []Hop{{FromProc: 2, ToProc: 3, Start: 2, Finish: 3}}})
+	return g, pl, s
+}
+
+// TestLinkContentionErrorDeterministic pins that the validation error for
+// a schedule violating link contention on several wires is the same on
+// every call, and names the lowest wire. The error string flows into the
+// service's HTTP response, so two replicas validating the same request
+// must produce byte-identical errors; iterating the wire map directly
+// made the reported wire flap with Go's map iteration randomization.
+func TestLinkContentionErrorDeterministic(t *testing.T) {
+	g, pl, s := multiWireViolation(t)
+
+	// sanity: only the port rule is violated
+	if err := Validate(g, pl, s, MacroDataflow); err != nil {
+		t.Fatalf("fixture invalid under MacroDataflow: %v", err)
+	}
+
+	first := Validate(g, pl, s, LinkContention)
+	if first == nil {
+		t.Fatal("multi-wire violation not detected under LinkContention")
+	}
+	if !strings.Contains(first.Error(), "wire 0<->1") {
+		t.Fatalf("error does not name the lowest violating wire: %v", first)
+	}
+	for i := 0; i < 60; i++ {
+		err := Validate(g, pl, s, LinkContention)
+		if err == nil {
+			t.Fatal("violation not detected on repeat call")
+		}
+		if err.Error() != first.Error() {
+			t.Fatalf("validation error flapped between runs:\nfirst: %v\n got:  %v", first, err)
+		}
+	}
+}

@@ -506,6 +506,7 @@ func (c *Controller) tenant(name string, now time.Time) *tenant {
 // or waiting; 0 when none are.
 func (c *Controller) minActiveVT() float64 {
 	min := math.Inf(1)
+	//schedlint:allow detorder — min-fold over values; min is exact and commutative
 	for _, t := range c.tenants {
 		if (t.holding > 0 || t.waiting > 0) && t.vt < min {
 			min = t.vt

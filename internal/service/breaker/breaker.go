@@ -265,6 +265,7 @@ func (s *Set) Stats(now time.Time) Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c := Counters{Trips: s.trips.Load()}
+	//schedlint:allow detorder — integer sums over per-breaker counters commute
 	for _, b := range s.m {
 		b.mu.Lock()
 		if b.state == Open || b.state == HalfOpen {

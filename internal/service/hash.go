@@ -41,8 +41,13 @@ var keyPool = sync.Pool{New: func() any { return new(keyScratch) }}
 //
 // The model string is normalized through Request.normalize before hashing,
 // so aliases ("macro" / "macrodataflow") share a key.
-func CanonicalSum(r *Request) [sha256.Size]byte {
+func CanonicalSum(r *Request) (sum [sha256.Size]byte) {
 	ks := keyPool.Get().(*keyScratch)
+	// the release is deferred so even a panicking graph accessor cannot
+	// leak the scratch out of the pool (the scratchpair invariant); the
+	// grown buffers are stashed back on ks before the hash is taken, so
+	// the deferred Put always returns the largest capacity seen
+	defer keyPool.Put(ks)
 	b := ks.buf[:0]
 	u64 := func(v uint64) {
 		b = binary.LittleEndian.AppendUint64(b, v)
@@ -90,11 +95,9 @@ func CanonicalSum(r *Request) [sha256.Size]byte {
 		}
 	}
 
-	sum := sha256.Sum256(b)
 	ks.buf = b
 	ks.edges = edges
-	keyPool.Put(ks)
-	return sum
+	return sha256.Sum256(b)
 }
 
 // CanonicalKey is the hex form of CanonicalSum — the cache key exposed in

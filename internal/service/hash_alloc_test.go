@@ -1,0 +1,34 @@
+package service
+
+import (
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/testbeds"
+)
+
+// TestCanonicalSumSteadyStateAllocs pins that CanonicalSum allocates
+// nothing once the pooled scratch has warmed up. The deferred keyPool.Put
+// must hand back the grown buffers (not the empty scratch it borrowed),
+// or every request re-grows the encoding buffer from scratch.
+func TestCanonicalSumSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	req := Request{
+		Graph:     testbeds.LU(6, 10),
+		Platform:  platform.Paper(),
+		Heuristic: "heft",
+		Model:     "oneport",
+	}
+	if _, err := req.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// warm the pool so the scratch buffers reach their steady-state size
+	for i := 0; i < 4; i++ {
+		CanonicalSum(&req)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { CanonicalSum(&req) }); allocs > 0 {
+		t.Fatalf("CanonicalSum allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}

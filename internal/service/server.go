@@ -654,6 +654,7 @@ func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, fromPeer 
 // On success the caller must invoke release when done with the bytes; on
 // error the 400 has already been written and the error counted.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, func(), error) {
+	//schedlint:allow scratchpair — ownership transfers: the caller must invoke the returned release
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {

@@ -12,6 +12,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"slices"
+	"sort"
+	"strings"
 
 	"oneport/internal/cli"
 	"oneport/internal/graph"
@@ -254,6 +257,12 @@ func (m *Manager) Handoff(id string, send func(*Snapshot) error) error {
 	if s.closed {
 		return ErrNotFound
 	}
+	// The documented export-under-lock handoff: holding s.mu across the
+	// peer import is exactly what guarantees no delta can be acked here
+	// after the exported state was serialized (DESIGN.md "Session
+	// durability & handoff"); only this one session's deltas wait, and
+	// they wake to a 307 at the new owner.
+	//schedlint:allow lockio — export-under-lock is the no-lost-ack guarantee
 	if err := send(m.snapshotLocked(s)); err != nil {
 		return err
 	}
@@ -263,8 +272,11 @@ func (m *Manager) Handoff(id string, send func(*Snapshot) error) error {
 	return nil
 }
 
-// List returns the live session ids (drain iterates it; the set may change
-// underneath, which Handoff tolerates per-id).
+// List returns the live session ids in sorted order (drain iterates it;
+// the set may change underneath, which Handoff tolerates per-id). The
+// order is sorted, not map order, so a drain cut short by its context
+// keeps and ships a reproducible set — chaos runs and handoff tests see
+// the same partition every time.
 func (m *Manager) List() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -272,24 +284,32 @@ func (m *Manager) List() []string {
 	for id := range m.sessions {
 		ids = append(ids, id)
 	}
+	sort.Strings(ids)
 	return ids
 }
 
 // SyncJournals flushes every live session's journal to disk regardless of
 // fsync policy — the drain path calls it so even SyncNone sessions are
-// durable before the process exits.
+// durable before the process exits. Journals sync outside the lock, in
+// sorted session order: when several journals fail, WHICH error is
+// reported must not depend on map order.
 func (m *Manager) SyncJournals() error {
+	type entry struct {
+		id  string
+		log *journal.Log
+	}
 	m.mu.Lock()
-	logs := make([]*journal.Log, 0, len(m.sessions))
-	for _, s := range m.sessions {
+	logs := make([]entry, 0, len(m.sessions))
+	for id, s := range m.sessions {
 		if s.log != nil {
-			logs = append(logs, s.log)
+			logs = append(logs, entry{id, s.log})
 		}
 	}
 	m.mu.Unlock()
+	slices.SortFunc(logs, func(a, b entry) int { return strings.Compare(a.id, b.id) })
 	var first error
 	for _, l := range logs {
-		if err := l.Sync(); err != nil && first == nil {
+		if err := l.log.Sync(); err != nil && first == nil {
 			first = err
 		}
 	}

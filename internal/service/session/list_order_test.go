@@ -1,0 +1,44 @@
+package session
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"oneport/internal/platform"
+	"oneport/internal/testbeds"
+)
+
+// TestListSortedOrder pins that List returns session ids in sorted order
+// regardless of how the sessions were opened. Drain iterates List, so a
+// drain cut short by its deadline must ship a reproducible prefix of the
+// session set — map iteration order would hand over a different random
+// subset every run.
+func TestListSortedOrder(t *testing.T) {
+	m := NewManager(Config{})
+	g, pl := testbeds.ForkJoin(6, 10), platform.Paper()
+
+	opened := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		id, _, err := m.Open(context.Background(), openParams(g, pl, "heft"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opened[id] = true
+	}
+
+	for round := 0; round < 20; round++ {
+		ids := m.List()
+		if len(ids) != len(opened) {
+			t.Fatalf("List returned %d ids, opened %d", len(ids), len(opened))
+		}
+		if !sort.StringsAreSorted(ids) {
+			t.Fatalf("List not sorted: %q", ids)
+		}
+		for _, id := range ids {
+			if !opened[id] {
+				t.Fatalf("List returned unknown id %q", id)
+			}
+		}
+	}
+}

@@ -420,6 +420,7 @@ func (m *Manager) sweepLocked(now time.Time) {
 	if m.cfg.TTL < 0 {
 		return
 	}
+	//schedlint:allow detorder — every expired session is evicted; the set is order-free
 	for _, s := range m.sessions {
 		if now.Sub(s.lastUsed) > m.cfg.TTL {
 			m.removeLocked(s)
@@ -439,6 +440,7 @@ func (m *Manager) RetryAfterSeconds() int {
 	defer m.mu.Unlock()
 	now := m.cfg.Now()
 	best := m.cfg.TTL
+	//schedlint:allow detorder — min-fold over values; min is exact and commutative
 	for _, s := range m.sessions {
 		if left := m.cfg.TTL - now.Sub(s.lastUsed); left < best {
 			best = left
